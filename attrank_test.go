@@ -1,0 +1,273 @@
+package attrank_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"attrank"
+)
+
+func buildPublicNet(t *testing.T) *attrank.Network {
+	t.Helper()
+	b := attrank.NewBuilder()
+	papers := []struct {
+		id   string
+		year int
+	}{
+		{"old", 1990}, {"mid", 1994}, {"hot", 1996}, {"new1", 1999}, {"new2", 1999}, {"new3", 1998},
+	}
+	for _, p := range papers {
+		if _, err := b.AddPaper(p.id, p.year, []string{"a-" + p.id}, "V"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"mid", "old"}, {"hot", "old"}, {"hot", "mid"},
+		{"new1", "hot"}, {"new2", "hot"}, {"new3", "hot"}, {"new3", "old"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPublicRankFlow(t *testing.T) {
+	net := buildPublicNet(t)
+	res, err := attrank.Rank(net, net.MaxYear(), attrank.RecommendedParams(-0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	sum := 0.0
+	for _, v := range res.Scores {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %v", sum)
+	}
+	top := attrank.TopK(res.Scores, 1)
+	hot, _ := net.Lookup("hot")
+	if int32(top[0]) != hot {
+		t.Errorf("top paper = %s, want hot", net.Paper(int32(top[0])).ID)
+	}
+}
+
+func TestPublicSaveLoadRoundTrip(t *testing.T) {
+	net := buildPublicNet(t)
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	if err := attrank.SaveNetwork(path, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := attrank.LoadNetwork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != net.N() || back.Edges() != net.Edges() {
+		t.Errorf("round trip lost data: %d/%d vs %d/%d", back.N(), back.Edges(), net.N(), net.Edges())
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	rho, err := attrank.Spearman([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("ρ = %v", rho)
+	}
+	ndcg, err := attrank.NDCG([]float64{3, 2, 1}, []float64{3, 2, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ndcg-1) > 1e-12 {
+		t.Errorf("nDCG = %v", ndcg)
+	}
+}
+
+func TestPublicSplitAndGroundTruth(t *testing.T) {
+	d, err := attrank.GenerateDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := attrank.NewSplit(d.Net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	if len(truth) != s.Current.N() {
+		t.Error("ground truth misaligned")
+	}
+	res, err := attrank.Rank(s.Current, s.TN, attrank.RecommendedParams(d.W))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := attrank.Spearman(res.Scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 0 {
+		t.Errorf("AttRank should correlate positively with STI, got %v", rho)
+	}
+}
+
+func TestPublicBaselinesImplementMethod(t *testing.T) {
+	net := buildPublicNet(t)
+	methods := []attrank.Method{
+		attrank.PageRank{Alpha: 0.5},
+		attrank.CitationCount{},
+		attrank.CiteRank{Alpha: 0.5, TauDir: 2},
+		attrank.FutureRank{Alpha: 0.3, Beta: 0.1, Gamma: 0.5, Rho: -0.62},
+		attrank.RAM{Gamma: 0.6},
+		attrank.ECM{Alpha: 0.2, Gamma: 0.3},
+		attrank.WSDM{Alpha: 1.7, Beta: 3, Iters: 4},
+	}
+	for _, m := range methods {
+		scores, err := m.Scores(net, net.MaxYear())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(scores) != net.N() {
+			t.Fatalf("%s: wrong score count", m.Name())
+		}
+	}
+}
+
+func TestPublicAttentionVector(t *testing.T) {
+	net := buildPublicNet(t)
+	att := attrank.AttentionVector(net, net.MaxYear(), 2)
+	hot, _ := net.Lookup("hot")
+	// hot received all 3 of the 4 window citations (1998–99): share 0.75.
+	if math.Abs(att[hot]-0.75) > 1e-12 {
+		t.Errorf("A(hot) = %v, want 0.75", att[hot])
+	}
+}
+
+func TestPublicGenerateNetwork(t *testing.T) {
+	profiles := attrank.DatasetProfiles()
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(profiles))
+	}
+	p := profiles[0]
+	p.Papers = 300
+	p.AuthorPool = 100
+	net, err := attrank.GenerateNetwork(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 300 {
+		t.Errorf("generated %d papers", net.N())
+	}
+	if _, err := attrank.FitW(net); err != nil {
+		t.Errorf("FitW: %v", err)
+	}
+}
+
+func TestPublicTracker(t *testing.T) {
+	net := buildPublicNet(t)
+	tr, err := attrank.NewTracker(attrank.RecommendedParams(-0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.Update(net, net.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tr.Update(net, net.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations > first.Iterations {
+		t.Errorf("warm update took %d iterations, first took %d", second.Iterations, first.Iterations)
+	}
+}
+
+func TestPublicAuthorAndVenueScores(t *testing.T) {
+	net := buildPublicNet(t)
+	res, err := attrank.Rank(net, net.MaxYear(), attrank.RecommendedParams(-0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []attrank.Aggregation{attrank.AggSum, attrank.AggMean, attrank.AggFractional} {
+		as, err := attrank.AuthorScores(net, res.Scores, agg)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if len(as) != net.NumAuthors() {
+			t.Fatalf("%v: %d author scores", agg, len(as))
+		}
+	}
+	vs, err := attrank.VenueScores(net, res.Scores, attrank.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != net.NumVenues() {
+		t.Fatalf("%d venue scores", len(vs))
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	net := buildPublicNet(t)
+	p := attrank.RecommendedParams(-0.3)
+	res, err := attrank.Rank(net, net.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := net.Lookup("hot")
+	e, err := attrank.Explain(net, res, p, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := e.Flow + e.Attention + e.Recency
+	if math.Abs(sum-e.Score) > 1e-9 {
+		t.Errorf("decomposition %v != score %v", sum, e.Score)
+	}
+}
+
+func TestPublicExtraMetrics(t *testing.T) {
+	tau, err := attrank.KendallTau([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || math.Abs(tau-1) > 1e-12 {
+		t.Errorf("KendallTau = %v, %v", tau, err)
+	}
+	p, err := attrank.PrecisionAtK([]float64{3, 2, 1}, []float64{30, 20, 10}, 2)
+	if err != nil || p != 1 {
+		t.Errorf("PrecisionAtK = %v, %v", p, err)
+	}
+	mrr, err := attrank.MRR([]float64{3, 2, 1}, []float64{30, 20, 10}, 1)
+	if err != nil || mrr != 1 {
+		t.Errorf("MRR = %v, %v", mrr, err)
+	}
+}
+
+func TestPublicNewServer(t *testing.T) {
+	net := buildPublicNet(t)
+	srv, err := attrank.NewServer(net, net.MaxYear(), attrank.RecommendedParams(-0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/top?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var papers []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&papers); err != nil {
+		t.Fatal(err)
+	}
+	if len(papers) != 2 || papers[0]["id"] != "hot" {
+		t.Errorf("top = %v", papers)
+	}
+}

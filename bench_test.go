@@ -1,0 +1,527 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the mapping), plus ablation
+// benches for the design choices DESIGN.md calls out.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each bench reports its headline quantity via b.ReportMetric (e.g. the
+// best Spearman ρ, the τ horizon, iteration counts) so `go test -bench`
+// output doubles as the reproduction record; cmd/attrank-eval renders the
+// same experiments as full tables and charts.
+//
+// ATTRANK_BENCH_SCALE scales the synthetic datasets (default 0.15; the
+// EXPERIMENTS.md numbers use 0.5).
+package attrank_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+	"attrank/internal/eval"
+	"attrank/internal/metrics"
+	"attrank/internal/sparse"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("ATTRANK_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.15
+}
+
+func loadAll(b *testing.B) []eval.Dataset {
+	b.Helper()
+	ds, err := eval.LoadDatasets(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func loadOne(b *testing.B, name string) eval.Dataset {
+	b.Helper()
+	d, err := eval.LoadDataset(name, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkFig1aCitationAge regenerates Figure 1a: the citation-age
+// distribution of each dataset. Reports the peak age of hep-th and dblp.
+func BenchmarkFig1aCitationAge(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.Fig1aResult
+	for i := 0; i < b.N; i++ {
+		r = eval.Fig1a(ds, 10)
+	}
+	b.ReportMetric(float64(peakAge(r.Series["hep-th"])), "hepth-peak-years")
+	b.ReportMetric(float64(peakAge(r.Series["dblp"])), "dblp-peak-years")
+}
+
+func peakAge(dist []float64) int {
+	p := 0
+	for i, v := range dist {
+		if v > dist[p] {
+			p = i
+		}
+	}
+	return p
+}
+
+// BenchmarkFig1bYearlyCounts regenerates Figure 1b: finding the yearly
+// citation series of an old seminal paper overtaken by a newer one.
+func BenchmarkFig1bYearlyCounts(b *testing.B) {
+	d := loadOne(b, "pmc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig1b(d); err != nil {
+			b.Skipf("no overtaking pair in this instance: %v", err)
+		}
+	}
+}
+
+// BenchmarkTable1RecentlyPopular regenerates Table 1: how many of the
+// top-100 papers by STI were recently popular. Reports the count per
+// dataset (paper: 41, 54, 54, 63).
+func BenchmarkTable1RecentlyPopular(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.Table1(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range ds {
+		b.ReportMetric(float64(r.Counts[d.Name]), d.Name+"-popular")
+	}
+}
+
+// BenchmarkTable2Horizons regenerates Table 2: the test-ratio → τ
+// correspondence. Reports τ at ratio 1.6 per dataset (paper: 3, 10, 2, 4).
+func BenchmarkTable2Horizons(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.Table2(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range ds {
+		b.ReportMetric(float64(r.Tau[d.Name][2]), d.Name+"-tau@1.6")
+	}
+}
+
+// BenchmarkFig2Heatmaps regenerates Figure 2 (and appendix Figures 6–7):
+// the full Table-3 sweep of AttRank on DBLP for both metrics. Reports the
+// best ρ and its parameters (paper: ρ=0.6316 at α=0.2 β=0.4 y=3).
+func BenchmarkFig2Heatmaps(b *testing.B) {
+	d := loadOne(b, "dblp")
+	b.ResetTimer()
+	var h eval.HeatmapResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = eval.Fig2(d, eval.Rho())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.Best.Value, "best-rho")
+	b.ReportMetric(h.Best.Params.Beta, "best-beta")
+	b.ReportMetric(float64(h.Best.Params.AttentionYears), "best-y")
+}
+
+// BenchmarkFig3Correlation regenerates Figure 3: Spearman ρ of every
+// tuned method family across test ratios, on every dataset. Reports the
+// AR-vs-best-competitor gap on dblp at ratio 1.6 (paper: AR wins by up to
+// 0.077 on DBLP).
+func BenchmarkFig3Correlation(b *testing.B) {
+	benchSeries(b, func(d eval.Dataset) (eval.SeriesResult, error) { return eval.Fig3(d) })
+}
+
+// BenchmarkFig4NDCG50 regenerates Figure 4: nDCG@50 across test ratios
+// (paper: AR improves nDCG@50 by up to 0.098 on DBLP).
+func BenchmarkFig4NDCG50(b *testing.B) {
+	benchSeries(b, func(d eval.Dataset) (eval.SeriesResult, error) { return eval.Fig4(d) })
+}
+
+func benchSeries(b *testing.B, run func(eval.Dataset) (eval.SeriesResult, error)) {
+	b.Helper()
+	ds := loadAll(b)
+	b.ResetTimer()
+	results := make(map[string]eval.SeriesResult)
+	for i := 0; i < b.N; i++ {
+		for _, d := range ds {
+			r, err := run(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[d.Name] = r
+		}
+	}
+	r := results["dblp"]
+	mid := 2 // ratio 1.6
+	ar := r.Series["AR"][mid]
+	bestComp := -2.0
+	for _, fam := range []string{"CR", "FR", "RAM", "ECM", "WSDM"} {
+		if s, ok := r.Series[fam]; ok && s[mid] > bestComp {
+			bestComp = s[mid]
+		}
+	}
+	b.ReportMetric(ar, "dblp-AR@1.6")
+	b.ReportMetric(ar-bestComp, "dblp-gap@1.6")
+}
+
+// BenchmarkFig5NDCGatK regenerates Figure 5: nDCG@k for k ∈ {5,10,50,
+// 100,500} at the default ratio. Reports AR's nDCG@5 on dblp (paper: AR
+// near 1 at small k on hep-th, PMC, DBLP).
+func BenchmarkFig5NDCGatK(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	results := make(map[string]eval.SeriesResult)
+	for i := 0; i < b.N; i++ {
+		for _, d := range ds {
+			r, err := eval.Fig5(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[d.Name] = r
+		}
+	}
+	r := results["dblp"]
+	b.ReportMetric(r.Series["AR"][0], "dblp-AR-ndcg@5")
+	b.ReportMetric(r.Series["AR"][2], "dblp-AR-ndcg@50")
+}
+
+// BenchmarkConvergence regenerates the §4.4 comparison: iterations to
+// ε=1e−12 at α=0.5 for AttRank, CiteRank and FutureRank (paper: AR < 30,
+// CR up to 51, FR up to 35).
+func BenchmarkConvergence(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.ConvergenceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.Convergence(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range ds {
+		row := r.Iterations[d.Name]
+		b.ReportMetric(float64(row["AR"]), d.Name+"-AR-iters")
+		b.ReportMetric(float64(row["CR"]), d.Name+"-CR-iters")
+	}
+}
+
+// BenchmarkWFit regenerates the §4.2 calibration of the recency exponent
+// w (paper: −0.48 hep-th, −0.12 APS, −0.16 PMC and DBLP).
+func BenchmarkWFit(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.WFitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.WFit(ds, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range ds {
+		b.ReportMetric(r.W[d.Name], d.Name+"-w")
+	}
+}
+
+// BenchmarkAblationAttentionWindow sweeps the attention window y at the
+// fixed near-optimal (α, β, γ) on dblp: the paper finds moderate y (3–4)
+// best for correlation on slow fields and y=1 best on hep-th.
+func BenchmarkAblationAttentionWindow(b *testing.B) {
+	d := loadOne(b, "dblp")
+	s, err := eval.NewSplit(d.Net, eval.DefaultRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	b.ResetTimer()
+	bestY, bestV := 0, -2.0
+	for i := 0; i < b.N; i++ {
+		bestY, bestV = 0, -2.0
+		for y := 1; y <= 5; y++ {
+			res, err := core.Rank(s.Current, s.TN, core.Params{
+				Alpha: 0.2, Beta: 0.4, Gamma: 0.4, AttentionYears: y, W: d.W,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rho, err := metrics.Spearman(res.Scores, truth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rho > bestV {
+				bestY, bestV = y, rho
+			}
+		}
+	}
+	b.ReportMetric(float64(bestY), "best-y")
+	b.ReportMetric(bestV, "best-rho")
+}
+
+// BenchmarkAblationDanglingPolicy compares the paper's uniform dangling
+// redistribution against redirecting dangling mass to the recency vector:
+// the ranking should be nearly insensitive, confirming the convention is
+// not load-bearing.
+func BenchmarkAblationDanglingPolicy(b *testing.B) {
+	d := loadOne(b, "hep-th")
+	s, err := eval.NewSplit(d.Net, eval.DefaultRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	stoch, err := s.Current.StochasticMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := s.Current.N()
+	att := core.AttentionVector(s.Current, s.TN, 1)
+	rec := core.RecencyVector(s.Current, s.TN, d.W)
+	const alpha, beta, gamma = 0.3, 0.4, 0.3
+
+	iterate := func(useRecencyForDangling bool) []float64 {
+		x := sparse.Uniform(n)
+		next := make([]float64, n)
+		for iter := 0; iter < 100; iter++ {
+			if useRecencyForDangling {
+				stoch.MulVecDanglingTo(next, x, rec)
+			} else {
+				stoch.MulVec(next, x)
+			}
+			for i := range next {
+				next[i] = alpha*next[i] + beta*att[i] + gamma*rec[i]
+			}
+			if sparse.L1Diff(next, x) < 1e-12 {
+				x, next = next, x
+				break
+			}
+			x, next = next, x
+		}
+		return x
+	}
+
+	b.ResetTimer()
+	var rhoUniform, rhoRecency float64
+	for i := 0; i < b.N; i++ {
+		u := iterate(false)
+		r := iterate(true)
+		var err error
+		rhoUniform, err = metrics.Spearman(u, truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhoRecency, err = metrics.Spearman(r, truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rhoUniform, "rho-uniform")
+	b.ReportMetric(rhoRecency, "rho-recency")
+}
+
+// BenchmarkAblationTolerance checks ranking stability versus the
+// convergence threshold: relaxing ε from 1e−12 to 1e−6 must not change
+// the induced ranking materially (the paper's 1e−12 is conservative).
+func BenchmarkAblationTolerance(b *testing.B) {
+	d := loadOne(b, "aps")
+	s, err := eval.NewSplit(d.Net, eval.DefaultRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Params{Alpha: 0.3, Beta: 0.3, Gamma: 0.4, AttentionYears: 3, W: d.W}
+	b.ResetTimer()
+	var agreement float64
+	for i := 0; i < b.N; i++ {
+		p.Tol = 1e-12
+		tight, err := core.Rank(s.Current, s.TN, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Tol = 1e-6
+		loose, err := core.Rank(s.Current, s.TN, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agreement, err = metrics.OverlapAtK(tight.Scores, loose.Scores, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(agreement, "top100-overlap")
+}
+
+// BenchmarkRankAttRank measures the raw cost of one AttRank computation
+// on the dblp-like network (throughput of the core contribution).
+func BenchmarkRankAttRank(b *testing.B) {
+	d := loadOne(b, "dblp")
+	p := core.Params{Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: d.W}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Rank(d.Net, d.Net.MaxYear(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselinesOnce measures one scoring pass of each competitor on
+// the dblp-like network.
+func BenchmarkBaselinesOnce(b *testing.B) {
+	d := loadOne(b, "dblp")
+	now := d.Net.MaxYear()
+	methods := map[string]func() error{
+		"PR": func() error { _, err := (baselines.PageRank{Alpha: 0.5}).Scores(d.Net, now); return err },
+		"CR": func() error { _, err := (baselines.CiteRank{Alpha: 0.5, TauDir: 2.6}).Scores(d.Net, now); return err },
+		"FR": func() error {
+			_, err := (baselines.FutureRank{Alpha: 0.4, Beta: 0.1, Gamma: 0.5, Rho: -0.62}).Scores(d.Net, now)
+			return err
+		},
+		"RAM":  func() error { _, err := (baselines.RAM{Gamma: 0.6}).Scores(d.Net, now); return err },
+		"ECM":  func() error { _, err := (baselines.ECM{Alpha: 0.1, Gamma: 0.3}).Scores(d.Net, now); return err },
+		"WSDM": func() error { _, err := (baselines.WSDM{Alpha: 1.7, Beta: 3, Iters: 4}).Scores(d.Net, now); return err },
+	}
+	for name, fn := range methods {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStabilityAcrossSeeds verifies the reproduction's headline
+// result (AttRank beats the competitors) is robust to the synthetic
+// generator's seed, reporting the mean AR ρ and the number of seeds AR
+// won outright.
+func BenchmarkStabilityAcrossSeeds(b *testing.B) {
+	b.ResetTimer()
+	var r eval.StabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.SeedStability("dblp", benchScale()/2, []int64{1, 2, 3, 4, 5}, eval.Rho())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mean, std := r.MeanStd("AR")
+	b.ReportMetric(mean, "AR-mean-rho")
+	b.ReportMetric(std, "AR-std-rho")
+	b.ReportMetric(float64(r.ARWins), "AR-wins-of-5")
+}
+
+// BenchmarkOriginSweep verifies AttRank's advantage is not specific to
+// the paper's half-way split: it reports the AR−NO-ATT gap at the
+// earliest and latest origins tried.
+func BenchmarkOriginSweep(b *testing.B) {
+	d := loadOne(b, "dblp")
+	origins := []float64{0.35, 0.5, 0.65}
+	b.ResetTimer()
+	var r eval.OriginResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.OriginSweep(d, origins, eval.Rho())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Values["AR"][0]-r.Values["NO-ATT"][0], "gap@0.35")
+	b.ReportMetric(r.Values["AR"][2]-r.Values["NO-ATT"][2], "gap@0.65")
+}
+
+// BenchmarkCalibrationLift measures the decile-lift extension experiment:
+// the top decile of AttRank's ranking should gather several times the
+// average number of future citations.
+func BenchmarkCalibrationLift(b *testing.B) {
+	d := loadOne(b, "dblp")
+	b.ResetTimer()
+	var r eval.CalibrationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.Calibration(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TopDecileLift(), "top-decile-lift")
+	b.ReportMetric(r.MeanSTI[0], "top-decile-mean-sti")
+}
+
+// BenchmarkBestParams regenerates the §4.2 optimal-parameterization
+// narrative: per-dataset best {α, β, γ, y} and the ablation maxima.
+// Reports dblp's best β and y for correlation (paper: β=0.4, y=3).
+func BenchmarkBestParams(b *testing.B) {
+	ds := loadAll(b)
+	b.ResetTimer()
+	var r eval.BestParamsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.BestParams(ds, eval.Rho())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := r.Best["dblp"]
+	b.ReportMetric(best.Params.Beta, "dblp-best-beta")
+	b.ReportMetric(float64(best.Params.AttentionYears), "dblp-best-y")
+	b.ReportMetric(r.AttentionGain("dblp"), "dblp-attention-gain")
+}
+
+// BenchmarkColdStart quantifies the age bias the paper is motivated by:
+// ranking quality restricted to papers published in the last 3 years
+// before tN. Reports the recent-subset ρ of AttRank vs citation count.
+func BenchmarkColdStart(b *testing.B) {
+	d := loadOne(b, "dblp")
+	b.ResetTimer()
+	var r eval.ColdStartResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.ColdStart(d, 3, eval.Rho())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Recent["AR"], "recent-AR-rho")
+	b.ReportMetric(r.Recent["CC"], "recent-CC-rho")
+	b.ReportMetric(r.Recent["PR"], "recent-PR-rho")
+}
+
+// BenchmarkTrendShift measures the emerging-topic extension experiment:
+// how many top-100 papers from a topic that started bursting 3 years
+// before tN each method surfaces, vs the realized future (truth).
+func BenchmarkTrendShift(b *testing.B) {
+	b.ResetTimer()
+	var r eval.TrendShiftResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eval.TrendShift(benchScale(), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.TopicInTopK["truth"]), "truth-top100")
+	b.ReportMetric(float64(r.TopicInTopK["AR"]), "AR-top100")
+	b.ReportMetric(float64(r.TopicInTopK["NO-ATT"]), "NOATT-top100")
+	b.ReportMetric(float64(r.TopicInTopK["CC"]), "CC-top100")
+}

@@ -1,0 +1,615 @@
+// Command attrank-eval regenerates the tables and figures of the paper's
+// evaluation section on the synthetic datasets and renders them in the
+// terminal.
+//
+// Usage:
+//
+//	attrank-eval -exp fig3 [-dataset dblp] [-scale 0.5] [-metric rho]
+//	attrank-eval -exp all -scale 0.25
+//
+// Paper experiments: fig1a, fig1b, tab1, tab2, fig2, fig6, fig7, fig3,
+// fig4, fig5, conv, wfit, best (see DESIGN.md §3 for the mapping).
+// Extensions: stability (across generator seeds), origin (across split
+// positions), calib (decile lift), coldstart (recent-paper subset),
+// trend (emerging-topic detection), preq (year-by-year prequential).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"attrank/internal/eval"
+	"attrank/internal/textplot"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1a, fig1b, tab1, tab2, fig2, fig3, fig4, fig5, conv, wfit, all)")
+		dataset = flag.String("dataset", "", "restrict to one dataset (hep-th, aps, pmc, dblp); default all where applicable")
+		scale   = flag.Float64("scale", 0.5, "dataset size multiplier (1 = full synthetic size)")
+		metric  = flag.String("metric", "rho", "metric for fig2: rho or ndcg")
+		csvDir  = flag.String("csv", "", "also write the experiment's data as CSV files into this directory")
+	)
+	flag.Parse()
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "attrank-eval: -exp is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "attrank-eval:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*exp, *dataset, *scale, *metric, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "attrank-eval:", err)
+		os.Exit(1)
+	}
+}
+
+// csvWriter is implemented by every exportable experiment result.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// writeCSV persists one experiment result when -csv was given.
+func writeCSV(dir, name string, r csvWriter) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.WriteCSV(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Printf("(wrote %s)\n", path)
+	}
+	return werr
+}
+
+func run(exp, dataset string, scale float64, metricName, csvDir string) error {
+	if exp == "all" {
+		for _, e := range []string{"fig1a", "fig1b", "tab1", "tab2", "wfit", "fig2", "fig3", "fig4", "fig5", "conv", "stability", "origin", "calib", "fig6", "fig7", "best", "coldstart", "trend", "preq", "ci"} {
+			fmt.Printf("\n================ %s ================\n", e)
+			if err := run(e, dataset, scale, metricName, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	}
+
+	loadAll := func() ([]eval.Dataset, error) {
+		if dataset != "" {
+			d, err := eval.LoadDataset(dataset, scale)
+			if err != nil {
+				return nil, err
+			}
+			return []eval.Dataset{d}, nil
+		}
+		return eval.LoadDatasets(scale)
+	}
+	loadOne := func(def string) (eval.Dataset, error) {
+		name := dataset
+		if name == "" {
+			name = def
+		}
+		return eval.LoadDataset(name, scale)
+	}
+
+	switch exp {
+	case "fig1a":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		r := eval.Fig1a(ds, 10)
+		if err := writeCSV(csvDir, "fig1a", r); err != nil {
+			return err
+		}
+		return renderFig1a(r, ds)
+	case "fig1b":
+		d, err := loadOne("pmc")
+		if err != nil {
+			return err
+		}
+		r, err := eval.Fig1b(d)
+		if err != nil {
+			return err
+		}
+		return renderFig1b(r, d)
+	case "tab1":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		r, err := eval.Table1(ds)
+		if err != nil {
+			return err
+		}
+		return renderTable1(r, ds)
+	case "tab2":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		r, err := eval.Table2(ds)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "table2", r); err != nil {
+			return err
+		}
+		return renderTable2(r, ds)
+	case "fig2":
+		d, err := loadOne("dblp")
+		if err != nil {
+			return err
+		}
+		m := eval.Rho()
+		if metricName == "ndcg" {
+			m = eval.NDCGAt(50)
+		}
+		r, err := eval.Fig2(d, m)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "fig2-"+d.Name+"-"+m.Name, r); err != nil {
+			return err
+		}
+		return renderFig2(r)
+	case "fig3", "fig4":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			var r eval.SeriesResult
+			var err error
+			if exp == "fig3" {
+				r, err = eval.Fig3(d)
+			} else {
+				r, err = eval.Fig4(d)
+			}
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, exp+"-"+d.Name, r); err != nil {
+				return err
+			}
+			renderSeries(r, "test ratio")
+		}
+		return nil
+	case "fig5":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			r, err := eval.Fig5(d)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, "fig5-"+d.Name, r); err != nil {
+				return err
+			}
+			renderSeries(r, "k")
+		}
+		return nil
+	case "conv":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		r, err := eval.Convergence(ds)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "convergence", r); err != nil {
+			return err
+		}
+		return renderConvergence(r, ds)
+	case "wfit":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		r, err := eval.WFit(ds, 10)
+		if err != nil {
+			return err
+		}
+		return renderWFit(r, ds)
+	case "stability":
+		name := dataset
+		if name == "" {
+			name = "dblp"
+		}
+		r, err := eval.SeedStability(name, scale/2, []int64{1, 2, 3, 4, 5}, eval.Rho())
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "stability-"+name, r); err != nil {
+			return err
+		}
+		return renderStability(r)
+	case "origin":
+		d, err := loadOne("dblp")
+		if err != nil {
+			return err
+		}
+		r, err := eval.OriginSweep(d, []float64{0.35, 0.5, 0.65}, eval.Rho())
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "origin-"+d.Name, r); err != nil {
+			return err
+		}
+		return renderOrigin(r)
+	case "calib":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			r, err := eval.Calibration(d)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, "calib-"+d.Name, r); err != nil {
+				return err
+			}
+			renderCalibration(r)
+		}
+		return nil
+	case "fig6", "fig7":
+		// Appendix heatmaps: Fig 6 = correlation, Fig 7 = nDCG@50, on
+		// APS and hep-th.
+		m := eval.Rho()
+		if exp == "fig7" {
+			m = eval.NDCGAt(50)
+		}
+		names := []string{"aps", "hep-th"}
+		if dataset != "" {
+			names = []string{dataset}
+		}
+		for _, name := range names {
+			d, err := eval.LoadDataset(name, scale)
+			if err != nil {
+				return err
+			}
+			r, err := eval.Fig2(d, m)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, exp+"-"+d.Name+"-"+m.Name, r); err != nil {
+				return err
+			}
+			if err := renderFig2(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "best":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		for _, m := range []eval.Metric{eval.Rho(), eval.NDCGAt(50)} {
+			r, err := eval.BestParams(ds, m)
+			if err != nil {
+				return err
+			}
+			renderBestParams(r, ds)
+		}
+		return nil
+	case "coldstart":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			r, err := eval.ColdStart(d, 3, eval.Rho())
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, "coldstart-"+d.Name, r); err != nil {
+				return err
+			}
+			renderColdStart(r)
+		}
+		return nil
+	case "ci":
+		ds, err := loadAll()
+		if err != nil {
+			return err
+		}
+		fmt.Println("bootstrap 95% confidence intervals (Spearman ρ, default split)")
+		var rows [][]string
+		for _, d := range ds {
+			r, err := eval.ConfidenceIntervals(d, 300)
+			if err != nil {
+				return err
+			}
+			sep := "overlap"
+			if r.Separated {
+				sep = "separated"
+			}
+			rows = append(rows, []string{
+				d.Name,
+				fmt.Sprintf("%.4f [%.4f, %.4f]", r.Point["AR"], r.Lo["AR"], r.Hi["AR"]),
+				fmt.Sprintf("%.4f [%.4f, %.4f]", r.Point["ECM"], r.Lo["ECM"], r.Hi["ECM"]),
+				sep,
+			})
+		}
+		fmt.Print(textplot.Table([]string{"dataset", "AR", "ECM", "intervals"}, rows))
+		return nil
+	case "preq":
+		d, err := loadOne("dblp")
+		if err != nil {
+			return err
+		}
+		last := d.Net.MaxYear() - 3
+		r, err := eval.Prequential(d, last-7, last, 3)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "preq-"+d.Name, r); err != nil {
+			return err
+		}
+		fmt.Printf("prequential evaluation on %s (3-year horizon)\n", r.Dataset)
+		var rows [][]string
+		for i, y := range r.Years {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", y),
+				fmt.Sprintf("%.4f", r.Rho[i]),
+				fmt.Sprintf("%.2f", r.Recall50[i]),
+			})
+		}
+		fmt.Print(textplot.Table([]string{"tN", "ρ", "recall@50"}, rows))
+		return nil
+	case "trend":
+		r, err := eval.TrendShift(scale, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trend shift on %s: topic %d bursts ×6 from %d; tN = %d\n",
+			r.Dataset, r.BurstTopic, r.BurstYear, r.TN)
+		var rows [][]string
+		for _, m := range []string{"truth", "AR", "NO-ATT", "CC"} {
+			rows = append(rows, []string{m, fmt.Sprintf("%d", r.TopicInTopK[m])})
+		}
+		fmt.Print(textplot.Table([]string{"ranking", "burst papers in top-100"}, rows))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func renderStability(r eval.StabilityResult) error {
+	fmt.Printf("seed stability on %s (%s, %d seeds): AR wins outright on %d\n",
+		r.Dataset, r.Metric, len(r.Seeds), r.ARWins)
+	var rows [][]string
+	for _, fam := range []string{"AR", "NO-ATT", "CR", "RAM", "ECM"} {
+		mean, std := r.MeanStd(fam)
+		rows = append(rows, []string{fam, fmt.Sprintf("%.4f", mean), fmt.Sprintf("%.4f", std)})
+	}
+	fmt.Print(textplot.Table([]string{"method", "mean", "std"}, rows))
+	return nil
+}
+
+func renderCalibration(r eval.CalibrationResult) {
+	fmt.Printf("\ncalibration on %s (%s): mean realized STI per score decile; top-decile lift ×%.1f\n",
+		r.Dataset, r.Method, r.TopDecileLift())
+	labels := make([]string, len(r.MeanSTI))
+	counts := make([]int, len(r.MeanSTI))
+	for d, v := range r.MeanSTI {
+		labels[d] = fmt.Sprintf("D%d", d+1)
+		counts[d] = int(v*100 + 0.5) // centi-citations, for bar widths
+	}
+	fmt.Print(textplot.Histogram("mean STI ×100 per decile (D1 = top 10% by AttRank)", labels, counts, 40))
+}
+
+func renderColdStart(r eval.ColdStartResult) {
+	fmt.Printf("\ncold start on %s: ranking papers published in the last %d years (%d papers)\n",
+		r.Dataset, r.RecentYears, r.RecentCount)
+	var rows [][]string
+	for _, m := range []string{"AR", "CC", "PR"} {
+		rows = append(rows, []string{
+			m,
+			fmt.Sprintf("%.4f", r.All[m]),
+			fmt.Sprintf("%.4f", r.Recent[m]),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"method", "ρ all papers", "ρ recent only"}, rows))
+}
+
+func renderBestParams(r eval.BestParamsResult, ds []eval.Dataset) {
+	fmt.Printf("\n§4.2 — optimal AttRank parameterization per dataset (%s, ratio %.1f)\n",
+		r.Metric, eval.DefaultRatio)
+	var rows [][]string
+	for _, d := range ds {
+		rows = append(rows, []string{
+			d.Name,
+			r.FormatBest(d.Name),
+			fmt.Sprintf("%.4f", r.NoAtt[d.Name]),
+			fmt.Sprintf("%.4f", r.AttOnly[d.Name]),
+			fmt.Sprintf("%+.4f", r.AttentionGain(d.Name)),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"dataset", "best {α,β,γ,y}", "NO-ATT max", "ATT-ONLY max", "gain"},
+		rows,
+	))
+}
+
+func renderOrigin(r eval.OriginResult) error {
+	fmt.Printf("split-origin sweep on %s (%s)\n", r.Dataset, r.Metric)
+	header := []string{"origin"}
+	fams := []string{"AR", "NO-ATT", "CR", "RAM", "ECM"}
+	header = append(header, fams...)
+	var rows [][]string
+	for i, o := range r.Origins {
+		row := []string{fmt.Sprintf("%.2f", o)}
+		for _, f := range fams {
+			row = append(row, fmt.Sprintf("%.4f", r.Values[f][i]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(textplot.Table(header, rows))
+	return nil
+}
+
+func renderFig1a(r eval.Fig1aResult, ds []eval.Dataset) error {
+	xs := make([]float64, r.MaxAge+1)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	series := make(map[string][]float64)
+	for _, d := range ds {
+		pct := make([]float64, len(r.Series[d.Name]))
+		for i, v := range r.Series[d.Name] {
+			pct[i] = v * 100
+		}
+		series[d.Name] = pct
+	}
+	fmt.Print(textplot.LineChart("Figure 1a — % of citations received n years after publication", xs, series, 14))
+	return nil
+}
+
+func renderFig1b(r eval.Fig1bResult, d eval.Dataset) error {
+	xs := make([]float64, len(r.Years))
+	for i, y := range r.Years {
+		xs[i] = float64(y)
+	}
+	old := make([]float64, len(r.OldCounts))
+	newer := make([]float64, len(r.NewCounts))
+	for i := range r.OldCounts {
+		old[i] = float64(r.OldCounts[i])
+		newer[i] = float64(r.NewCounts[i])
+	}
+	title := fmt.Sprintf("Figure 1b (%s) — yearly citations: %s (%d) vs %s (%d); overtake at %d",
+		d.Name, r.OldID, r.OldYear, r.NewID, r.NewYear, r.CrossYear)
+	fmt.Print(textplot.LineChart(title, xs, map[string][]float64{
+		"old-" + r.OldID: old,
+		"new-" + r.NewID: newer,
+	}, 12))
+	return nil
+}
+
+func renderTable1(r eval.Table1Result, ds []eval.Dataset) error {
+	row := []string{"Recently Popular"}
+	header := []string{"Dataset"}
+	for _, d := range ds {
+		header = append(header, d.Name)
+		row = append(row, fmt.Sprintf("%d", r.Counts[d.Name]))
+	}
+	fmt.Printf("Table 1 — recently popular papers in top-%d by STI (window %dy)\n", r.K, r.Window)
+	fmt.Print(textplot.Table(header, [][]string{row}))
+	return nil
+}
+
+func renderTable2(r eval.Table2Result, ds []eval.Dataset) error {
+	header := []string{"Test Ratio"}
+	for _, d := range ds {
+		header = append(header, d.Name)
+	}
+	var rows [][]string
+	for i, ratio := range r.Ratios {
+		row := []string{fmt.Sprintf("%.1f", ratio)}
+		for _, d := range ds {
+			row = append(row, fmt.Sprintf("%d", r.Tau[d.Name][i]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println("Table 2 — correspondence of test ratio to time horizon τ (years)")
+	fmt.Print(textplot.Table(header, rows))
+	return nil
+}
+
+func renderFig2(r eval.HeatmapResult) error {
+	fmt.Printf("Figure 2 — AttRank %s over the α–β grid, dataset %s\n", r.Metric, r.Dataset)
+	colLabels := make([]string, len(r.Alphas))
+	for i, a := range r.Alphas {
+		colLabels[i] = fmt.Sprintf("%.1f", a)
+	}
+	rowLabels := make([]string, len(r.Betas))
+	for i, b := range r.Betas {
+		rowLabels[i] = fmt.Sprintf("β=%.1f", b)
+	}
+	for yi := len(r.Ys) - 1; yi >= 0; yi-- {
+		// Print β descending like the paper's heatmaps (high β on top).
+		flipped := make([][]float64, len(r.Betas))
+		flippedLabels := make([]string, len(r.Betas))
+		for bi := range r.Betas {
+			flipped[bi] = r.Values[yi][len(r.Betas)-1-bi]
+			flippedLabels[bi] = rowLabels[len(r.Betas)-1-bi]
+		}
+		fmt.Print(textplot.Heatmap(
+			fmt.Sprintf("y=%d (α across)", r.Ys[yi]),
+			flippedLabels, colLabels, flipped,
+		))
+	}
+	fmt.Printf("best: %.4f at α=%.1f β=%.1f γ=%.1f y=%d\n",
+		r.Best.Value, r.Best.Params.Alpha, r.Best.Params.Beta, r.Best.Params.Gamma, r.Best.Params.AttentionYears)
+	return nil
+}
+
+func renderSeries(r eval.SeriesResult, xName string) {
+	fmt.Printf("\n%s on %s (x-axis: %s)\n", strings.ToUpper(r.Metric), r.Dataset, xName)
+	fmt.Print(textplot.LineChart("", r.X, r.Series, 14))
+	header := []string{xName}
+	fams := r.SortedFamilies()
+	header = append(header, fams...)
+	var rows [][]string
+	for i, x := range r.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, f := range fams {
+			v := r.Series[f][i]
+			if math.IsNaN(v) {
+				row = append(row, "—")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(textplot.Table(header, rows))
+}
+
+func renderConvergence(r eval.ConvergenceResult, ds []eval.Dataset) error {
+	header := []string{"Method"}
+	for _, d := range ds {
+		header = append(header, d.Name)
+	}
+	var rows [][]string
+	for _, m := range []string{"AR", "CR", "FR"} {
+		row := []string{m}
+		for _, d := range ds {
+			row = append(row, fmt.Sprintf("%d", r.Iterations[d.Name][m]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println("§4.4 — iterations to convergence at α=0.5, ε=1e-12")
+	fmt.Print(textplot.Table(header, rows))
+	return nil
+}
+
+func renderWFit(r eval.WFitResult, ds []eval.Dataset) error {
+	var rows [][]string
+	for _, d := range ds {
+		rows = append(rows, []string{d.Name, fmt.Sprintf("%.4f", r.W[d.Name])})
+	}
+	fmt.Println("§4.2 — fitted recency exponent w per dataset")
+	fmt.Print(textplot.Table([]string{"dataset", "w"}, rows))
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fast experiments run end to end at a tiny scale; the heavy sweeps
+// (fig2–fig5) are covered by the benchmark harness and integration tests.
+func TestRunFastExperiments(t *testing.T) {
+	for _, exp := range []string{"fig1a", "tab1", "tab2", "wfit", "conv"} {
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, "", 0.05, "rho", ""); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunSingleDataset(t *testing.T) {
+	if err := run("tab2", "hep-th", 0.05, "rho", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("tab2", "", 0.05, "rho", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2.csv")); err != nil {
+		t.Errorf("table2.csv not written: %v", err)
+	}
+	if err := run("fig1a", "", 0.05, "rho", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1a.csv")); err != nil {
+		t.Errorf("fig1a.csv not written: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("figZZ", "", 0.1, "rho", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("tab2", "marsnet", 0.1, "rho", ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunStabilityAndOrigin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweeps are slow")
+	}
+	if err := run("stability", "hep-th", 0.08, "rho", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("origin", "dblp", 0.05, "rho", ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"attrank/internal/dataio"
+	"attrank/internal/synth"
+)
+
+func TestRunGeneratesLoadableFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "net.tsv")
+	if err := run("hep-th", "", out, 0.05, 0, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() == 0 || net.Edges() == 0 {
+		t.Errorf("generated network empty: %d/%d", net.N(), net.Edges())
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "net.anb")
+	if err := run("pmc", "", out, 0.03, 42, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumVenues() == 0 {
+		t.Error("pmc venues lost in binary round trip")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", "", filepath.Join(t.TempDir(), "x.tsv"), 1, 0, "", 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunUnwritablePath(t *testing.T) {
+	if err := run("hep-th", "", filepath.Join(t.TempDir(), "missing-dir", "x.tsv"), 0.03, 0, "", 0); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestPrintProfilesDoesNotPanic(t *testing.T) {
+	printProfiles()
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.tsv")
+	dot := filepath.Join(dir, "net.dot")
+	if err := run("hep-th", "", out, 0.03, 0, dot, 20); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph citations {") {
+		t.Errorf("bad DOT output: %.60s", data)
+	}
+}
+
+func TestRunCustomProfile(t *testing.T) {
+	dir := t.TempDir()
+	p := synth.HepTh()
+	p.Name = "custom"
+	p.Papers = 200
+	p.AuthorPool = 80
+	profPath := filepath.Join(dir, "profile.json")
+	f, err := os.Create(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.WriteProfile(f, p); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "custom.tsv")
+	if err := run("", profPath, out, 1, 0, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 200 {
+		t.Errorf("custom profile generated %d papers, want 200", net.N())
+	}
+}

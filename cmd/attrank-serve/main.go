@@ -1,0 +1,79 @@
+// Command attrank-serve exposes a ranked citation corpus over HTTP (see
+// internal/service for the endpoint list).
+//
+// Usage:
+//
+//	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0]
+//
+// Example session:
+//
+//	attrank-serve -in dblp.tsv &
+//	curl localhost:8080/v1/top?n=5
+//	curl localhost:8080/v1/paper/p42
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"attrank/internal/core"
+	"attrank/internal/dataio"
+	"attrank/internal/service"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input network file (.tsv, .json or .anb)")
+		addr  = flag.String("addr", ":8080", "listen address")
+		alpha = flag.Float64("alpha", 0.2, "AttRank α")
+		beta  = flag.Float64("beta", 0.5, "AttRank β")
+		gamma = flag.Float64("gamma", 0.3, "AttRank γ")
+		y     = flag.Int("y", 3, "attention window in years")
+		w     = flag.Float64("w", 0, "recency exponent (0 = fit from data)")
+		now   = flag.Int("now", 0, "current time tN (default: newest year)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "attrank-serve: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := build(*in, *alpha, *beta, *gamma, *y, *w, *now)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attrank-serve:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("attrank-serve: listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Println("attrank-serve: shut down cleanly")
+}
+
+func build(in string, alpha, beta, gamma float64, y int, w float64, now int) (*service.Server, error) {
+	net, err := dataio.LoadFile(in)
+	if err != nil {
+		return nil, err
+	}
+	if now == 0 {
+		now = net.MaxYear()
+	}
+	if w == 0 {
+		fitted, err := core.FitWFromNetwork(net, 10)
+		if err != nil {
+			return nil, fmt.Errorf("fitting w: %w", err)
+		}
+		w = fitted
+		log.Printf("attrank-serve: fitted w = %.4f", w)
+	}
+	return service.New(net, now, core.Params{
+		Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w,
+	})
+}

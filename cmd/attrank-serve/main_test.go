@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"attrank/internal/dataio"
+	"attrank/internal/synth"
+)
+
+func TestBuildAndServe(t *testing.T) {
+	p := synth.HepTh()
+	p.Papers = 300
+	p.AuthorPool = 100
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteTSV(f, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := build(path, 0.2, 0.5, 0.3, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/top?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestBuildMissingFile(t *testing.T) {
+	if _, err := build(filepath.Join(t.TempDir(), "nope.tsv"), 0.2, 0.5, 0.3, 3, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildInvalidParams(t *testing.T) {
+	p := synth.HepTh()
+	p.Papers = 100
+	p.AuthorPool = 50
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteTSV(f, net); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := build(path, 0.9, 0.9, 0.9, 3, -0.2, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command attrank-stats analyses a citation network file: summary
+// statistics, connectivity, in-degree concentration, the citation-age
+// distribution of Figure 1a, and the fitted recency exponent w.
+//
+// Usage:
+//
+//	attrank-stats -in network.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"attrank/internal/core"
+	"attrank/internal/dataio"
+	"attrank/internal/graph"
+	"attrank/internal/textplot"
+)
+
+func main() {
+	in := flag.String("in", "", "input network file (.tsv, .json or .anb)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "attrank-stats: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in); err != nil {
+		fmt.Fprintln(os.Stderr, "attrank-stats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string) error {
+	net, err := dataio.LoadFile(in)
+	if err != nil {
+		return err
+	}
+	printSummary(net)
+	printDegreeHistogram(net)
+	printCitationAge(net)
+	return nil
+}
+
+func printSummary(net *graph.Network) {
+	s := net.ComputeStats()
+	_, components := net.WeaklyConnectedComponents()
+	rows := [][]string{
+		{"papers", fmt.Sprintf("%d", s.Papers)},
+		{"citations", fmt.Sprintf("%d", s.Edges)},
+		{"authors", fmt.Sprintf("%d", s.Authors)},
+		{"venues", fmt.Sprintf("%d", s.Venues)},
+		{"years", fmt.Sprintf("%d–%d", s.MinYear, s.MaxYear)},
+		{"mean references", fmt.Sprintf("%.2f", s.MeanOutDeg)},
+		{"max citations", fmt.Sprintf("%d", s.MaxInDeg)},
+		{"dangling papers", fmt.Sprintf("%d", s.Dangling)},
+		{"uncited papers", fmt.Sprintf("%d", s.Uncited)},
+		{"components", fmt.Sprintf("%d", components)},
+		{"largest component", fmt.Sprintf("%d", net.LargestComponentSize())},
+		{"in-degree Gini", fmt.Sprintf("%.3f", net.GiniInDegree())},
+		{"longest chain", fmt.Sprintf("%d", net.LongestPathLength())},
+	}
+	fmt.Print(textplot.Table([]string{"property", "value"}, rows))
+}
+
+func printDegreeHistogram(net *graph.Network) {
+	hist := net.InDegreeHistogram()
+	// Bucket in powers of two: 0, 1, 2–3, 4–7, …
+	type bucket struct {
+		label string
+		lo    int
+	}
+	buckets := []bucket{{"0", 0}, {"1", 1}}
+	for lo := 2; lo <= 1<<20; lo *= 2 {
+		buckets = append(buckets, bucket{fmt.Sprintf("%d–%d", lo, lo*2-1), lo})
+	}
+	counts := make([]int, len(buckets))
+	degs := make([]int, 0, len(hist))
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	for _, d := range degs {
+		idx := 0
+		for i := len(buckets) - 1; i >= 0; i-- {
+			if d >= buckets[i].lo {
+				idx = i
+				break
+			}
+		}
+		counts[idx] += hist[d]
+	}
+	// Trim empty tail buckets.
+	last := len(counts) - 1
+	for last > 0 && counts[last] == 0 {
+		last--
+	}
+	labels := make([]string, 0, last+1)
+	for i := 0; i <= last; i++ {
+		labels = append(labels, buckets[i].label)
+	}
+	fmt.Println()
+	fmt.Print(textplot.Histogram("papers by citation count", labels, counts[:last+1], 40))
+}
+
+func printCitationAge(net *graph.Network) {
+	dist := net.CitationAgeDistribution(10)
+	labels := make([]string, len(dist))
+	counts := make([]int, len(dist))
+	for i, v := range dist {
+		labels[i] = fmt.Sprintf("%dy", i)
+		counts[i] = int(v * 1000) // per mille for the bar widths
+	}
+	fmt.Println()
+	fmt.Print(textplot.Histogram("citation age distribution (‰ of citations per year since publication)", labels, counts, 40))
+	if w, err := core.FitWFromNetwork(net, 10); err == nil {
+		fmt.Printf("\nfitted recency exponent w = %.4f (Eq. 3 calibration)\n", w)
+	}
+}

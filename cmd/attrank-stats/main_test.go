@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"attrank/internal/dataio"
+	"attrank/internal/synth"
+)
+
+func TestRunStats(t *testing.T) {
+	p := synth.HepTh()
+	p.Papers = 300
+	p.AuthorPool = 100
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteTSV(f, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatsMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

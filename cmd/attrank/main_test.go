@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"attrank/internal/dataio"
+	"attrank/internal/synth"
+)
+
+func writeTestNet(t *testing.T) string {
+	t.Helper()
+	p := synth.DBLP()
+	p.Papers = 400
+	p.AuthorPool = 150
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteTSV(f, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllMethods(t *testing.T) {
+	path := writeTestNet(t)
+	for _, method := range []string{"AR", "NO-ATT", "ATT-ONLY", "PR", "CC", "CR", "FR", "RAM", "ECM", "WSDM", "HITS", "KATZ", "TPR"} {
+		t.Run(method, func(t *testing.T) {
+			alpha, beta, gamma := 0.2, 0.5, 0.3
+			switch method {
+			case "PR", "TPR", "KATZ":
+				alpha = 0.5
+			case "CR":
+				alpha = 0.5
+			case "FR":
+				alpha, beta, gamma = 0.4, 0.1, 0.5
+			case "WSDM":
+				alpha, beta = 1.7, 3
+			case "RAM", "ECM":
+				alpha, gamma = 0.3, 0.3
+			}
+			if err := run(path, method, 5, 0, alpha, beta, gamma, 3, 0, 2.6, -0.62, 4, false, ""); err != nil {
+				t.Fatalf("%s: %v", method, err)
+			}
+		})
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeTestNet(t)
+	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Explain on a non-AR method must fail cleanly.
+	if err := run(path, "CC", 3, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, true, ""); err == nil {
+		t.Error("-explain with CC accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestNet(t)
+	if err := run(path, "BOGUS", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, false, ""); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "absent.tsv"), "AR", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, false, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Invalid AttRank parameters surface as errors.
+	if err := run(path, "AR", 5, 0, 0.9, 0.9, 0.9, 3, -0.2, 2.6, -0.62, 4, false, ""); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := writeTestNet(t)
+	out := filepath.Join(t.TempDir(), "ranking.csv")
+	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != net.N()+1 { // header + one row per paper
+		t.Errorf("csv rows = %d, want %d", len(lines), net.N()+1)
+	}
+	if !strings.HasPrefix(lines[0], "rank,paper,year,score") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+}

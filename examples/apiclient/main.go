@@ -1,0 +1,80 @@
+// Apiclient: run the AttRank HTTP service in-process over a synthetic
+// corpus and consume it the way an application would — fetch the top
+// papers, inspect one paper's score decomposition, pull its related
+// papers, and list the hottest authors.
+//
+// Run with: go run ./examples/apiclient
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"attrank"
+)
+
+func main() {
+	d, err := attrank.GenerateDataset("dblp", 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := attrank.NewServer(d.Net, d.Net.MaxYear(), attrank.RecommendedParams(d.W))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("service up at %s over %d papers\n\n", ts.URL, d.Net.N())
+
+	var top []struct {
+		ID           string  `json:"id"`
+		Year         int     `json:"year"`
+		Rank         int     `json:"rank"`
+		Citations    int     `json:"citations"`
+		AttentionPct float64 `json:"attention_pct"`
+	}
+	getJSON(ts.URL+"/v1/top?n=5", &top)
+	fmt.Println("top papers by expected short-term impact:")
+	for _, p := range top {
+		fmt.Printf("  #%d %-8s (%d)  %d citations, %.0f%% of score from recent attention\n",
+			p.Rank, p.ID, p.Year, p.Citations, p.AttentionPct)
+	}
+
+	var related []struct {
+		ID      string `json:"id"`
+		CoCited int    `json:"co_cited"`
+		Coupled int    `json:"coupled"`
+	}
+	getJSON(ts.URL+"/v1/related/"+top[0].ID+"?n=3", &related)
+	fmt.Printf("\nreaders of %s may also want:\n", top[0].ID)
+	for _, r := range related {
+		fmt.Printf("  %-8s (co-cited %d×, %d shared references)\n", r.ID, r.CoCited, r.Coupled)
+	}
+
+	var authors []struct {
+		Name   string `json:"name"`
+		Papers int    `json:"papers"`
+	}
+	getJSON(ts.URL+"/v1/authors?n=3", &authors)
+	fmt.Println("\nhottest authors right now:")
+	for i, a := range authors {
+		fmt.Printf("  %d. %s (%d papers)\n", i+1, a.Name, a.Papers)
+	}
+}
+
+func getJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a small citation network with the public API, rank it
+// with AttRank, and compare against plain citation count.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"attrank"
+)
+
+func main() {
+	// A toy bioinformatics literature in 1998, modeled on the paper's
+	// motivating example: "blast90" is the old classic with the most
+	// citations overall; "blast97" is the newer method that everyone has
+	// started citing.
+	b := attrank.NewBuilder()
+	papers := []struct {
+		id      string
+		year    int
+		authors []string
+	}{
+		{"blast90", 1990, []string{"altschul"}},
+		{"fasta88", 1988, []string{"pearson"}},
+		{"hmm94", 1994, []string{"krogh"}},
+		{"blast97", 1997, []string{"altschul"}},
+		{"tool98a", 1998, []string{"smith"}},
+		{"tool98b", 1998, []string{"jones"}},
+		{"tool98c", 1998, []string{"lee"}},
+		{"survey95", 1995, []string{"doe"}},
+	}
+	for _, p := range papers {
+		if _, err := b.AddPaper(p.id, p.year, p.authors, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		// The old guard: blast90 accumulated citations through the 90s.
+		{"hmm94", "blast90"}, {"hmm94", "fasta88"},
+		{"survey95", "blast90"}, {"survey95", "fasta88"},
+		{"blast97", "blast90"},
+		// The new wave: 1998 tools all cite blast97.
+		{"tool98a", "blast97"}, {"tool98b", "blast97"}, {"tool98c", "blast97"},
+		{"tool98a", "blast90"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rank as of 1998 with a hand-picked recency decay (real datasets:
+	// calibrate with attrank.FitW).
+	res, err := attrank.Rank(net, 1998, attrank.RecommendedParams(-0.3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AttRank converged in %d iterations\n\n", res.Iterations)
+
+	cc, err := attrank.CitationCount{}.Scores(net, 1998)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("rank  AttRank            citation count")
+	arOrder := attrank.TopK(res.Scores, 4)
+	ccOrder := attrank.TopK(cc, 4)
+	for i := range arOrder {
+		ar := net.Paper(int32(arOrder[i]))
+		cp := net.Paper(int32(ccOrder[i]))
+		fmt.Printf("%4d  %-12s(%d)   %-12s(%d)\n", i+1, ar.ID, ar.Year, cp.ID, cp.Year)
+	}
+	fmt.Println("\nCitation count still prefers blast90; AttRank sees the recent")
+	fmt.Println("attention on blast97 and predicts it will dominate new citations.")
+}

@@ -1,0 +1,68 @@
+// Sweep: tune AttRank's α and β on a temporal split of the synthetic
+// hep-th dataset and print the resulting effectiveness grid — a
+// miniature of the paper's Figure 2 using only the public API.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"attrank"
+)
+
+func main() {
+	d, err := attrank.GenerateDataset("hep-th", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := attrank.NewSplit(d.Net, 1.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := split.GroundTruth()
+	fmt.Printf("tuning on %s: %d current papers, horizon %d years, w=%.3f\n\n",
+		d.Name, split.Current.N(), split.Tau(), d.W)
+
+	const y = 1 // hep-th is a fast field: short attention window
+	fmt.Println("Spearman ρ to the future STI ranking (rows: β, cols: α):")
+	fmt.Print("      ")
+	for ai := 0; ai <= 5; ai++ {
+		fmt.Printf(" α=%.1f ", float64(ai)/10)
+	}
+	fmt.Println()
+
+	bestRho := -2.0
+	var bestA, bestB float64
+	for bi := 10; bi >= 0; bi-- {
+		beta := float64(bi) / 10
+		fmt.Printf("β=%.1f ", beta)
+		for ai := 0; ai <= 5; ai++ {
+			alpha := float64(ai) / 10
+			gamma := 1 - alpha - beta
+			if gamma < 0 || gamma > 0.9 {
+				fmt.Print("   ·  ")
+				continue
+			}
+			p := attrank.Params{Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: d.W}
+			res, err := attrank.Rank(split.Current, split.TN, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rho, err := attrank.Spearman(res.Scores, truth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %.3f", rho)
+			if rho > bestRho {
+				bestRho, bestA, bestB = rho, alpha, beta
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nbest: ρ=%.4f at α=%.1f β=%.1f γ=%.1f (y=%d)\n",
+		bestRho, bestA, bestB, 1-bestA-bestB, y)
+	fmt.Println("note the β=0 column (NO-ATT): dropping the attention mechanism")
+	fmt.Println("costs correlation across the board, as in the paper's Figure 2.")
+}

@@ -1,0 +1,66 @@
+// Tracking: maintain an AttRank ranking over a growing corpus, the way a
+// scholarly search engine would re-rank after each yearly ingestion.
+// Each year's re-rank warm-starts from the previous scores, converging in
+// far fewer iterations than a cold start while reaching the same fixed
+// point.
+//
+// Run with: go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"attrank"
+)
+
+func main() {
+	d, err := attrank.GenerateDataset("hep-th", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := d.Net
+
+	// A high α makes the reference-following flow dominant and the power
+	// iteration slower to converge — exactly where warm starts pay off.
+	params := attrank.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 2, W: d.W}
+	tracker, err := attrank.NewTracker(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("year   papers  cold-iters  warm-iters  top paper")
+	for year := full.MaxYear() - 6; year <= full.MaxYear(); year++ {
+		state, _ := full.Until(year)
+		if state.N() < 10 {
+			continue
+		}
+		warm, err := tracker.Update(state, year)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cold, err := attrank.Rank(state, year, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := attrank.TopK(warm.Scores, 1)[0]
+		fmt.Printf("%d  %7d  %10d  %10d  %s\n",
+			year, state.N(), cold.Iterations, warm.Iterations, state.Paper(int32(top)).ID)
+	}
+
+	// The payoff is largest for a refresh over a mostly unchanged corpus,
+	// e.g. re-ranking after a small mid-year ingestion batch.
+	state, _ := full.Until(full.MaxYear())
+	refresh, err := tracker.Update(state, full.MaxYear())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := attrank.Rank(state, full.MaxYear(), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame-corpus refresh: %d iterations warm vs %d cold —\n",
+		refresh.Iterations, cold.Iterations)
+	fmt.Println("identical scores (the Eq. 4 fixed point is start-independent),")
+	fmt.Println("so a production ranker can refresh cheaply after small ingests.")
+}

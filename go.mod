@@ -1,0 +1,3 @@
+module attrank
+
+go 1.22

@@ -1,0 +1,244 @@
+package attrank_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"attrank"
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+	"attrank/internal/eval"
+)
+
+// TestEndToEndPipeline exercises the full flow a downstream user would
+// run: generate a dataset, persist it, reload it, split it temporally,
+// rank the current state with AttRank and every baseline, and score the
+// rankings against the realized future.
+func TestEndToEndPipeline(t *testing.T) {
+	d, err := attrank.GenerateDataset("dblp", 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "dblp.tsv")
+	if err := attrank.SaveNetwork(path, d.Net); err != nil {
+		t.Fatal(err)
+	}
+	net, err := attrank.LoadNetwork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != d.Net.N() || net.Edges() != d.Net.Edges() {
+		t.Fatalf("round trip changed the network: %d/%d vs %d/%d",
+			net.N(), net.Edges(), d.Net.N(), d.Net.Edges())
+	}
+
+	split, err := attrank.NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := split.GroundTruth()
+
+	rhoOf := func(scores []float64) float64 {
+		t.Helper()
+		rho, err := attrank.Spearman(scores, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rho
+	}
+
+	ar, err := attrank.Rank(split.Current, split.TN, attrank.RecommendedParams(d.W))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arRho := rhoOf(ar.Scores)
+
+	noAtt, err := attrank.Rank(split.Current, split.TN, attrank.RecommendedParams(d.W).NoAtt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noAttRho := rhoOf(noAtt.Scores)
+
+	cc, err := attrank.CitationCount{}.Scores(split.Current, split.TN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccRho := rhoOf(cc)
+
+	// The paper's headline shape: the attention mechanism earns its keep.
+	if arRho <= noAttRho {
+		t.Errorf("AttRank (%.4f) should beat NO-ATT (%.4f)", arRho, noAttRho)
+	}
+	if arRho <= ccRho {
+		t.Errorf("AttRank (%.4f) should beat citation count (%.4f)", arRho, ccRho)
+	}
+
+	// Every baseline runs on the same split and yields a sane correlation.
+	for _, m := range []attrank.Method{
+		attrank.PageRank{Alpha: 0.5},
+		attrank.CiteRank{Alpha: 0.5, TauDir: 2.6},
+		attrank.FutureRank{Alpha: 0.4, Beta: 0.1, Gamma: 0.5, Rho: -0.62},
+		attrank.RAM{Gamma: 0.6},
+		attrank.ECM{Alpha: 0.1, Gamma: 0.3},
+		attrank.WSDM{Alpha: 1.7, Beta: 3, Iters: 4},
+	} {
+		scores, err := m.Scores(split.Current, split.TN)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		rho := rhoOf(scores)
+		if math.IsNaN(rho) || rho < -1 || rho > 1 {
+			t.Errorf("%s: ρ = %v out of range", m.Name(), rho)
+		}
+	}
+}
+
+// TestSeriesExperimentsSmoke runs the Figure 3/4/5 drivers end to end on
+// a tiny dataset and checks the result structure and the AttRank-wins
+// shape at the default ratio.
+func TestSeriesExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("series sweeps are slow")
+	}
+	d, err := eval.LoadDataset("hep-th", 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := eval.Fig3(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.X) != 5 {
+		t.Fatalf("fig3 has %d ratios", len(fig3.X))
+	}
+	ar := fig3.Series["AR"]
+	if len(ar) != 5 {
+		t.Fatalf("AR series has %d points", len(ar))
+	}
+	for fam, s := range fig3.Series {
+		if len(s) != 5 {
+			t.Errorf("family %s has %d points", fam, len(s))
+		}
+	}
+	// AttRank's best must dominate its own ablations at every ratio.
+	for i := range ar {
+		if ar[i] < fig3.Series["NO-ATT"][i] || ar[i] < fig3.Series["ATT-ONLY"][i] {
+			t.Errorf("AR (%.4f) below an ablation at ratio %v", ar[i], fig3.X[i])
+		}
+	}
+
+	fig5, err := eval.Fig5(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5.X) != 5 || fig5.X[0] != 5 || fig5.X[4] != 500 {
+		t.Fatalf("fig5 x-axis = %v", fig5.X)
+	}
+}
+
+// TestNonConvergenceIsSkippedNotFatal verifies the sweep tolerates
+// configurations that fail, mirroring the paper's exclusion of
+// non-converging parameter ranges.
+func TestNonConvergenceIsSkippedNotFatal(t *testing.T) {
+	d, err := eval.LoadDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eval.NewSplit(d.Net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	cands := []eval.Candidate{
+		// MaxIter 1 cannot converge at this tolerance.
+		{Method: baselines.FutureRank{Alpha: 0.5, Beta: 0, Gamma: 0.4, Rho: -0.62, MaxIter: 1}, Label: "doomed"},
+		{Method: baselines.RAM{Gamma: 0.5}, Label: "fine"},
+	}
+	results, best := eval.SweepCandidates(s, truth, cands, eval.Rho())
+	if results[0].Err == nil {
+		t.Error("doomed candidate should fail")
+	}
+	if !errors.Is(results[0].Err, baselines.ErrNotConverged) {
+		t.Errorf("doomed error = %v, want ErrNotConverged", results[0].Err)
+	}
+	if best != 1 {
+		t.Errorf("best = %d, want the surviving candidate", best)
+	}
+}
+
+// TestConvergenceMatchesPaperEnvelope pins the §4.4 claim on a mid-size
+// network: AttRank at α=0.5 converges within the paper's 30-iteration
+// envelope.
+func TestConvergenceMatchesPaperEnvelope(t *testing.T) {
+	d, err := eval.LoadDataset("pmc", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Rank(d.Net, d.Net.MaxYear(), core.Params{
+		Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: d.W,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 40 {
+		t.Errorf("converged=%v in %d iterations; paper reports < 30 at α=0.5",
+			res.Converged, res.Iterations)
+	}
+}
+
+// TestDeterministicEndToEnd pins the full pipeline's determinism: two
+// independent generations of the same profile, ranked with the same
+// parameters, must produce the identical ordering.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() []int {
+		d, err := eval.LoadDataset("hep-th", 0.07)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := attrank.Rank(d.Net, d.Net.MaxYear(), attrank.RecommendedParams(d.W))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return attrank.TopK(res.Scores, d.Net.N())
+	}
+	first := run()
+	// Bypass the dataset cache with a direct regeneration.
+	p, err := synthProfile("hep-th", 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := attrank.GenerateNetwork(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := attrank.FitW(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := attrank.Rank(net, net.MaxYear(), attrank.RecommendedParams(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := attrank.TopK(res.Scores, net.N())
+	if len(first) != len(second) {
+		t.Fatalf("sizes differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("ordering differs at position %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func synthProfile(name string, scale float64) (attrank.Profile, error) {
+	for _, p := range attrank.DatasetProfiles() {
+		if p.Name == name {
+			return p.Scale(scale), nil
+		}
+	}
+	return attrank.Profile{}, fmt.Errorf("unknown profile %s", name)
+}

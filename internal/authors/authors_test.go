@@ -1,0 +1,127 @@
+package authors
+
+import (
+	"math"
+	"testing"
+
+	"attrank/internal/graph"
+)
+
+func buildNet(t *testing.T) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	add := func(id string, year int, authors []string, venue string) {
+		t.Helper()
+		if _, err := b.AddPaper(id, year, authors, venue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("p0", 2000, []string{"alice"}, "V1")
+	add("p1", 2001, []string{"alice", "bob"}, "V1")
+	add("p2", 2002, []string{"bob"}, "V2")
+	add("p3", 2003, nil, "")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAuthorScoresSum(t *testing.T) {
+	n := buildNet(t)
+	scores, err := AuthorScores(n, []float64{0.4, 0.3, 0.2, 0.1}, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, bob := int32(0), int32(1)
+	if n.AuthorName(alice) != "alice" || n.AuthorName(bob) != "bob" {
+		t.Fatal("author table order changed")
+	}
+	if math.Abs(scores[alice]-0.7) > 1e-12 {
+		t.Errorf("alice sum = %v, want 0.7", scores[alice])
+	}
+	if math.Abs(scores[bob]-0.5) > 1e-12 {
+		t.Errorf("bob sum = %v, want 0.5", scores[bob])
+	}
+}
+
+func TestAuthorScoresMean(t *testing.T) {
+	n := buildNet(t)
+	scores, err := AuthorScores(n, []float64{0.4, 0.3, 0.2, 0.1}, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-0.35) > 1e-12 { // alice: (0.4+0.3)/2
+		t.Errorf("alice mean = %v, want 0.35", scores[0])
+	}
+	if math.Abs(scores[1]-0.25) > 1e-12 { // bob: (0.3+0.2)/2
+		t.Errorf("bob mean = %v, want 0.25", scores[1])
+	}
+}
+
+func TestAuthorScoresFractional(t *testing.T) {
+	n := buildNet(t)
+	scores, err := AuthorScores(n, []float64{0.4, 0.3, 0.2, 0.1}, Fractional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-(0.4+0.15)) > 1e-12 { // alice: 0.4 + 0.3/2
+		t.Errorf("alice fractional = %v, want 0.55", scores[0])
+	}
+	// Fractional conserves the attributed mass (papers without authors
+	// aside): alice + bob = 0.4 + 0.3 + 0.2.
+	if math.Abs(scores[0]+scores[1]-0.9) > 1e-12 {
+		t.Errorf("fractional mass = %v, want 0.9", scores[0]+scores[1])
+	}
+}
+
+func TestVenueScores(t *testing.T) {
+	n := buildNet(t)
+	sum, err := VenueScores(n, []float64{0.4, 0.3, 0.2, 0.1}, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum[0]-0.7) > 1e-12 { // V1: p0 + p1
+		t.Errorf("V1 sum = %v, want 0.7", sum[0])
+	}
+	mean, err := VenueScores(n, []float64{0.4, 0.3, 0.2, 0.1}, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-0.35) > 1e-12 {
+		t.Errorf("V1 mean = %v, want 0.35", mean[0])
+	}
+	if math.Abs(mean[1]-0.2) > 1e-12 {
+		t.Errorf("V2 mean = %v, want 0.2", mean[1])
+	}
+}
+
+func TestScoresValidation(t *testing.T) {
+	n := buildNet(t)
+	if _, err := AuthorScores(n, []float64{1}, Sum); err == nil {
+		t.Error("wrong-length paper scores accepted")
+	}
+	if _, err := VenueScores(n, []float64{1}, Sum); err == nil {
+		t.Error("wrong-length paper scores accepted")
+	}
+}
+
+func TestTop(t *testing.T) {
+	top := Top([]float64{0.1, 0.9, 0.5}, 2)
+	if len(top) != 2 || top[0].Index != 1 || top[1].Index != 2 {
+		t.Errorf("Top = %v", top)
+	}
+	all := Top([]float64{0.5, 0.5}, 10)
+	if len(all) != 2 || all[0].Index != 0 {
+		t.Errorf("tie-break/clamp wrong: %v", all)
+	}
+}
+
+func TestAggregationString(t *testing.T) {
+	if Sum.String() != "sum" || Mean.String() != "mean" || Fractional.String() != "fractional" {
+		t.Error("Stringer labels wrong")
+	}
+	if Aggregation(9).String() == "" {
+		t.Error("unknown aggregation should still render")
+	}
+}

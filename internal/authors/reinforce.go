@@ -1,0 +1,98 @@
+package authors
+
+import (
+	"fmt"
+
+	"attrank/internal/graph"
+	"attrank/internal/sparse"
+)
+
+// Reinforcement configures the HITS-style mutual reinforcement between
+// papers and authors used by several related methods (§5 of the paper:
+// FutureRank and the multiple-network approaches): good papers make
+// their authors strong, and strong authors lend credibility back to
+// their papers.
+type Reinforcement struct {
+	// Lambda blends the seed paper scores with the author feedback in
+	// each round: paper' = λ·seed + (1−λ)·fromAuthors. Must be in (0, 1];
+	// λ=1 disables feedback (papers keep their seed scores).
+	Lambda float64
+	// Tol is the L1 convergence threshold (1e−12 if zero); MaxIter the
+	// iteration cap (500 if zero).
+	Tol     float64
+	MaxIter int
+}
+
+// Result carries the converged paper and author score vectors.
+type Result struct {
+	PaperScores  []float64
+	AuthorScores []float64
+	Iterations   int
+}
+
+// Run iterates mutual reinforcement seeded with the given paper scores
+// (e.g. AttRank output) until the paper vector stabilizes. Both returned
+// vectors are probability vectors.
+func (r Reinforcement) Run(net *graph.Network, seed []float64) (*Result, error) {
+	if r.Lambda <= 0 || r.Lambda > 1 {
+		return nil, fmt.Errorf("authors: lambda %v out of (0,1]", r.Lambda)
+	}
+	if len(seed) != net.N() {
+		return nil, fmt.Errorf("authors: %d seed scores for %d papers", len(seed), net.N())
+	}
+	if net.N() == 0 {
+		return nil, fmt.Errorf("authors: empty network")
+	}
+	if net.NumAuthors() == 0 {
+		return nil, fmt.Errorf("authors: network has no author metadata")
+	}
+	tol := r.Tol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	maxIter := r.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+
+	base := make([]float64, net.N())
+	copy(base, seed)
+	sparse.Normalize(base)
+
+	var paPaper, paAuthor []int32
+	net.PaperAuthorEdges(func(p, a int32) {
+		paPaper = append(paPaper, p)
+		paAuthor = append(paAuthor, a)
+	})
+
+	paper := make([]float64, net.N())
+	copy(paper, base)
+	author := make([]float64, net.NumAuthors())
+	fromAuthors := make([]float64, net.N())
+	next := make([]float64, net.N())
+
+	for iter := 1; iter <= maxIter; iter++ {
+		sparse.Fill(author, 0)
+		for k := range paPaper {
+			author[paAuthor[k]] += paper[paPaper[k]]
+		}
+		sparse.Normalize(author)
+
+		sparse.Fill(fromAuthors, 0)
+		for k := range paPaper {
+			fromAuthors[paPaper[k]] += author[paAuthor[k]]
+		}
+		sparse.Normalize(fromAuthors)
+
+		for i := range next {
+			next[i] = r.Lambda*base[i] + (1-r.Lambda)*fromAuthors[i]
+		}
+		sparse.Normalize(next)
+		resid := sparse.L1Diff(next, paper)
+		paper, next = next, paper
+		if resid < tol {
+			return &Result{PaperScores: paper, AuthorScores: author, Iterations: iter}, nil
+		}
+	}
+	return nil, fmt.Errorf("authors: mutual reinforcement did not converge in %d iterations", maxIter)
+}

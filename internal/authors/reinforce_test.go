@@ -1,0 +1,84 @@
+package authors
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReinforcementConverges(t *testing.T) {
+	n := buildNet(t)
+	seed := []float64{0.4, 0.3, 0.2, 0.1}
+	res, err := Reinforcement{Lambda: 0.7}.Run(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations <= 0 {
+		t.Error("no iterations recorded")
+	}
+	sum := 0.0
+	for _, v := range res.PaperScores {
+		if v < 0 {
+			t.Fatalf("negative paper score %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("paper scores sum to %v", sum)
+	}
+	asum := 0.0
+	for _, v := range res.AuthorScores {
+		asum += v
+	}
+	if math.Abs(asum-1) > 1e-9 {
+		t.Errorf("author scores sum to %v", asum)
+	}
+}
+
+func TestReinforcementLambdaOneKeepsSeed(t *testing.T) {
+	n := buildNet(t)
+	seed := []float64{0.4, 0.3, 0.2, 0.1}
+	res, err := Reinforcement{Lambda: 1}.Run(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.PaperScores {
+		if math.Abs(v-seed[i]) > 1e-9 {
+			t.Fatalf("λ=1 changed paper %d: %v vs %v", i, v, seed[i])
+		}
+	}
+}
+
+func TestReinforcementBoostsCoauthoredPapers(t *testing.T) {
+	n := buildNet(t)
+	// Seed: all mass on p0 (alice's paper). Feedback should lift p1
+	// (also alice's) above p2 (bob only via p1) and far above p3 (no
+	// authors — it can only lose mass).
+	seed := []float64{1, 0, 0, 0}
+	res, err := Reinforcement{Lambda: 0.5}.Run(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PaperScores[1] <= res.PaperScores[2] {
+		t.Errorf("alice's p1 (%v) should outscore p2 (%v)", res.PaperScores[1], res.PaperScores[2])
+	}
+	if res.PaperScores[3] != 0 {
+		t.Errorf("authorless p3 should keep zero mass, got %v", res.PaperScores[3])
+	}
+	// Alice must be the top author.
+	if res.AuthorScores[0] <= res.AuthorScores[1] {
+		t.Errorf("alice (%v) should outrank bob (%v)", res.AuthorScores[0], res.AuthorScores[1])
+	}
+}
+
+func TestReinforcementValidation(t *testing.T) {
+	n := buildNet(t)
+	seed := []float64{0.4, 0.3, 0.2, 0.1}
+	for _, l := range []float64{0, -1, 1.5} {
+		if _, err := (Reinforcement{Lambda: l}).Run(n, seed); err == nil {
+			t.Errorf("lambda=%v accepted", l)
+		}
+	}
+	if _, err := (Reinforcement{Lambda: 0.5}).Run(n, []float64{1}); err == nil {
+		t.Error("wrong seed length accepted")
+	}
+}

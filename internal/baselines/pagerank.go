@@ -1,0 +1,112 @@
+// Package baselines implements the ranking methods AttRank is compared
+// against in §4.3 of the paper: citation count, PageRank, CiteRank,
+// FutureRank, RAM, ECM and the WSDM Cup 2016 winner. Each method exposes
+// a parameter struct with Validate and implements rank.Method; all score
+// vectors are normalized to probability vectors.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"attrank/internal/graph"
+	"attrank/internal/sparse"
+)
+
+// Shared iteration controls. The paper runs all iterative competitors to
+// a convergence error below 1e−12.
+const (
+	DefaultTol     = 1e-12
+	DefaultMaxIter = 500
+)
+
+// ErrEmptyNetwork is returned by all methods when the network is empty.
+var ErrEmptyNetwork = errors.New("baselines: empty network")
+
+// ErrNotConverged is wrapped in errors returned when an iterative method
+// exhausts its iteration budget. Callers tuning unstable methods (the
+// paper notes FutureRank "did not, in practice, converge under all
+// settings") can detect it with errors.Is and skip the configuration.
+var ErrNotConverged = errors.New("baselines: iteration did not converge")
+
+// PageRank is the classic random-walk-with-jumps baseline (Eq. 1 of the
+// paper) with damping Alpha and uniform jumps.
+type PageRank struct {
+	Alpha   float64 // damping, in [0, 1)
+	Tol     float64 // L1 threshold; DefaultTol if 0
+	MaxIter int     // DefaultMaxIter if 0
+}
+
+// Name implements rank.Method.
+func (PageRank) Name() string { return "PR" }
+
+// Validate checks the damping factor.
+func (p PageRank) Validate() error {
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return fmt.Errorf("baselines: pagerank alpha %v out of [0,1)", p.Alpha)
+	}
+	return nil
+}
+
+// Scores implements rank.Method. The time argument is unused: PageRank is
+// time-oblivious, which is exactly the age bias the paper addresses.
+func (p PageRank) Scores(net *graph.Network, _ int) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if n == 0 {
+		return nil, ErrEmptyNetwork
+	}
+	s, err := net.StochasticMatrix()
+	if err != nil {
+		return nil, err
+	}
+	x := sparse.Uniform(n)
+	next := make([]float64, n)
+	jump := (1 - p.Alpha) / float64(n)
+	tol, maxIter := defaults(p.Tol, p.MaxIter)
+	for iter := 0; iter < maxIter; iter++ {
+		s.MulVec(next, x)
+		for i := range next {
+			next[i] = p.Alpha*next[i] + jump
+		}
+		resid := sparse.L1Diff(next, x)
+		x, next = next, x
+		if resid < tol {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("baselines: pagerank (alpha=%v): %w", p.Alpha, ErrNotConverged)
+}
+
+// CitationCount ranks papers by in-degree, the most basic centrality
+// baseline of §2.
+type CitationCount struct{}
+
+// Name implements rank.Method.
+func (CitationCount) Name() string { return "CC" }
+
+// Scores implements rank.Method.
+func (CitationCount) Scores(net *graph.Network, _ int) ([]float64, error) {
+	n := net.N()
+	if n == 0 {
+		return nil, ErrEmptyNetwork
+	}
+	x := make([]float64, n)
+	for i := int32(0); int(i) < n; i++ {
+		x[i] = float64(net.InDegree(i))
+	}
+	sparse.Normalize(x)
+	return x, nil
+}
+
+func defaults(tol float64, maxIter int) (float64, int) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	return tol, maxIter
+}

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"fmt"
+
+	"attrank/internal/rank"
+)
+
+// The baselines self-register with the rank registry so callers can
+// construct them by name. Parameter names follow the struct fields in
+// lower case; absent parameters take the defaults shown.
+func init() {
+	rank.Register("PR", func(p map[string]float64) (rank.Method, error) {
+		m := PageRank{Alpha: get(p, "alpha", 0.5)}
+		return m, m.Validate()
+	})
+	rank.Register("CC", func(p map[string]float64) (rank.Method, error) {
+		if len(p) != 0 {
+			return nil, fmt.Errorf("baselines: citation count takes no parameters")
+		}
+		return CitationCount{}, nil
+	})
+	rank.Register("CR", func(p map[string]float64) (rank.Method, error) {
+		m := CiteRank{Alpha: get(p, "alpha", 0.5), TauDir: get(p, "tau", 2.6)}
+		return m, m.Validate()
+	})
+	rank.Register("FR", func(p map[string]float64) (rank.Method, error) {
+		m := FutureRank{
+			Alpha: get(p, "alpha", 0.4),
+			Beta:  get(p, "beta", 0.1),
+			Gamma: get(p, "gamma", 0.5),
+			Rho:   get(p, "rho", -0.62),
+		}
+		return m, m.Validate()
+	})
+	rank.Register("RAM", func(p map[string]float64) (rank.Method, error) {
+		m := RAM{Gamma: get(p, "gamma", 0.6)}
+		return m, m.Validate()
+	})
+	rank.Register("ECM", func(p map[string]float64) (rank.Method, error) {
+		m := ECM{Alpha: get(p, "alpha", 0.3), Gamma: get(p, "gamma", 0.3)}
+		return m, m.Validate()
+	})
+	rank.Register("WSDM", func(p map[string]float64) (rank.Method, error) {
+		m := WSDM{
+			Alpha: get(p, "alpha", 1.7),
+			Beta:  get(p, "beta", 3),
+			Iters: int(get(p, "iters", 4)),
+		}
+		return m, m.Validate()
+	})
+	rank.Register("HITS", func(p map[string]float64) (rank.Method, error) {
+		return HITS{}, nil
+	})
+	rank.Register("KATZ", func(p map[string]float64) (rank.Method, error) {
+		m := Katz{Alpha: get(p, "alpha", 0.3)}
+		return m, m.Validate()
+	})
+	rank.Register("TPR", func(p map[string]float64) (rank.Method, error) {
+		m := TimeAwarePageRank{Alpha: get(p, "alpha", 0.5), Tau: get(p, "tau", 2.6)}
+		return m, m.Validate()
+	})
+}
+
+func get(p map[string]float64, key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}

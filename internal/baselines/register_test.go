@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"testing"
+
+	"attrank/internal/rank"
+)
+
+func TestRegistryConstructsAllMethods(t *testing.T) {
+	net := metaNet(t)
+	for _, name := range []string{"PR", "CC", "CR", "FR", "RAM", "ECM", "WSDM", "HITS", "KATZ", "TPR"} {
+		m, err := rank.New(name, nil)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+		scores, err := m.Scores(net, net.MaxYear())
+		if err != nil {
+			t.Fatalf("%s.Scores: %v", name, err)
+		}
+		if len(scores) != net.N() {
+			t.Errorf("%s: %d scores", name, len(scores))
+		}
+	}
+}
+
+func TestRegistryParameters(t *testing.T) {
+	m, err := rank.New("RAM", map[string]float64{"gamma": 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(RAM).Gamma != 0.9 {
+		t.Errorf("gamma = %v", m.(RAM).Gamma)
+	}
+	// Invalid parameters are rejected at construction.
+	if _, err := rank.New("RAM", map[string]float64{"gamma": 5}); err == nil {
+		t.Error("invalid gamma accepted")
+	}
+	if _, err := rank.New("CC", map[string]float64{"x": 1}); err == nil {
+		t.Error("CC with parameters accepted")
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := rank.New("NOPE", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+	names := rank.Names()
+	if len(names) < 10 {
+		t.Errorf("only %d methods registered: %v", len(names), names)
+	}
+}

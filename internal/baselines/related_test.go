@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"attrank/internal/graph"
+)
+
+func TestHITSAuthorities(t *testing.T) {
+	net := metaNet(t)
+	scores, err := HITS{}.Scores(net, 1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProbabilityVector(t, "HITS", scores, net.N())
+	// p0 and p2 gather all the citations; both must beat the uncited p3.
+	p0, _ := net.Lookup("p0")
+	p3, _ := net.Lookup("p3")
+	if scores[p0] <= scores[p3] {
+		t.Errorf("authority(p0)=%v should exceed authority(p3)=%v", scores[p0], scores[p3])
+	}
+}
+
+func TestHITSEmptyNetwork(t *testing.T) {
+	empty := emptyNet(t)
+	if _, err := (HITS{}).Scores(empty, 2000); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestKatzEqualsECMGammaOne(t *testing.T) {
+	net := metaNet(t)
+	katz, err := Katz{Alpha: 0.3}.Scores(net, 1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecm, err := ECM{Alpha: 0.3, Gamma: 1}.Scores(net, 1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range katz {
+		if math.Abs(katz[i]-ecm[i]) > 1e-12 {
+			t.Fatalf("Katz != ECM(γ=1) at %d: %v vs %v", i, katz[i], ecm[i])
+		}
+	}
+}
+
+func TestKatzValidation(t *testing.T) {
+	net := metaNet(t)
+	for _, a := range []float64{0, 1, -0.5} {
+		if _, err := (Katz{Alpha: a}).Scores(net, 1998); err == nil {
+			t.Errorf("alpha=%v accepted", a)
+		}
+	}
+}
+
+func TestTimeAwarePageRankDiscountsOldReferences(t *testing.T) {
+	// p2 cites both p0 (old, gap 10) and p1 (recent, gap 1): with a small
+	// tau the recent reference keeps nearly all the edge weight.
+	b := graph.NewBuilder()
+	for i, year := range []int{1990, 1999, 2000} {
+		if _, err := b.AddPaper("p"+strconv.Itoa(i), year, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.AddEdge("p2", "p0")
+	b.AddEdge("p2", "p1")
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := TimeAwarePageRank{Alpha: 0.85, Tau: 1}.Scores(net, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := PageRank{Alpha: 0.85}.Scores(net, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := net.Lookup("p0")
+	p1, _ := net.Lookup("p1")
+	// Plain PageRank splits p2's mass evenly; time-aware shifts it to p1.
+	if scores[p1] <= plain[p1] {
+		t.Errorf("time-aware should boost the recent reference: %v vs plain %v", scores[p1], plain[p1])
+	}
+	if scores[p0] >= plain[p0] {
+		t.Errorf("time-aware should discount the old reference: %v vs plain %v", scores[p0], plain[p0])
+	}
+}
+
+func TestTimeAwarePageRankLargeTauIsPageRank(t *testing.T) {
+	net := metaNet(t)
+	tpr, err := TimeAwarePageRank{Alpha: 0.5, Tau: 1e9}.Scores(net, 1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank{Alpha: 0.5}.Scores(net, 1998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tpr {
+		if math.Abs(tpr[i]-pr[i]) > 1e-9 {
+			t.Fatalf("τ→∞ should recover PageRank at %d: %v vs %v", i, tpr[i], pr[i])
+		}
+	}
+}
+
+func TestTimeAwarePageRankValidation(t *testing.T) {
+	net := metaNet(t)
+	for _, c := range []TimeAwarePageRank{
+		{Alpha: 1, Tau: 1},
+		{Alpha: -0.1, Tau: 1},
+		{Alpha: 0.5, Tau: 0},
+	} {
+		if _, err := c.Scores(net, 1998); err == nil {
+			t.Errorf("invalid config %+v accepted", c)
+		}
+	}
+}
+
+func emptyNet(t *testing.T) *graph.Network {
+	t.Helper()
+	n, err := graph.NewBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"attrank/internal/graph"
+)
+
+// testNet builds a small citation network with a clear "recently popular"
+// paper: p2 (1995) is cited by both 1998 papers, while p0 (1990) holds the
+// older citations.
+func testNet(t testing.TB) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	papers := []struct {
+		id   string
+		year int
+	}{
+		{"p0", 1990}, {"p1", 1992}, {"p2", 1995}, {"p3", 1998}, {"p4", 1998}, {"p5", 1997},
+	}
+	for _, p := range papers {
+		if _, err := b.AddPaper(p.id, p.year, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"p1", "p0"}, {"p2", "p0"}, {"p2", "p1"},
+		{"p3", "p2"}, {"p4", "p2"}, {"p4", "p0"}, {"p5", "p2"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// randomNet generates a random citation network for property tests.
+func randomNet(t testing.TB, seed int64, size int) *graph.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < size; i++ {
+		if _, err := b.AddPaper(paperID(i), 1990+i/3, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < size; i++ {
+		refs := rng.Intn(3)
+		for r := 0; r < refs; r++ {
+			b.AddEdgeByIndex(int32(i), int32(rng.Intn(i)))
+		}
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func paperID(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "p0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "p" + string(buf[pos:])
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: -0.16}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Alpha: 0.5, Beta: 0.5, Gamma: 0.5},                              // sum > 1
+		{Alpha: -0.1, Beta: 0.6, Gamma: 0.5},                             // negative
+		{Alpha: 0.5, Beta: 0.5, Gamma: 0, AttentionYears: 0},             // β>0 without window
+		{Alpha: 0.5, Beta: 0, Gamma: 0.5, W: 0.3},                        // positive w
+		{Alpha: 0.5, Beta: 0, Gamma: 0.5, Tol: -1},                       // negative tol
+		{Alpha: 0.5, Beta: 0, Gamma: 0.5, MaxIter: -5},                   // negative iter
+		{Alpha: 0.5, Beta: 0.2, Gamma: 0.3, AttentionYears: -1, W: -0.1}, // negative y
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestVariantHelpers(t *testing.T) {
+	p := Params{Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: -0.1}
+	na := p.NoAtt()
+	if na.Beta != 0 || math.Abs(na.Alpha+na.Gamma-1) > 1e-12 {
+		t.Errorf("NoAtt = %+v", na)
+	}
+	ao := p.AttOnly()
+	if ao.Alpha != 0 || ao.Beta != 1 || ao.Gamma != 0 {
+		t.Errorf("AttOnly = %+v", ao)
+	}
+}
+
+func TestAttentionVector(t *testing.T) {
+	n := testNet(t)
+	// Window: citing papers published in [1996, 1998] → p3, p4, p5.
+	// Their citations: p3→p2, p4→p2, p4→p0, p5→p2. So p2 gets 3/4, p0 gets 1/4.
+	att := AttentionVector(n, 1998, 3)
+	p2, _ := n.Lookup("p2")
+	p0, _ := n.Lookup("p0")
+	if math.Abs(att[p2]-0.75) > 1e-12 {
+		t.Errorf("A(p2) = %v, want 0.75", att[p2])
+	}
+	if math.Abs(att[p0]-0.25) > 1e-12 {
+		t.Errorf("A(p0) = %v, want 0.25", att[p0])
+	}
+	sum := 0.0
+	for _, v := range att {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("attention sums to %v", sum)
+	}
+}
+
+func TestAttentionVectorEmptyWindow(t *testing.T) {
+	n := testNet(t)
+	// No citations in [2005, 2007] → uniform fallback.
+	att := AttentionVector(n, 2007, 3)
+	for _, v := range att {
+		if math.Abs(v-1.0/6) > 1e-12 {
+			t.Fatalf("empty-window attention = %v, want uniform", att)
+		}
+	}
+}
+
+func TestRecencyVector(t *testing.T) {
+	n := testNet(t)
+	rec := RecencyVector(n, 1998, -0.5)
+	p3, _ := n.Lookup("p3")
+	p0, _ := n.Lookup("p0")
+	if rec[p3] <= rec[p0] {
+		t.Errorf("recent paper should outscore old one: T(p3)=%v T(p0)=%v", rec[p3], rec[p0])
+	}
+	// Exact ratio: exp(-0.5·0)/exp(-0.5·8) = e^4.
+	if got, want := rec[p3]/rec[p0], math.Exp(4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("recency ratio = %v, want %v", got, want)
+	}
+	sum := 0.0
+	for _, v := range rec {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("recency sums to %v", sum)
+	}
+}
+
+func TestRecencyVectorZeroW(t *testing.T) {
+	n := testNet(t)
+	rec := RecencyVector(n, 1998, 0)
+	for _, v := range rec {
+		if math.Abs(v-1.0/6) > 1e-12 {
+			t.Fatalf("w=0 recency = %v, want uniform", rec)
+		}
+	}
+}
+
+func TestRankConvergesAndSumsToOne(t *testing.T) {
+	n := testNet(t)
+	res, err := Rank(n, 1998, Params{Alpha: 0.3, Beta: 0.4, Gamma: 0.3, AttentionYears: 3, W: -0.16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	sum := 0.0
+	for _, v := range res.Scores {
+		sum += v
+		if v < 0 {
+			t.Fatalf("negative score %v", v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+	if len(res.Residuals) != res.Iterations {
+		t.Errorf("residuals len %d != iterations %d", len(res.Residuals), res.Iterations)
+	}
+}
+
+func TestRankFixedPoint(t *testing.T) {
+	// The converged vector must satisfy Eq. 4 itself.
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.StochasticMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]float64, n.N())
+	s.MulVec(next, res.Scores)
+	for i := range next {
+		want := p.Alpha*next[i] + p.Beta*res.Attention[i] + p.Gamma*res.Recency[i]
+		if math.Abs(want-res.Scores[i]) > 1e-9 {
+			t.Fatalf("fixed point violated at %d: %v vs %v", i, res.Scores[i], want)
+		}
+	}
+}
+
+func TestRankAlphaZeroSingleIteration(t *testing.T) {
+	n := testNet(t)
+	res, err := Rank(n, 1998, Params{Alpha: 0, Beta: 0.4, Gamma: 0.6, AttentionYears: 2, W: -0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 || !res.Converged {
+		t.Errorf("α=0 should converge in one iteration, got %d", res.Iterations)
+	}
+	// Scores = β·A + γ·T exactly.
+	for i := range res.Scores {
+		want := 0.4*res.Attention[i] + 0.6*res.Recency[i]
+		if math.Abs(res.Scores[i]-want) > 1e-15 {
+			t.Fatalf("α=0 score mismatch at %d", i)
+		}
+	}
+}
+
+func TestRankRecoversPageRank(t *testing.T) {
+	// β=0, w=0 ⇒ AttRank = PageRank with damping α (paper §3).
+	n := testNet(t)
+	res, err := Rank(n, 1998, Params{Alpha: 0.85, Beta: 0, Gamma: 0.15, W: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference PageRank by dense iteration.
+	s, _ := n.StochasticMatrix()
+	x := make([]float64, n.N())
+	for i := range x {
+		x[i] = 1 / float64(n.N())
+	}
+	next := make([]float64, n.N())
+	for it := 0; it < 500; it++ {
+		s.MulVec(next, x)
+		for i := range next {
+			next[i] = 0.85*next[i] + 0.15/float64(n.N())
+		}
+		x, next = next, x
+	}
+	for i := range x {
+		if math.Abs(x[i]-res.Scores[i]) > 1e-9 {
+			t.Fatalf("PageRank recovery failed at %d: %v vs %v", i, res.Scores[i], x[i])
+		}
+	}
+}
+
+func TestRankPromotesRecentlyPopular(t *testing.T) {
+	n := testNet(t)
+	res, err := Rank(n, 1998, Params{Alpha: 0.2, Beta: 0.6, Gamma: 0.2, AttentionYears: 3, W: -0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := n.Lookup("p2")
+	p0, _ := n.Lookup("p0")
+	// p0 has the same in-degree as p2 (3), but p2's citations are recent:
+	// with a strong attention term p2 must outrank p0.
+	if res.Scores[p2] <= res.Scores[p0] {
+		t.Errorf("recently popular p2 (%v) should outrank p0 (%v)", res.Scores[p2], res.Scores[p0])
+	}
+}
+
+func TestRankEmptyNetwork(t *testing.T) {
+	n, err := graph.NewBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rank(n, 2000, Params{Alpha: 0.5, Beta: 0, Gamma: 0.5, W: -0.1}); err != ErrEmptyNetwork {
+		t.Errorf("err = %v, want ErrEmptyNetwork", err)
+	}
+}
+
+func TestRankInvalidParams(t *testing.T) {
+	n := testNet(t)
+	if _, err := Rank(n, 1998, Params{Alpha: 1, Beta: 1, Gamma: 1}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+// Property (Theorem 1): for random networks and valid parameters the
+// iteration converges to a probability vector.
+func TestRankConvergenceProperty(t *testing.T) {
+	f := func(seed int64, a, bf uint8) bool {
+		alpha := float64(a%6) / 10  // 0 .. 0.5
+		beta := float64(bf%11) / 10 // 0 .. 1
+		if alpha+beta > 1 {
+			beta = 1 - alpha
+		}
+		gamma := 1 - alpha - beta
+		n := randomNet(t, seed, 30+int(seed%17+17)%17)
+		p := Params{Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: 3, W: -0.2}
+		res, err := Rank(n, n.MaxYear(), p)
+		if err != nil {
+			return false
+		}
+		if !res.Converged {
+			return false
+		}
+		sum := 0.0
+		for _, v := range res.Scores {
+			if v < -1e-15 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: residuals are monotonically summable — the final residual is
+// below tolerance and iterations stay well under the paper's 30-iteration
+// envelope for α ≤ 0.5.
+func TestRankIterationEnvelope(t *testing.T) {
+	n := randomNet(t, 99, 200)
+	res, err := Rank(n, n.MaxYear(), Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Iterations > 60 {
+		t.Errorf("took %d iterations at α=0.5; expected well under 60", res.Iterations)
+	}
+	last := res.Residuals[len(res.Residuals)-1]
+	if last >= DefaultTol {
+		t.Errorf("final residual %v ≥ tol", last)
+	}
+}
+
+func TestFitW(t *testing.T) {
+	// Perfect exponential: log p = w·n + c with w = −0.3.
+	dist := make([]float64, 11)
+	for n := range dist {
+		dist[n] = math.Exp(-0.3 * float64(n))
+	}
+	w, err := FitW(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w+0.3) > 1e-9 {
+		t.Errorf("w = %v, want -0.3", w)
+	}
+}
+
+func TestFitWClampsPositive(t *testing.T) {
+	// Increasing tail would give w > 0; FitW clamps to 0.
+	dist := []float64{0.1, 0.2, 0.3, 0.4}
+	w, err := FitW(dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("w = %v, want clamped 0", w)
+	}
+}
+
+func TestFitWErrors(t *testing.T) {
+	if _, err := FitW([]float64{0.5, 0.5}, 5); err == nil {
+		t.Error("tailStart out of range should fail")
+	}
+	if _, err := FitW([]float64{0, 0, 0.5}, 0); err == nil {
+		t.Error("single positive point should fail")
+	}
+}
+
+func TestFitWFromNetwork(t *testing.T) {
+	n := randomNet(t, 5, 300)
+	w, err := FitWFromNetwork(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 0 {
+		t.Errorf("w = %v, want ≤ 0", w)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainPartitionsScore(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); int(i) < n.N(); i++ {
+		e, err := Explain(n, res, p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := e.Flow + e.Attention + e.Recency
+		if math.Abs(sum-e.Score) > 1e-9 {
+			t.Fatalf("paper %d: decomposition %v != score %v", i, sum, e.Score)
+		}
+	}
+}
+
+func TestExplainTopCiters(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := n.Lookup("p2")
+	e, err := Explain(n, res, p, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p2 is cited by p3, p4, p5 — all with references, so all contribute.
+	if len(e.TopCiters) != 3 {
+		t.Fatalf("TopCiters = %d, want 3", len(e.TopCiters))
+	}
+	for i := 1; i < len(e.TopCiters); i++ {
+		if e.TopCiters[i].Mass > e.TopCiters[i-1].Mass {
+			t.Error("TopCiters not sorted by mass")
+		}
+	}
+	if !strings.Contains(e.String(), "score=") {
+		t.Error("String() missing score")
+	}
+}
+
+func TestExplainAlphaZeroHasNoFlow(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0, Beta: 0.5, Gamma: 0.5, AttentionYears: 3, W: -0.2}
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Explain(n, res, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Flow != 0 || e.TopCiters != nil {
+		t.Errorf("α=0 explanation should carry no flow: %+v", e)
+	}
+	if math.Abs(e.Attention+e.Recency-e.Score) > 1e-12 {
+		t.Error("α=0 decomposition must be exact")
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Explain(n, res, p, 99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := Explain(n, nil, p, 0); err == nil {
+		t.Error("nil result accepted")
+	}
+	bad := p
+	bad.Alpha = 2
+	if _, err := Explain(n, res, bad, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

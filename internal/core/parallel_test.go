@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRankParallelMatchesSerial(t *testing.T) {
+	n := randomNet(t, 31, 500)
+	base := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+	serial, err := Rank(n, n.MaxYear(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 1, 2, 7} {
+		p := base
+		p.Workers = workers
+		par, err := Rank(n, n.MaxYear(), p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Iterations != serial.Iterations {
+			t.Errorf("workers=%d: %d iterations vs serial %d", workers, par.Iterations, serial.Iterations)
+		}
+		for i := range serial.Scores {
+			if math.Abs(serial.Scores[i]-par.Scores[i]) > 1e-12 {
+				t.Fatalf("workers=%d: score %d differs: %v vs %v",
+					workers, i, par.Scores[i], serial.Scores[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"attrank/internal/graph"
+)
+
+func trackerParams() Params {
+	return Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(Params{Alpha: 1, Beta: 1, Gamma: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	p := trackerParams()
+	p.Start = []float64{1}
+	if _, err := NewTracker(p); err == nil {
+		t.Error("preset Start accepted")
+	}
+	tr, err := NewTracker(trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tracked() != 0 {
+		t.Errorf("fresh tracker holds %d scores", tr.Tracked())
+	}
+}
+
+func TestTrackerMatchesColdRank(t *testing.T) {
+	n1 := randomNet(t, 7, 150)
+	n2 := randomNet(t, 7, 220) // same prefix IDs p0..p149 plus 70 new papers
+
+	tr, err := NewTracker(trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Update(n1, n1.MaxYear()); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := tr.Update(n2, n2.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Rank(n2, n2.MaxYear(), trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Scores {
+		if math.Abs(cold.Scores[i]-warm.Scores[i]) > 1e-9 {
+			t.Fatalf("tracker diverged from cold rank at %d: %v vs %v",
+				i, warm.Scores[i], cold.Scores[i])
+		}
+	}
+	if tr.Tracked() != n2.N() {
+		t.Errorf("tracker holds %d scores, want %d", tr.Tracked(), n2.N())
+	}
+}
+
+func TestTrackerConvergesFasterOnRepeat(t *testing.T) {
+	n := randomNet(t, 5, 400)
+	tr, err := NewTracker(trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.Update(n, n.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tr.Update(n, n.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations >= first.Iterations {
+		t.Errorf("repeat update took %d iterations, first took %d",
+			second.Iterations, first.Iterations)
+	}
+}
+
+func TestTrackerHandlesDisjointNetworks(t *testing.T) {
+	tr, err := NewTracker(trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := randomNet(t, 3, 50)
+	if _, err := tr.Update(n1, n1.MaxYear()); err != nil {
+		t.Fatal(err)
+	}
+	// A network with entirely different IDs: warm start degrades to the
+	// carried-over mean but must still converge to the cold fixed point.
+	b := newDisjointNet(t, 60)
+	warm, err := tr.Update(b, b.MaxYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Rank(b, b.MaxYear(), trackerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Scores {
+		if math.Abs(cold.Scores[i]-warm.Scores[i]) > 1e-9 {
+			t.Fatalf("disjoint update diverged at %d", i)
+		}
+	}
+}
+
+func newDisjointNet(t *testing.T, size int) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < size; i++ {
+		if _, err := b.AddPaper("q"+paperID(i), 2000+i/5, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < size; i++ {
+		b.AddEdgeByIndex(int32(i), int32(i-2))
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

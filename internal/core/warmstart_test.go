@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWarmStartSameFixedPoint(t *testing.T) {
+	n := randomNet(t, 11, 150)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	cold, err := Rank(n, n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from a biased (but valid) vector: same fixed point.
+	start := make([]float64, n.N())
+	for i := range start {
+		start[i] = float64(i + 1)
+	}
+	p.Start = start
+	warm, err := Rank(n, n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Scores {
+		if math.Abs(cold.Scores[i]-warm.Scores[i]) > 1e-9 {
+			t.Fatalf("fixed point depends on start at %d: %v vs %v", i, cold.Scores[i], warm.Scores[i])
+		}
+	}
+}
+
+func TestWarmStartFewerIterations(t *testing.T) {
+	n := randomNet(t, 23, 300)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+	cold, err := Rank(n, n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restarting from the converged vector must converge almost
+	// immediately.
+	p.Start = cold.Scores
+	warm, err := Rank(n, n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > 3 {
+		t.Errorf("warm restart took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	p.Start = []float64{1, 2} // wrong length
+	if _, err := Rank(n, 1998, p); err == nil {
+		t.Error("wrong-length warm start accepted")
+	}
+	p.Start = make([]float64, n.N())
+	p.Start[0] = -1
+	if _, err := Rank(n, 1998, p); err == nil {
+		t.Error("negative warm start accepted")
+	}
+	p.Start = make([]float64, n.N())
+	p.Start[0] = math.NaN()
+	if _, err := Rank(n, 1998, p); err == nil {
+		t.Error("NaN warm start accepted")
+	}
+}
+
+func TestWarmStartZeroVectorFallsBackToUniform(t *testing.T) {
+	n := testNet(t)
+	p := Params{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 3, W: -0.2}
+	p.Start = make([]float64, n.N()) // all zeros → Normalize → uniform
+	res, err := Rank(n, 1998, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero warm start should behave like a cold start")
+	}
+}

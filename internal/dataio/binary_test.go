@@ -1,0 +1,109 @@
+package dataio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"attrank/internal/synth"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	n := sampleNet(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, n, back)
+}
+
+func TestBinaryRoundTripSynthetic(t *testing.T) {
+	p := synth.DBLP()
+	p.Papers = 600
+	p.AuthorPool = 250
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, net, back)
+}
+
+func TestBinaryFileDispatch(t *testing.T) {
+	n := sampleNet(t)
+	path := filepath.Join(t.TempDir(), "net.anb")
+	if err := SaveFile(path, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, n, back)
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	n := sampleNet(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must error, never panic.
+	for _, cut := range []int{5, 10, 20, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		// Half the cases get a valid magic so deeper paths are exercised.
+		if seed%2 == 0 && len(buf) >= 4 {
+			copy(buf, binaryMagic)
+		}
+		net, err := ReadBinary(bytes.NewReader(buf))
+		if err == nil && net != nil {
+			return net.Validate() == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

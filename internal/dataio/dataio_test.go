@@ -1,0 +1,224 @@
+package dataio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"attrank/internal/graph"
+	"attrank/internal/synth"
+)
+
+func sampleNet(t *testing.T) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	if _, err := b.AddPaper("a", 1999, []string{"x", "y"}, "VLDB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddPaper("b", 2001, []string{"y"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddPaper("c", 2003, nil, "ICDE"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddEdge("b", "a")
+	b.AddEdge("c", "a")
+	b.AddEdge("c", "b")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func equalNets(t *testing.T, a, b *graph.Network) {
+	t.Helper()
+	if a.N() != b.N() || a.Edges() != b.Edges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.N(), a.Edges(), b.N(), b.Edges())
+	}
+	for i := int32(0); int(i) < a.N(); i++ {
+		pa := a.Paper(i)
+		bi, ok := b.Lookup(pa.ID)
+		if !ok {
+			t.Fatalf("paper %s missing after round-trip", pa.ID)
+		}
+		pb := b.Paper(bi)
+		if pa.Year != pb.Year {
+			t.Fatalf("paper %s year %d vs %d", pa.ID, pa.Year, pb.Year)
+		}
+		if a.VenueName(pa.Venue) != b.VenueName(pb.Venue) {
+			t.Fatalf("paper %s venue %q vs %q", pa.ID, a.VenueName(pa.Venue), b.VenueName(pb.Venue))
+		}
+		if len(pa.Authors) != len(pb.Authors) {
+			t.Fatalf("paper %s author count", pa.ID)
+		}
+		for k := range pa.Authors {
+			if a.AuthorName(pa.Authors[k]) != b.AuthorName(pb.Authors[k]) {
+				t.Fatalf("paper %s author %d", pa.ID, k)
+			}
+		}
+		if a.InDegree(i) != b.InDegree(bi) || a.OutDegree(i) != b.OutDegree(bi) {
+			t.Fatalf("paper %s degrees differ", pa.ID)
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	n := sampleNet(t)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, n, back)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := sampleNet(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, n, back)
+}
+
+func TestTSVParsing(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"",
+		"P\tp1\t1990\tVLDB\talice;bob",
+		"P\tp2\t1995\t\t",
+		"C\tp2\tp1",
+	}, "\n")
+	n, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 2 || n.Edges() != 1 {
+		t.Fatalf("parsed %d/%d, want 2/1", n.N(), n.Edges())
+	}
+	p1, _ := n.Lookup("p1")
+	if len(n.Paper(p1).Authors) != 2 {
+		t.Errorf("p1 authors = %v", n.Paper(p1).Authors)
+	}
+}
+
+func TestTSVForwardCitation(t *testing.T) {
+	// Citation line before the cited paper's record.
+	in := "C\tp2\tp1\nP\tp1\t1990\nP\tp2\t1995\n"
+	n, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Edges() != 1 {
+		t.Errorf("edges = %d, want 1", n.Edges())
+	}
+}
+
+func TestTSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad year", "P\tp1\tnineteen\n"},
+		{"short paper", "P\tp1\n"},
+		{"short citation", "C\tp1\n"},
+		{"unknown record", "X\tfoo\tbar\n"},
+		{"dangling citation", "P\tp1\t1990\nC\tp1\tmissing\n"},
+		{"duplicate paper", "P\tp1\t1990\nP\tp1\t1991\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadTSV(strings.NewReader(c.in)); err == nil {
+				t.Errorf("input %q accepted", c.in)
+			}
+		})
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed json accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"papers":[{"id":"a","year":1},{"id":"a","year":2}],"edges":[]}`)); err == nil {
+		t.Error("duplicate papers accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"papers":[{"id":"a","year":1}],"edges":[["a","zzz"]]}`)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
+
+func TestFileRoundTripBothFormats(t *testing.T) {
+	n := sampleNet(t)
+	dir := t.TempDir()
+	for _, name := range []string{"net.tsv", "net.json"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, n); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		equalNets(t, n, back)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSyntheticRoundTrip(t *testing.T) {
+	p := synth.HepTh()
+	p.Papers = 500
+	p.AuthorPool = 200
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalNets(t, net, back)
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	n := sampleNet(t)
+	dir := t.TempDir()
+	for _, name := range []string{"net.tsv.gz", "net.json.gz", "net.anb.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, n); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		equalNets(t, n, back)
+	}
+}
+
+func TestGzipRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.tsv.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"attrank/internal/graph"
+)
+
+// Native fuzz targets. Under plain `go test` only the seed corpus runs;
+// `go test -fuzz=FuzzReadTSV ./internal/dataio` explores further.
+
+func FuzzReadTSV(f *testing.F) {
+	f.Add("P\tp1\t1990\tV\ta;b\nP\tp2\t1995\nC\tp2\tp1\n")
+	f.Add("# comment\n\nP\tx\t2000\n")
+	f.Add("C\ta\tb\nP\ta\t1\nP\tb\t0\n")
+	f.Add("P\tp1\tnot-a-year\n")
+	f.Add("X\tjunk\n")
+	f.Add(strings.Repeat("P\tp\t1\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if net == nil {
+			t.Fatal("nil network without error")
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted network fails validation: %v", verr)
+		}
+		// Round-trip property: anything we accept must survive a
+		// write/read cycle unchanged in size.
+		var buf bytes.Buffer
+		if werr := WriteTSV(&buf, net); werr != nil {
+			t.Fatalf("cannot re-serialize accepted network: %v", werr)
+		}
+		back, rerr := ReadTSV(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.N() != net.N() || back.Edges() != net.Edges() {
+			t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+				back.N(), back.Edges(), net.N(), net.Edges())
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"papers":[{"id":"a","year":1990}],"edges":[]}`)
+	f.Add(`{"papers":[{"id":"a","year":1990},{"id":"b","year":1995}],"edges":[["b","a"]]}`)
+	f.Add(`{}`)
+	f.Add(`{"papers":[{"id":"a","year":1}],"edges":[["a","a"]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted network fails validation: %v", verr)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	n := mustSample(f)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, n); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		net, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("accepted network fails validation: %v", verr)
+		}
+	})
+}
+
+func mustSample(f *testing.F) *graph.Network {
+	f.Helper()
+	in := "P\tp1\t1990\tV\ta;b\nP\tp2\t1995\t\t\nC\tp2\tp1\n"
+	n, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package dataio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"attrank/internal/graph"
+)
+
+// jsonNetwork is the interchange document.
+type jsonNetwork struct {
+	Papers []jsonPaper `json:"papers"`
+	// Edges are [citingID, citedID] pairs.
+	Edges [][2]string `json:"edges"`
+}
+
+type jsonPaper struct {
+	ID      string   `json:"id"`
+	Year    int      `json:"year"`
+	Venue   string   `json:"venue,omitempty"`
+	Authors []string `json:"authors,omitempty"`
+}
+
+// ReadJSON parses the JSON network document from r.
+func ReadJSON(r io.Reader) (*graph.Network, error) {
+	var doc jsonNetwork
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataio: decoding json: %w", err)
+	}
+	b := graph.NewBuilder()
+	for i, p := range doc.Papers {
+		if _, err := b.AddPaper(p.ID, p.Year, p.Authors, p.Venue); err != nil {
+			return nil, fmt.Errorf("dataio: paper %d: %w", i, err)
+		}
+	}
+	for _, e := range doc.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	return net, nil
+}
+
+// WriteJSON renders the network as a JSON document.
+func WriteJSON(w io.Writer, net *graph.Network) error {
+	doc := jsonNetwork{
+		Papers: make([]jsonPaper, net.N()),
+		Edges:  make([][2]string, 0, net.Edges()),
+	}
+	for i := int32(0); int(i) < net.N(); i++ {
+		p := net.Paper(i)
+		jp := jsonPaper{ID: p.ID, Year: p.Year, Venue: net.VenueName(p.Venue)}
+		for _, a := range p.Authors {
+			jp.Authors = append(jp.Authors, net.AuthorName(a))
+		}
+		doc.Papers[i] = jp
+		net.References(i, func(ref int32) {
+			doc.Edges = append(doc.Edges, [2]string{p.ID, net.Paper(ref).ID})
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("dataio: encoding json: %w", err)
+	}
+	return nil
+}

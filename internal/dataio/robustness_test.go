@@ -1,0 +1,100 @@
+package dataio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadTSVNeverPanics feeds random byte soup to the TSV reader: it
+// must return an error or a network, never panic.
+func TestReadTSVNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		buf := make([]byte, n)
+		alphabet := []byte("PC\tpq0123456789\n; #-")
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		net, err := ReadTSV(strings.NewReader(string(buf)))
+		if err == nil && net != nil {
+			if verr := net.Validate(); verr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadJSONNeverPanics does the same for the JSON reader.
+func TestReadJSONNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		buf := make([]byte, n)
+		alphabet := []byte(`{}[]":,papersedgidyr0123456789`)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		net, err := ReadJSON(strings.NewReader(string(buf)))
+		if err == nil && net != nil {
+			if verr := net.Validate(); verr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadTSVHugeLine ensures the scanner buffer accommodates long
+// author lists rather than failing at bufio's default token size.
+func TestReadTSVHugeLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("P\tp1\t2000\tV\t")
+	for i := 0; i < 20000; i++ {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString("author-with-a-rather-long-name-")
+		sb.WriteByte(byte('a' + i%26))
+	}
+	sb.WriteByte('\n')
+	net, err := ReadTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("long line rejected: %v", err)
+	}
+	p, _ := net.Lookup("p1")
+	if len(net.Paper(p).Authors) == 0 {
+		t.Error("authors lost on long line")
+	}
+}
+
+// TestTSVRejectsCRLFGracefully: Windows line endings are tolerated.
+func TestTSVRejectsCRLFGracefully(t *testing.T) {
+	in := "P\tp1\t1990\r\nP\tp2\t1995\r\nC\tp2\tp1\r\n"
+	net, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("CRLF input rejected: %v", err)
+	}
+	if net.N() != 2 || net.Edges() != 1 {
+		t.Errorf("parsed %d/%d", net.N(), net.Edges())
+	}
+}

@@ -1,0 +1,180 @@
+// Package dataio reads and writes citation networks in two formats:
+//
+//   - a line-oriented TSV format ("attsv") in the spirit of the KDD Cup
+//     hep-th dumps, with paper records and citation records in one file;
+//   - a JSON document for interchange.
+//
+// The TSV format has one record per line, tab-separated:
+//
+//	P <id> <year> [venue] [author;author;...]
+//	C <citingID> <citedID>
+//
+// Blank lines and lines starting with '#' are ignored. Papers may appear
+// after citations that reference them; resolution happens when the whole
+// file has been read.
+package dataio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"attrank/internal/graph"
+)
+
+// ReadTSV parses the TSV network format from r.
+func ReadTSV(r io.Reader) (*graph.Network, error) {
+	b := graph.NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "P":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("dataio: line %d: paper record needs at least id and year", lineNo)
+			}
+			year, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: bad year %q: %w", lineNo, fields[2], err)
+			}
+			venue := ""
+			if len(fields) > 3 {
+				venue = fields[3]
+			}
+			var authors []string
+			if len(fields) > 4 && fields[4] != "" {
+				authors = strings.Split(fields[4], ";")
+			}
+			if _, err := b.AddPaper(fields[1], year, authors, venue); err != nil {
+				return nil, fmt.Errorf("dataio: line %d: %w", lineNo, err)
+			}
+		case "C":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataio: line %d: citation record needs exactly citing and cited ids", lineNo)
+			}
+			b.AddEdge(fields[1], fields[2])
+		default:
+			return nil, fmt.Errorf("dataio: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: reading: %w", err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	return net, nil
+}
+
+// WriteTSV renders the network in the TSV format. Papers come first in
+// node order, then citations grouped by citing paper.
+func WriteTSV(w io.Writer, net *graph.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# attrank citation network: %d papers, %d citations\n", net.N(), net.Edges())
+	for i := int32(0); int(i) < net.N(); i++ {
+		p := net.Paper(i)
+		var sb strings.Builder
+		for k, a := range p.Authors {
+			if k > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(net.AuthorName(a))
+		}
+		fmt.Fprintf(bw, "P\t%s\t%d\t%s\t%s\n", p.ID, p.Year, net.VenueName(p.Venue), sb.String())
+	}
+	for i := int32(0); int(i) < net.N(); i++ {
+		id := net.Paper(i).ID
+		var err error
+		net.References(i, func(ref int32) {
+			if err == nil {
+				_, err = fmt.Fprintf(bw, "C\t%s\t%s\n", id, net.Paper(ref).ID)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("dataio: writing: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataio: flushing: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a network from path, dispatching on the extension:
+// ".json" for the JSON format, ".anb" for the binary format, anything
+// else for TSV. A trailing ".gz" on any of these transparently
+// decompresses.
+func LoadFile(path string) (*graph.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+
+	var r io.Reader = f
+	logical := path
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+		logical = strings.TrimSuffix(path, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(logical, ".json"):
+		return ReadJSON(r)
+	case strings.HasSuffix(logical, ".anb"):
+		return ReadBinary(r)
+	default:
+		return ReadTSV(r)
+	}
+}
+
+// SaveFile writes a network to path, dispatching on the extension like
+// LoadFile (including transparent ".gz" compression).
+func SaveFile(path string, net *graph.Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	logical := path
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+		logical = strings.TrimSuffix(path, ".gz")
+	}
+	var werr error
+	switch {
+	case strings.HasSuffix(logical, ".json"):
+		werr = WriteJSON(w, net)
+	case strings.HasSuffix(logical, ".anb"):
+		werr = WriteBinary(w, net)
+	default:
+		werr = WriteTSV(w, net)
+	}
+	if gz != nil {
+		if cerr := gz.Close(); werr == nil {
+			werr = cerr
+		}
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+)
+
+// BestParamsResult reproduces the §4.2.1/§4.2.2 narrative tables: the
+// optimal AttRank parameterization per dataset for a metric, along with
+// the maxima of the two ablations (β=0 and β=1), which the paper quotes
+// to demonstrate the value of the attention mechanism.
+type BestParamsResult struct {
+	Metric string
+	// Best maps dataset → best grid cell.
+	Best map[string]AttRankCell
+	// NoAtt and AttOnly map dataset → the best cell value under β=0 and
+	// β=1 respectively.
+	NoAtt   map[string]float64
+	AttOnly map[string]float64
+}
+
+// BestParams sweeps the Table-3 grid per dataset at the default ratio and
+// extracts the optima the paper reports in prose.
+func BestParams(datasets []Dataset, m Metric) (BestParamsResult, error) {
+	out := BestParamsResult{
+		Metric:  m.Name,
+		Best:    make(map[string]AttRankCell),
+		NoAtt:   make(map[string]float64),
+		AttOnly: make(map[string]float64),
+	}
+	for _, d := range datasets {
+		s, err := NewSplit(d.Net, DefaultRatio)
+		if err != nil {
+			return out, fmt.Errorf("eval: best params %s: %w", d.Name, err)
+		}
+		truth := s.GroundTruth()
+		cells := SweepAttRank(s, truth, AttRankGrid(d.W), m)
+		best, ok := BestCell(cells, nil)
+		if !ok {
+			return out, fmt.Errorf("eval: best params %s: no successful cell", d.Name)
+		}
+		out.Best[d.Name] = best
+		if c, ok := BestCell(cells, NoAttFilter); ok {
+			out.NoAtt[d.Name] = c.Value
+		}
+		if c, ok := BestCell(cells, AttOnlyFilter); ok {
+			out.AttOnly[d.Name] = c.Value
+		}
+	}
+	return out, nil
+}
+
+// FormatBest renders one dataset's optimum in the paper's
+// {α, β, γ, y} notation.
+func (r BestParamsResult) FormatBest(dataset string) string {
+	c, ok := r.Best[dataset]
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("{%.1f, %.1f, %.1f, %d} (%s = %.4f)",
+		c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Params.AttentionYears,
+		r.Metric, c.Value)
+}
+
+// AttentionGain returns how much the full model improves over the better
+// of its two ablations for a dataset — the "importance of the attention
+// mechanism" number.
+func (r BestParamsResult) AttentionGain(dataset string) float64 {
+	best, ok := r.Best[dataset]
+	if !ok {
+		return 0
+	}
+	ablation := r.NoAtt[dataset]
+	if v := r.AttOnly[dataset]; v > ablation {
+		ablation = v
+	}
+	return best.Value - ablation
+}

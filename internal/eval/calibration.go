@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"attrank/internal/core"
+)
+
+// CalibrationResult reports, per score decile of a method's ranking, the
+// mean realized short-term impact of the papers in that decile — the
+// practitioner's check that a higher score really means more future
+// citations, and by how much (the "lift" of the top decile over the
+// average).
+type CalibrationResult struct {
+	Dataset string
+	Method  string
+	// MeanSTI[d] is the mean STI of decile d (0 = top 10% by score).
+	MeanSTI []float64
+	// OverallMean is the corpus-wide mean STI.
+	OverallMean float64
+}
+
+// TopDecileLift returns MeanSTI[0] / OverallMean (0 when undefined).
+func (c CalibrationResult) TopDecileLift() float64 {
+	if c.OverallMean == 0 || len(c.MeanSTI) == 0 {
+		return 0
+	}
+	return c.MeanSTI[0] / c.OverallMean
+}
+
+// Calibration splits the dataset at the default ratio, ranks the current
+// state with AttRank at the recommended parameters, and returns the mean
+// realized STI per score decile.
+func Calibration(d Dataset) (CalibrationResult, error) {
+	s, err := NewSplit(d.Net, DefaultRatio)
+	if err != nil {
+		return CalibrationResult{}, fmt.Errorf("eval: calibration %s: %w", d.Name, err)
+	}
+	res, err := core.Rank(s.Current, s.TN, core.Params{
+		Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: d.W,
+	})
+	if err != nil {
+		return CalibrationResult{}, fmt.Errorf("eval: calibration %s: %w", d.Name, err)
+	}
+	return CalibrationFromScores(d.Name, "AR", res.Scores, s.GroundTruth())
+}
+
+// CalibrationFromScores computes the decile table for any score vector
+// against any gain vector of the same length.
+func CalibrationFromScores(dataset, method string, scores, sti []float64) (CalibrationResult, error) {
+	if len(scores) != len(sti) {
+		return CalibrationResult{}, fmt.Errorf("eval: calibration: %d scores vs %d gains", len(scores), len(sti))
+	}
+	n := len(scores)
+	if n < 10 {
+		return CalibrationResult{}, fmt.Errorf("eval: calibration needs at least 10 papers, got %d", n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := CalibrationResult{Dataset: dataset, Method: method, MeanSTI: make([]float64, 10)}
+	total := 0.0
+	for d := 0; d < 10; d++ {
+		lo := d * n / 10
+		hi := (d + 1) * n / 10
+		sum := 0.0
+		for _, idx := range order[lo:hi] {
+			sum += sti[idx]
+		}
+		out.MeanSTI[d] = sum / float64(hi-lo)
+	}
+	for _, v := range sti {
+		total += v
+	}
+	out.OverallMean = total / float64(n)
+	return out, nil
+}

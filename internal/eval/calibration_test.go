@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationFromScoresKnown(t *testing.T) {
+	// 20 items; scores rank them 0..19; gains equal to 20−index so the
+	// ranking is perfectly calibrated.
+	scores := make([]float64, 20)
+	gains := make([]float64, 20)
+	for i := range scores {
+		scores[i] = float64(20 - i)
+		gains[i] = float64(20 - i)
+	}
+	c, err := CalibrationFromScores("x", "m", scores, gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top decile = items 0,1 → mean 19.5; overall mean 10.5.
+	if math.Abs(c.MeanSTI[0]-19.5) > 1e-12 {
+		t.Errorf("top decile = %v, want 19.5", c.MeanSTI[0])
+	}
+	if math.Abs(c.OverallMean-10.5) > 1e-12 {
+		t.Errorf("overall = %v, want 10.5", c.OverallMean)
+	}
+	if lift := c.TopDecileLift(); math.Abs(lift-19.5/10.5) > 1e-12 {
+		t.Errorf("lift = %v", lift)
+	}
+	// Deciles must be non-increasing for a perfectly calibrated ranking.
+	for d := 1; d < 10; d++ {
+		if c.MeanSTI[d] > c.MeanSTI[d-1] {
+			t.Errorf("decile %d (%v) above decile %d (%v)", d, c.MeanSTI[d], d-1, c.MeanSTI[d-1])
+		}
+	}
+}
+
+func TestCalibrationFromScoresValidation(t *testing.T) {
+	if _, err := CalibrationFromScores("x", "m", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CalibrationFromScores("x", "m", []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("tiny input accepted")
+	}
+}
+
+func TestCalibrationOnDataset(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Calibration(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.MeanSTI) != 10 {
+		t.Fatalf("deciles = %d", len(c.MeanSTI))
+	}
+	// The defining property the paper optimizes for: the top decile of
+	// AttRank's ranking gathers far more future citations than average.
+	if lift := c.TopDecileLift(); lift < 2 {
+		t.Errorf("top-decile lift = %v, expected well above 2", lift)
+	}
+	// And the bottom decile must sit below the mean.
+	if c.MeanSTI[9] >= c.OverallMean {
+		t.Errorf("bottom decile %v not below mean %v", c.MeanSTI[9], c.OverallMean)
+	}
+}
+
+func TestBestParams(t *testing.T) {
+	ds := smallDatasets(t)
+	r, err := BestParams(ds[:2], Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds[:2] {
+		best, ok := r.Best[d.Name]
+		if !ok {
+			t.Fatalf("no best cell for %s", d.Name)
+		}
+		if best.Params.Beta == 0 {
+			t.Errorf("%s: best β should not be 0 (attention matters)", d.Name)
+		}
+		if r.Best[d.Name].Value < r.NoAtt[d.Name] {
+			t.Errorf("%s: overall best below NO-ATT max", d.Name)
+		}
+		if r.Best[d.Name].Value < r.AttOnly[d.Name] {
+			t.Errorf("%s: overall best below ATT-ONLY max", d.Name)
+		}
+		if r.FormatBest(d.Name) == "—" {
+			t.Errorf("%s: FormatBest empty", d.Name)
+		}
+		if r.AttentionGain(d.Name) < 0 {
+			t.Errorf("%s: negative attention gain", d.Name)
+		}
+	}
+	if r.FormatBest("unknown") != "—" {
+		t.Error("unknown dataset should format as —")
+	}
+	if r.AttentionGain("unknown") != 0 {
+		t.Error("unknown dataset gain should be 0")
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ColdStart(d, 3, Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RecentCount < 2 {
+		t.Fatalf("recent subset too small: %d", r.RecentCount)
+	}
+	for _, m := range []string{"AR", "CC", "PR"} {
+		if _, ok := r.All[m]; !ok {
+			t.Errorf("method %s missing from corpus-wide results", m)
+		}
+		if _, ok := r.Recent[m]; !ok {
+			t.Errorf("method %s missing from recent-subset results", m)
+		}
+	}
+	// The age-bias claim: AttRank ranks the recent subset far better than
+	// the time-oblivious centralities.
+	if r.Recent["AR"] <= r.Recent["CC"] {
+		t.Errorf("AR (%v) should beat CC (%v) on recent papers", r.Recent["AR"], r.Recent["CC"])
+	}
+	if r.Recent["AR"] <= r.Recent["PR"] {
+		t.Errorf("AR (%v) should beat PR (%v) on recent papers", r.Recent["AR"], r.Recent["PR"])
+	}
+}
+
+func TestColdStartValidation(t *testing.T) {
+	d, err := LoadDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ColdStart(d, 0, Rho()); err == nil {
+		t.Error("recentYears=0 accepted")
+	}
+}
+
+func TestTrendShift(t *testing.T) {
+	r, err := TrendShift(0.12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TopicInTopK["truth"] == 0 {
+		t.Skip("burst did not reach the truth's top-k in this instance")
+	}
+	// AttRank must surface more bursting-topic papers than both the
+	// attention-free variant and plain citation count.
+	if r.TopicInTopK["AR"] < r.TopicInTopK["CC"] {
+		t.Errorf("AR found %d burst papers, CC found %d", r.TopicInTopK["AR"], r.TopicInTopK["CC"])
+	}
+	if r.TopicInTopK["AR"] == 0 {
+		t.Error("AR found no burst-topic papers at all")
+	}
+	if r.BurstYear >= r.TN {
+		t.Errorf("burst year %d not before tN %d", r.BurstYear, r.TN)
+	}
+}
+
+func TestTrendShiftValidation(t *testing.T) {
+	if _, err := TrendShift(0.1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPrequential(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := d.Net.MaxYear() - 3
+	first := last - 5
+	r, err := Prequential(d, first, last, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Years) == 0 || len(r.Years) != len(r.Rho) || len(r.Years) != len(r.Recall50) {
+		t.Fatalf("misaligned series: %d years, %d rho, %d recall", len(r.Years), len(r.Rho), len(r.Recall50))
+	}
+	for i, rho := range r.Rho {
+		if rho <= 0 {
+			t.Errorf("year %d: ρ = %v, expected positive quality throughout", r.Years[i], rho)
+		}
+		if r.Recall50[i] < 0 || r.Recall50[i] > 1 {
+			t.Errorf("year %d: recall@50 = %v", r.Years[i], r.Recall50[i])
+		}
+	}
+}
+
+func TestPrequentialValidation(t *testing.T) {
+	d, err := LoadDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prequential(d, 2000, 1999, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := Prequential(d, 2000, 2002, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Prequential(d, 2000, d.Net.MaxYear(), 3); err == nil {
+		t.Error("horizon past data end accepted")
+	}
+}
+
+func TestConfidenceIntervals(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ConfidenceIntervals(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"AR", "ECM"} {
+		if r.Lo[m] > r.Point[m] || r.Point[m] > r.Hi[m] {
+			t.Errorf("%s: point %v outside CI [%v, %v]", m, r.Point[m], r.Lo[m], r.Hi[m])
+		}
+	}
+	if r.Point["AR"] <= r.Point["ECM"] {
+		t.Errorf("AR point (%v) should exceed ECM (%v)", r.Point["AR"], r.Point["ECM"])
+	}
+	if _, err := ConfidenceIntervals(d, 1); err == nil {
+		t.Error("too few iterations accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"fmt"
+
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+)
+
+// ColdStartResult quantifies the age bias that motivates the paper
+// (§1–§2): how well each method ranks the *recently published* papers,
+// which have had little time to accumulate citations. Time-oblivious
+// centralities (citation count, PageRank) collapse on this subset; the
+// time-aware mechanisms are supposed to hold up.
+type ColdStartResult struct {
+	Dataset string
+	Metric  string
+	// RecentYears bounds the subset: papers published in
+	// [TN−RecentYears+1, TN].
+	RecentYears int
+	// RecentCount is the subset size.
+	RecentCount int
+	// All maps method → metric over the full corpus; Recent maps method
+	// → metric over the recent subset only.
+	All    map[string]float64
+	Recent map[string]float64
+}
+
+// ColdStart evaluates AttRank (recommended parameters), citation count
+// and PageRank on the default split, both corpus-wide and restricted to
+// papers published within recentYears of TN.
+func ColdStart(d Dataset, recentYears int, m Metric) (ColdStartResult, error) {
+	out := ColdStartResult{
+		Dataset:     d.Name,
+		Metric:      m.Name,
+		RecentYears: recentYears,
+		All:         make(map[string]float64),
+		Recent:      make(map[string]float64),
+	}
+	if recentYears < 1 {
+		return out, fmt.Errorf("eval: coldstart needs recentYears ≥ 1, got %d", recentYears)
+	}
+	s, err := NewSplit(d.Net, DefaultRatio)
+	if err != nil {
+		return out, fmt.Errorf("eval: coldstart %s: %w", d.Name, err)
+	}
+	truth := s.GroundTruth()
+
+	recentIdx := make([]int, 0, s.Current.N())
+	for i := int32(0); int(i) < s.Current.N(); i++ {
+		if s.Current.Year(i) >= s.TN-recentYears+1 {
+			recentIdx = append(recentIdx, int(i))
+		}
+	}
+	out.RecentCount = len(recentIdx)
+	if len(recentIdx) < 2 {
+		return out, fmt.Errorf("eval: coldstart %s: only %d recent papers", d.Name, len(recentIdx))
+	}
+
+	methods := map[string]func() ([]float64, error){
+		"AR": func() ([]float64, error) {
+			res, err := core.Rank(s.Current, s.TN, core.Params{
+				Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: d.W,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Scores, nil
+		},
+		"CC": func() ([]float64, error) { return baselines.CitationCount{}.Scores(s.Current, s.TN) },
+		"PR": func() ([]float64, error) { return (baselines.PageRank{Alpha: 0.5}).Scores(s.Current, s.TN) },
+	}
+	for name, fn := range methods {
+		scores, err := fn()
+		if err != nil {
+			return out, fmt.Errorf("eval: coldstart %s %s: %w", d.Name, name, err)
+		}
+		all, err := m.Fn(scores, truth)
+		if err != nil {
+			return out, fmt.Errorf("eval: coldstart %s %s: %w", d.Name, name, err)
+		}
+		out.All[name] = all
+
+		subScores := make([]float64, len(recentIdx))
+		subTruth := make([]float64, len(recentIdx))
+		for k, idx := range recentIdx {
+			subScores[k] = scores[idx]
+			subTruth[k] = truth[idx]
+		}
+		recent, err := m.Fn(subScores, subTruth)
+		if err != nil {
+			return out, fmt.Errorf("eval: coldstart %s %s (recent): %w", d.Name, name, err)
+		}
+		out.Recent[name] = recent
+	}
+	return out, nil
+}

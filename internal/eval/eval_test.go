@@ -1,0 +1,454 @@
+package eval
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"attrank/internal/graph"
+)
+
+// ladderNet builds a 20-paper network spanning 1990–1999, two papers per
+// year, where each paper cites the two previous papers. Deterministic and
+// easy to reason about.
+func ladderNet(t testing.TB) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < 20; i++ {
+		if _, err := b.AddPaper("p"+strconv.Itoa(i), 1990+i/2, []string{"a" + strconv.Itoa(i%5)}, "V"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < 20; i++ {
+		b.AddEdgeByIndex(int32(i), int32(i-1))
+		b.AddEdgeByIndex(int32(i), int32(i-2))
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewSplitHalves(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half = 10 papers → tN = year of the 10th paper = 1994.
+	if s.TN != 1994 {
+		t.Errorf("TN = %d, want 1994", s.TN)
+	}
+	if s.Current.N() != 10 {
+		t.Errorf("current size = %d, want 10", s.Current.N())
+	}
+	// Future count = 16 papers → TF = year of paper 16 = 1997.
+	if s.TF != 1997 {
+		t.Errorf("TF = %d, want 1997", s.TF)
+	}
+	if s.Tau() != 3 {
+		t.Errorf("τ = %d, want 3", s.Tau())
+	}
+}
+
+func TestNewSplitRatioTwoUsesWholeDataset(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TF != net.MaxYear() {
+		t.Errorf("TF = %d, want max year %d", s.TF, net.MaxYear())
+	}
+}
+
+func TestNewSplitValidation(t *testing.T) {
+	net := ladderNet(t)
+	for _, r := range []float64{0.5, 1.0, 2.5, -1} {
+		if _, err := NewSplit(net, r); err == nil {
+			t.Errorf("ratio %v accepted", r)
+		}
+	}
+	tiny := graph.NewBuilder()
+	tiny.AddPaper("a", 2000, nil, "")
+	tn, _ := tiny.Build()
+	if _, err := NewSplit(tn, 1.5); err == nil {
+		t.Error("tiny network accepted")
+	}
+}
+
+func TestGroundTruthCountsFutureCitations(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sti := s.GroundTruth()
+	if len(sti) != s.Current.N() {
+		t.Fatalf("sti length %d != current size %d", len(sti), s.Current.N())
+	}
+	// Papers p8 (index 8) and p9 are cited by p10 and p11 (in (tN, tF]).
+	// p9 ← p10, p11; p8 ← p10 (p9 also cites p8 but p9 is in current).
+	p9, _ := s.Current.Lookup("p9")
+	p8, _ := s.Current.Lookup("p8")
+	if sti[p9] != 2 {
+		t.Errorf("STI(p9) = %v, want 2", sti[p9])
+	}
+	if sti[p8] != 1 {
+		t.Errorf("STI(p8) = %v, want 1", sti[p8])
+	}
+	// Old papers get no future citations in the ladder.
+	p0, _ := s.Current.Lookup("p0")
+	if sti[p0] != 0 {
+		t.Errorf("STI(p0) = %v, want 0", sti[p0])
+	}
+}
+
+func TestGroundTruthRespectsHorizon(t *testing.T) {
+	net := ladderNet(t)
+	s12, err := NewSplit(net, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s20, err := NewSplit(net, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	if sum(s12.GroundTruth()) > sum(s20.GroundTruth()) {
+		t.Error("larger ratio must capture at least as many future citations")
+	}
+}
+
+func TestRecentlyPopular(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k as large as the network, overlap is total.
+	if got := s.RecentlyPopular(100, 5); got != s.Current.N() {
+		t.Errorf("RecentlyPopular(k≥n) = %d, want %d", got, s.Current.N())
+	}
+	small := s.RecentlyPopular(3, 5)
+	if small < 0 || small > 3 {
+		t.Errorf("RecentlyPopular(3) = %d out of range", small)
+	}
+}
+
+func TestAttRankGridRespectsTable3(t *testing.T) {
+	grid := AttRankGrid(-0.16)
+	if len(grid) == 0 {
+		t.Fatal("empty grid")
+	}
+	seen := make(map[[3]int]bool)
+	for _, p := range grid {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("grid point %+v invalid: %v", p, err)
+		}
+		if p.Alpha > 0.5+1e-9 {
+			t.Fatalf("α = %v exceeds Table 3 max 0.5", p.Alpha)
+		}
+		if p.Gamma > 0.9+1e-9 {
+			t.Fatalf("γ = %v exceeds Table 3 max 0.9", p.Gamma)
+		}
+		if p.AttentionYears < 1 || p.AttentionYears > 5 {
+			t.Fatalf("y = %d out of Table 3 range", p.AttentionYears)
+		}
+		key := [3]int{int(p.Alpha*10 + 0.5), int(p.Beta*10 + 0.5), p.AttentionYears}
+		if seen[key] {
+			t.Fatalf("duplicate grid point %+v", p)
+		}
+		seen[key] = true
+	}
+	// 6 α values × 11 β values constrained to γ∈[0,0.9] → 50 (α,β) combos × 5 y.
+	// (α=0,β=0 is excluded because γ would be 1 > 0.9.)
+	if len(grid) != 50*5 {
+		t.Errorf("grid size = %d, want 250", len(grid))
+	}
+}
+
+func TestCompetitorGridSizes(t *testing.T) {
+	if got := len(CiteRankGrid()); got != 20 {
+		t.Errorf("CR grid = %d, want 20 (Table 4)", got)
+	}
+	if got := len(RAMGrid()); got != 9 {
+		t.Errorf("RAM grid = %d, want 9", got)
+	}
+	if got := len(ECMGrid()); got != 25 {
+		t.Errorf("ECM grid = %d, want 25", got)
+	}
+	if got := len(WSDMGrid()); got != 50 {
+		t.Errorf("WSDM grid = %d, want 50", got)
+	}
+	if got := len(FutureRankGrid()); got == 0 || got > 400 {
+		t.Errorf("FR grid = %d, out of sane range", got)
+	}
+	fams := CompetitorFamilies(false)
+	if _, ok := fams["WSDM"]; ok {
+		t.Error("WSDM must be absent without venue data")
+	}
+	fams = CompetitorFamilies(true)
+	if _, ok := fams["WSDM"]; !ok {
+		t.Error("WSDM must be present with venue data")
+	}
+}
+
+func TestSweepCandidatesFindsBest(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	cands := RAMGrid()
+	results, best := SweepCandidates(s, truth, cands, Rho())
+	if len(results) != len(cands) {
+		t.Fatalf("results = %d, want %d", len(results), len(cands))
+	}
+	if best < 0 {
+		t.Fatal("no successful candidate")
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Value > results[best].Value {
+			t.Errorf("best selection wrong: %v > %v", r.Value, results[best].Value)
+		}
+	}
+}
+
+func TestSweepAttRankAndBestCell(t *testing.T) {
+	net := ladderNet(t)
+	s, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.GroundTruth()
+	grid := AttRankGrid(-0.3)
+	cells := SweepAttRank(s, truth, grid, Rho())
+	if len(cells) != len(grid) {
+		t.Fatalf("cells = %d, want %d", len(cells), len(grid))
+	}
+	best, ok := BestCell(cells, nil)
+	if !ok {
+		t.Fatal("no successful cell")
+	}
+	noAtt, ok := BestCell(cells, NoAttFilter)
+	if !ok {
+		t.Fatal("no NO-ATT cell")
+	}
+	if noAtt.Params.Beta != 0 {
+		t.Errorf("NO-ATT best has β = %v", noAtt.Params.Beta)
+	}
+	attOnly, ok := BestCell(cells, AttOnlyFilter)
+	if !ok {
+		t.Fatal("no ATT-ONLY cell")
+	}
+	if attOnly.Params.Beta != 1 {
+		t.Errorf("ATT-ONLY best has β = %v", attOnly.Params.Beta)
+	}
+	if best.Value < noAtt.Value || best.Value < attOnly.Value {
+		t.Error("overall best must dominate both filtered bests")
+	}
+}
+
+func TestLoadDatasetCachesAndFits(t *testing.T) {
+	d1, err := LoadDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.W >= 0 {
+		t.Errorf("fitted w = %v, want negative", d1.W)
+	}
+	d2, err := LoadDataset("hep-th", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Net != d2.Net {
+		t.Error("dataset not cached")
+	}
+	if _, err := LoadDataset("bogus", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestCompareAtRatioSmall(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, labels, err := CompareAtRatio(d, 1.6, Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"AR", "NO-ATT", "ATT-ONLY", "RAM", "ECM", "CR"} {
+		if _, ok := values[fam]; !ok {
+			t.Errorf("family %s missing from comparison", fam)
+		}
+		if labels[fam] == "" {
+			t.Errorf("family %s missing label", fam)
+		}
+	}
+	// dblp has venues, so WSDM must run.
+	if _, ok := values["WSDM"]; !ok {
+		t.Error("WSDM missing despite venue data")
+	}
+	for fam, v := range values {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			t.Errorf("family %s value %v out of range", fam, v)
+		}
+	}
+}
+
+func TestTable1AndTable2(t *testing.T) {
+	ds := smallDatasets(t)
+	t1, err := Table1(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		c, ok := t1.Counts[d.Name]
+		if !ok {
+			t.Errorf("table1 missing %s", d.Name)
+		}
+		if c < 0 || c > t1.K {
+			t.Errorf("table1 %s count %d out of range", d.Name, c)
+		}
+	}
+
+	t2, err := Table2(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		taus := t2.Tau[d.Name]
+		if len(taus) != len(t2.Ratios) {
+			t.Fatalf("table2 %s has %d entries", d.Name, len(taus))
+		}
+		for i := 1; i < len(taus); i++ {
+			if taus[i] < taus[i-1] {
+				t.Errorf("table2 %s: τ not monotone: %v", d.Name, taus)
+			}
+		}
+	}
+}
+
+func TestFig1aAndWFit(t *testing.T) {
+	ds := smallDatasets(t)
+	f := Fig1a(ds, 10)
+	for _, d := range ds {
+		dist := f.Series[d.Name]
+		if len(dist) != 11 {
+			t.Fatalf("fig1a %s has %d bins", d.Name, len(dist))
+		}
+		sum := 0.0
+		for _, v := range dist {
+			sum += v
+		}
+		if sum <= 0 || sum > 1+1e-9 {
+			t.Errorf("fig1a %s distribution sums to %v", d.Name, sum)
+		}
+	}
+	wf, err := WFit(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if wf.W[d.Name] >= 0 {
+			t.Errorf("wfit %s = %v, want negative", d.Name, wf.W[d.Name])
+		}
+	}
+}
+
+func TestFig1bFindsOvertakingPair(t *testing.T) {
+	d, err := LoadDataset("pmc", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig1b(d)
+	if err != nil {
+		t.Skipf("no overtaking pair in this synthetic instance: %v", err)
+	}
+	if r.NewYear <= r.OldYear {
+		t.Errorf("new paper (%d) must be younger than old (%d)", r.NewYear, r.OldYear)
+	}
+	if r.CrossYear < r.NewYear {
+		t.Errorf("cross year %d before new paper's publication %d", r.CrossYear, r.NewYear)
+	}
+	if len(r.Years) != len(r.OldCounts) || len(r.Years) != len(r.NewCounts) {
+		t.Error("misaligned series")
+	}
+}
+
+func TestFig2Heatmap(t *testing.T) {
+	d, err := LoadDataset("hep-th", 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Fig2(d, Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Values) != 5 {
+		t.Fatalf("heatmap has %d y-layers, want 5", len(h.Values))
+	}
+	valid := 0
+	for _, layer := range h.Values {
+		if len(layer) != 11 {
+			t.Fatalf("layer has %d β rows", len(layer))
+		}
+		for _, row := range layer {
+			if len(row) != 6 {
+				t.Fatalf("row has %d α cols", len(row))
+			}
+			for _, v := range row {
+				if !math.IsNaN(v) {
+					valid++
+				}
+			}
+		}
+	}
+	if valid != 250 {
+		t.Errorf("valid cells = %d, want 250", valid)
+	}
+	if h.Best.Err != nil || math.IsNaN(h.Best.Value) {
+		t.Error("no best cell recorded")
+	}
+}
+
+func TestConvergenceExperiment(t *testing.T) {
+	ds := smallDatasets(t)
+	c, err := Convergence(ds[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := c.Iterations[ds[0].Name]
+	for _, m := range []string{"AR", "CR", "FR"} {
+		if row[m] <= 0 {
+			t.Errorf("%s iterations = %d", m, row[m])
+		}
+	}
+}
+
+func TestSeriesResultFamilies(t *testing.T) {
+	r := SeriesResult{Series: map[string][]float64{"AR": nil, "CR": nil, "ZZZ": nil}}
+	fams := r.SortedFamilies()
+	if len(fams) != 3 || fams[0] != "CR" || fams[1] != "AR" || fams[2] != "ZZZ" {
+		t.Errorf("SortedFamilies = %v", fams)
+	}
+}
+
+func smallDatasets(t testing.TB) []Dataset {
+	t.Helper()
+	ds, err := LoadDatasets(0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

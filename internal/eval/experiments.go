@@ -1,0 +1,450 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+	"attrank/internal/graph"
+)
+
+// This file contains one driver per table/figure of the paper's
+// evaluation section. Each driver returns a plain result struct that
+// cmd/attrank-eval and the benchmark harness render.
+
+// ---------------------------------------------------------------- fig1a
+
+// Fig1aResult is the citation-age distribution per dataset (Figure 1a).
+type Fig1aResult struct {
+	MaxAge int
+	// Series maps dataset name → distribution (index = years after
+	// publication, value = fraction of total citations).
+	Series map[string][]float64
+}
+
+// Fig1a computes the empirical citation-age distributions.
+func Fig1a(datasets []Dataset, maxAge int) Fig1aResult {
+	out := Fig1aResult{MaxAge: maxAge, Series: make(map[string][]float64, len(datasets))}
+	for _, d := range datasets {
+		out.Series[d.Name] = d.Net.CitationAgeDistribution(maxAge)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- fig1b
+
+// Fig1bResult compares the yearly citation counts of an older, heavily
+// cited paper and a newer paper that overtakes it — the BLAST-1990 vs
+// BLAST-1997 motivating example of Figure 1b.
+type Fig1bResult struct {
+	OldID, NewID     string
+	OldYear, NewYear int
+	// Years is the common x-axis; OldCounts/NewCounts align with it.
+	Years     []int
+	OldCounts []int
+	NewCounts []int
+	// CrossYear is the first year the newer paper's yearly citations
+	// strictly exceed the older paper's.
+	CrossYear int
+}
+
+// Fig1b searches the dataset for the clearest "newer paper overtakes an
+// older, more-cited paper" pair and returns their yearly citation series.
+func Fig1b(d Dataset) (Fig1bResult, error) {
+	net := d.Net
+	top := net.TopByInDegree(60)
+	bestScore := -1
+	var best Fig1bResult
+	for _, oldP := range top {
+		for _, newP := range top {
+			gap := net.Year(newP) - net.Year(oldP)
+			if gap < 3 {
+				continue
+			}
+			if net.InDegree(oldP) <= net.InDegree(newP) {
+				continue // the older paper must have the higher total CC
+			}
+			oldY := net.YearlyCitations(oldP)
+			newY := net.YearlyCitations(newP)
+			cross := 0
+			streak := 0
+			for y := net.Year(newP); y <= net.MaxYear(); y++ {
+				if newY[y] > oldY[y] {
+					streak++
+					if cross == 0 {
+						cross = y
+					}
+				}
+			}
+			if cross == 0 {
+				continue
+			}
+			// Prefer long overtaking streaks on well-cited pairs.
+			score := streak*1000 + net.InDegree(oldP) + net.InDegree(newP)
+			if score > bestScore {
+				bestScore = score
+				best = buildFig1b(net, oldP, newP, cross)
+			}
+		}
+	}
+	if bestScore < 0 {
+		return Fig1bResult{}, fmt.Errorf("eval: no overtaking paper pair found in %s", d.Name)
+	}
+	return best, nil
+}
+
+func buildFig1b(net *graph.Network, oldP, newP int32, cross int) Fig1bResult {
+	oldY := net.YearlyCitations(oldP)
+	newY := net.YearlyCitations(newP)
+	r := Fig1bResult{
+		OldID:     net.Paper(oldP).ID,
+		NewID:     net.Paper(newP).ID,
+		OldYear:   net.Year(oldP),
+		NewYear:   net.Year(newP),
+		CrossYear: cross,
+	}
+	for y := net.Year(oldP); y <= net.MaxYear(); y++ {
+		r.Years = append(r.Years, y)
+		r.OldCounts = append(r.OldCounts, oldY[y])
+		r.NewCounts = append(r.NewCounts, newY[y])
+	}
+	return r
+}
+
+// ---------------------------------------------------------------- tab1
+
+// Table1Result counts recently-popular papers among the top-100 by STI
+// (Table 1).
+type Table1Result struct {
+	// Counts maps dataset name → number of top-100 STI papers that were
+	// also top-100 by citations received in the past 5 years.
+	Counts map[string]int
+	K      int
+	Window int
+}
+
+// Table1 reproduces Table 1 at the default test ratio.
+func Table1(datasets []Dataset) (Table1Result, error) {
+	out := Table1Result{Counts: make(map[string]int), K: 100, Window: 5}
+	for _, d := range datasets {
+		s, err := NewSplit(d.Net, DefaultRatio)
+		if err != nil {
+			return out, fmt.Errorf("eval: table1 %s: %w", d.Name, err)
+		}
+		out.Counts[d.Name] = s.RecentlyPopular(out.K, out.Window)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- tab2
+
+// Table2Result maps test ratios to horizons τ (Table 2).
+type Table2Result struct {
+	Ratios []float64
+	// Tau maps dataset name → τ in years, aligned with Ratios.
+	Tau map[string][]int
+}
+
+// Table2 reproduces the ratio → τ correspondence.
+func Table2(datasets []Dataset) (Table2Result, error) {
+	out := Table2Result{Ratios: TestRatios(), Tau: make(map[string][]int)}
+	for _, d := range datasets {
+		for _, r := range out.Ratios {
+			s, err := NewSplit(d.Net, r)
+			if err != nil {
+				return out, fmt.Errorf("eval: table2 %s@%v: %w", d.Name, r, err)
+			}
+			out.Tau[d.Name] = append(out.Tau[d.Name], s.Tau())
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- fig2
+
+// HeatmapResult is one α–β effectiveness heatmap per attention window y
+// (Figure 2 and appendix Figures 6, 7).
+type HeatmapResult struct {
+	Dataset string
+	Metric  string
+	Alphas  []float64
+	Betas   []float64
+	Ys      []int
+	// Values[yi][bi][ai] is the metric for (Ys[yi], Betas[bi], Alphas[ai]);
+	// NaN marks invalid combinations (α+β > 1).
+	Values [][][]float64
+	// Best is the top value over the whole grid with its parameters.
+	Best AttRankCell
+}
+
+// Fig2 sweeps the Table-3 grid on one dataset and organizes the cells as
+// heatmaps.
+func Fig2(d Dataset, m Metric) (HeatmapResult, error) {
+	s, err := NewSplit(d.Net, DefaultRatio)
+	if err != nil {
+		return HeatmapResult{}, fmt.Errorf("eval: fig2 %s: %w", d.Name, err)
+	}
+	truth := s.GroundTruth()
+	grid := AttRankGrid(d.W)
+	cells := SweepAttRank(s, truth, grid, m)
+
+	res := HeatmapResult{
+		Dataset: d.Name,
+		Metric:  m.Name,
+		Alphas:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		Betas:   []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Ys:      []int{1, 2, 3, 4, 5},
+	}
+	res.Values = make([][][]float64, len(res.Ys))
+	for yi := range res.Ys {
+		res.Values[yi] = make([][]float64, len(res.Betas))
+		for bi := range res.Betas {
+			res.Values[yi][bi] = make([]float64, len(res.Alphas))
+			for ai := range res.Values[yi][bi] {
+				res.Values[yi][bi][ai] = math.NaN()
+			}
+		}
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			continue
+		}
+		ai := int(c.Params.Alpha*10 + 0.5)
+		bi := int(c.Params.Beta*10 + 0.5)
+		yi := c.Params.AttentionYears - 1
+		if ai < len(res.Alphas) && bi < len(res.Betas) && yi >= 0 && yi < len(res.Ys) {
+			res.Values[yi][bi][ai] = c.Value
+		}
+	}
+	if best, ok := BestCell(cells, nil); ok {
+		res.Best = best
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------- fig3/4/5
+
+// SeriesResult holds, for one dataset, the best metric value per method
+// family at each x-axis point (test ratios for Figures 3 and 4, nDCG
+// cut-offs k for Figure 5).
+type SeriesResult struct {
+	Dataset string
+	Metric  string
+	// X is the x-axis (ratios or ks).
+	X []float64
+	// Series maps family name ("CR", "FR", "RAM", "ECM", "WSDM", "AR",
+	// "NO-ATT", "ATT-ONLY") → best value per x point. NaN marks points
+	// where the family could not run.
+	Series map[string][]float64
+	// BestLabels records the winning configuration per family per point.
+	BestLabels map[string][]string
+}
+
+// CompareAtRatio evaluates every tuned family on one split and returns
+// the best value and label per family, including the AttRank variants.
+func CompareAtRatio(d Dataset, ratio float64, m Metric) (map[string]float64, map[string]string, error) {
+	s, err := NewSplit(d.Net, ratio)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: compare %s@%v: %w", d.Name, ratio, err)
+	}
+	truth := s.GroundTruth()
+
+	values := make(map[string]float64)
+	labels := make(map[string]string)
+
+	for fam, cands := range CompetitorFamilies(d.Net.NumVenues() > 0) {
+		results, best := SweepCandidates(s, truth, cands, m)
+		if best >= 0 {
+			values[fam] = results[best].Value
+			labels[fam] = results[best].Label
+		}
+	}
+
+	cells := SweepAttRank(s, truth, AttRankGrid(d.W), m)
+	for fam, filter := range map[string]func(core.Params) bool{
+		"AR":       nil,
+		"NO-ATT":   NoAttFilter,
+		"ATT-ONLY": AttOnlyFilter,
+	} {
+		if best, ok := BestCell(cells, filter); ok {
+			values[fam] = best.Value
+			labels[fam] = fmt.Sprintf("AR(α=%.1f,β=%.1f,γ=%.1f,y=%d)",
+				best.Params.Alpha, best.Params.Beta, best.Params.Gamma, best.Params.AttentionYears)
+		}
+	}
+	return values, labels, nil
+}
+
+// Fig3 produces the Spearman-ρ-vs-ratio comparison for one dataset.
+func Fig3(d Dataset) (SeriesResult, error) {
+	return seriesOverRatios(d, Rho())
+}
+
+// Fig4 produces the nDCG@50-vs-ratio comparison for one dataset.
+func Fig4(d Dataset) (SeriesResult, error) {
+	return seriesOverRatios(d, NDCGAt(50))
+}
+
+func seriesOverRatios(d Dataset, m Metric) (SeriesResult, error) {
+	res := SeriesResult{
+		Dataset:    d.Name,
+		Metric:     m.Name,
+		Series:     make(map[string][]float64),
+		BestLabels: make(map[string][]string),
+	}
+	for _, r := range TestRatios() {
+		res.X = append(res.X, r)
+		values, labels, err := CompareAtRatio(d, r, m)
+		if err != nil {
+			return res, err
+		}
+		appendPoint(&res, values, labels)
+	}
+	return res, nil
+}
+
+// Fig5 produces the nDCG@k comparison at the default ratio for one
+// dataset, k ∈ {5, 10, 50, 100, 500}.
+func Fig5(d Dataset) (SeriesResult, error) {
+	res := SeriesResult{
+		Dataset:    d.Name,
+		Metric:     "ndcg@k",
+		Series:     make(map[string][]float64),
+		BestLabels: make(map[string][]string),
+	}
+	for _, k := range []int{5, 10, 50, 100, 500} {
+		res.X = append(res.X, float64(k))
+		values, labels, err := CompareAtRatio(d, DefaultRatio, NDCGAt(k))
+		if err != nil {
+			return res, err
+		}
+		appendPoint(&res, values, labels)
+	}
+	return res, nil
+}
+
+func appendPoint(res *SeriesResult, values map[string]float64, labels map[string]string) {
+	point := len(res.X) - 1
+	for fam := range values {
+		if _, seen := res.Series[fam]; !seen {
+			// Backfill NaNs if a family first succeeds at a later point.
+			s := make([]float64, point)
+			for i := range s {
+				s[i] = math.NaN()
+			}
+			res.Series[fam] = s
+			res.BestLabels[fam] = make([]string, point)
+		}
+	}
+	for fam := range res.Series {
+		v, ok := values[fam]
+		if !ok {
+			v = math.NaN()
+		}
+		res.Series[fam] = append(res.Series[fam], v)
+		res.BestLabels[fam] = append(res.BestLabels[fam], labels[fam])
+	}
+}
+
+// ---------------------------------------------------------------- conv
+
+// ConvergenceResult compares iteration counts at α = 0.5, ε = 1e−12
+// (§4.4).
+type ConvergenceResult struct {
+	// Iterations maps dataset name → method name → iterations to
+	// convergence.
+	Iterations map[string]map[string]int
+}
+
+// Convergence runs AttRank, CiteRank and FutureRank at α = 0.5 on every
+// dataset's default split and records the iterations each needed.
+func Convergence(datasets []Dataset) (ConvergenceResult, error) {
+	out := ConvergenceResult{Iterations: make(map[string]map[string]int)}
+	for _, d := range datasets {
+		s, err := NewSplit(d.Net, DefaultRatio)
+		if err != nil {
+			return out, fmt.Errorf("eval: convergence %s: %w", d.Name, err)
+		}
+		row := make(map[string]int)
+
+		ar, err := core.Rank(s.Current, s.TN, core.Params{
+			Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: d.W,
+		})
+		if err != nil {
+			return out, fmt.Errorf("eval: convergence %s AR: %w", d.Name, err)
+		}
+		row["AR"] = ar.Iterations
+
+		crIters, err := (baselines.CiteRank{Alpha: 0.5, TauDir: 2}).Iterations(s.Current, s.TN)
+		if err != nil {
+			return out, fmt.Errorf("eval: convergence %s CR: %w", d.Name, err)
+		}
+		row["CR"] = crIters
+
+		frIters, err := (baselines.FutureRank{Alpha: 0.5, Beta: 0.1, Gamma: 0.3, Rho: -0.62}).Iterations(s.Current, s.TN)
+		if err != nil {
+			return out, fmt.Errorf("eval: convergence %s FR: %w", d.Name, err)
+		}
+		row["FR"] = frIters
+
+		out.Iterations[d.Name] = row
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- wfit
+
+// WFitResult reports the fitted recency exponent per dataset along with
+// the distribution it was fitted on.
+type WFitResult struct {
+	// W maps dataset name → fitted exponent.
+	W map[string]float64
+	// Dist maps dataset name → citation-age distribution.
+	Dist map[string][]float64
+}
+
+// WFit reproduces the §4.2 calibration of w.
+func WFit(datasets []Dataset, maxAge int) (WFitResult, error) {
+	out := WFitResult{W: make(map[string]float64), Dist: make(map[string][]float64)}
+	for _, d := range datasets {
+		dist := d.Net.CitationAgeDistribution(maxAge)
+		w, err := core.FitWFromNetwork(d.Net, maxAge)
+		if err != nil {
+			return out, fmt.Errorf("eval: wfit %s: %w", d.Name, err)
+		}
+		out.W[d.Name] = w
+		out.Dist[d.Name] = dist
+	}
+	return out, nil
+}
+
+// SortedFamilies returns the families present in a SeriesResult in
+// presentation order.
+func (r SeriesResult) SortedFamilies() []string {
+	var fams []string
+	for _, f := range FamilyOrder {
+		if _, ok := r.Series[f]; ok {
+			fams = append(fams, f)
+		}
+	}
+	// Any extras (future families) go last, alphabetically.
+	var extra []string
+	for f := range r.Series {
+		if !contains(FamilyOrder, f) {
+			extra = append(extra, f)
+		}
+	}
+	sort.Strings(extra)
+	return append(fams, extra...)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

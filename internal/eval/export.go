@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file exports experiment results as CSV so the paper's figures can
+// be re-plotted with external tooling. Every Write*CSV emits a header
+// row; NaN cells are written as empty strings.
+
+// WriteCSV renders a SeriesResult as one row per x point with one column
+// per method family.
+func (r SeriesResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	fams := r.SortedFamilies()
+	header := append([]string{"x"}, fams...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for i, x := range r.X {
+		row := []string{formatFloat(x)}
+		for _, f := range fams {
+			row = append(row, formatFloat(r.Series[f][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders a HeatmapResult as one row per (y, β, α) cell.
+func (r HeatmapResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"y", "beta", "alpha", r.Metric}); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for yi, y := range r.Ys {
+		for bi, b := range r.Betas {
+			for ai, a := range r.Alphas {
+				v := r.Values[yi][bi][ai]
+				if math.IsNaN(v) {
+					continue
+				}
+				row := []string{
+					strconv.Itoa(y),
+					formatFloat(b),
+					formatFloat(a),
+					formatFloat(v),
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("eval: csv: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the ratio → τ table with one column per dataset.
+func (r Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := sortedKeys(r.Tau)
+	header := append([]string{"ratio"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for i, ratio := range r.Ratios {
+		row := []string{formatFloat(ratio)}
+		for _, n := range names {
+			row = append(row, strconv.Itoa(r.Tau[n][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the citation-age distributions with one column per
+// dataset.
+func (r Fig1aResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := sortedKeys(r.Series)
+	header := append([]string{"age_years"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for age := 0; age <= r.MaxAge; age++ {
+		row := []string{strconv.Itoa(age)}
+		for _, n := range names {
+			row = append(row, formatFloat(r.Series[n][age]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the convergence comparison with one row per method
+// and one column per dataset.
+func (r ConvergenceResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := sortedKeys(r.Iterations)
+	header := append([]string{"method"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for _, m := range []string{"AR", "CR", "FR"} {
+		row := []string{m}
+		for _, n := range names {
+			row = append(row, strconv.Itoa(r.Iterations[n][m]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

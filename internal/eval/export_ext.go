@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters for the extension experiments, matching the style of
+// export.go: header row first, floats in 'g' format.
+
+// WriteCSV renders per-seed metric values, one row per seed with one
+// column per method, plus the seed column.
+func (r StabilityResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	fams := sortedKeys(r.Values)
+	header := append([]string{"seed"}, fams...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for i, seed := range r.Seeds {
+		row := []string{strconv.FormatInt(seed, 10)}
+		for _, f := range fams {
+			row = append(row, formatFloat(r.Values[f][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders per-origin metric values.
+func (r OriginResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	fams := sortedKeys(r.Values)
+	header := append([]string{"origin"}, fams...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for i, origin := range r.Origins {
+		row := []string{formatFloat(origin)}
+		for _, f := range fams {
+			row = append(row, formatFloat(r.Values[f][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the decile table: decile, mean realized STI.
+func (r CalibrationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"decile", "mean_sti"}); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for d, v := range r.MeanSTI {
+		if err := cw.Write([]string{strconv.Itoa(d + 1), formatFloat(v)}); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the prequential series: year, rho, recall@50.
+func (r PrequentialResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"year", "rho", "recall50"}); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for i, y := range r.Years {
+		row := []string{strconv.Itoa(y), formatFloat(r.Rho[i]), formatFloat(r.Recall50[i])}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders corpus-wide and recent-subset values per method.
+func (r ColdStartResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "all", "recent"}); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	for _, m := range sortedKeys(r.All) {
+		row := []string{m, formatFloat(r.All[m]), formatFloat(r.Recent[m])}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestSeriesResultWriteCSV(t *testing.T) {
+	r := SeriesResult{
+		Dataset: "dblp",
+		Metric:  "rho",
+		X:       []float64{1.2, 1.4},
+		Series: map[string][]float64{
+			"AR": {0.7, 0.71},
+			"CR": {0.5, math.NaN()},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][0] != "x" || rows[0][1] != "CR" || rows[0][2] != "AR" {
+		t.Errorf("header = %v (families must be in presentation order)", rows[0])
+	}
+	if rows[2][1] != "" {
+		t.Errorf("NaN must serialize to empty, got %q", rows[2][1])
+	}
+	if rows[1][2] != "0.7" {
+		t.Errorf("AR value = %q", rows[1][2])
+	}
+}
+
+func TestHeatmapWriteCSV(t *testing.T) {
+	r := HeatmapResult{
+		Dataset: "dblp",
+		Metric:  "rho",
+		Alphas:  []float64{0, 0.1},
+		Betas:   []float64{0, 0.1},
+		Ys:      []int{1},
+		Values: [][][]float64{{
+			{0.5, math.NaN()},
+			{0.6, 0.7},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// header + 3 finite cells.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(rows), buf.String())
+	}
+	if rows[0][3] != "rho" {
+		t.Errorf("metric column header = %q", rows[0][3])
+	}
+}
+
+func TestTable2WriteCSV(t *testing.T) {
+	r := Table2Result{
+		Ratios: []float64{1.2, 1.4},
+		Tau: map[string][]int{
+			"aps":    {4, 7},
+			"hep-th": {1, 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[0][1] != "aps" || rows[0][2] != "hep-th" {
+		t.Errorf("header = %v (datasets must be sorted)", rows[0])
+	}
+	if rows[1][2] != "1" || rows[2][1] != "7" {
+		t.Errorf("values wrong: %v", rows[1:])
+	}
+}
+
+func TestFig1aWriteCSV(t *testing.T) {
+	r := Fig1aResult{
+		MaxAge: 2,
+		Series: map[string][]float64{"hep-th": {0.1, 0.5, 0.2}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[2][1] != "0.5" {
+		t.Errorf("age-1 value = %q", rows[2][1])
+	}
+}
+
+func TestConvergenceWriteCSV(t *testing.T) {
+	r := ConvergenceResult{Iterations: map[string]map[string]int{
+		"dblp": {"AR": 26, "CR": 16, "FR": 27},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[1][0] != "AR" || rows[1][1] != "26" {
+		t.Errorf("AR row = %v", rows[1])
+	}
+}
+
+func TestStabilityWriteCSV(t *testing.T) {
+	r := StabilityResult{
+		Seeds:  []int64{1, 2},
+		Values: map[string][]float64{"AR": {0.7, 0.71}, "ECM": {0.6, 0.61}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 || rows[0][0] != "seed" || rows[1][1] != "0.7" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestOriginWriteCSV(t *testing.T) {
+	r := OriginResult{
+		Origins: []float64{0.35, 0.5},
+		Values:  map[string][]float64{"AR": {0.71, 0.72}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 || rows[1][0] != "0.35" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCalibrationWriteCSV(t *testing.T) {
+	r := CalibrationResult{MeanSTI: []float64{5, 2, 1}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 4 || rows[1][0] != "1" || rows[1][1] != "5" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestPrequentialWriteCSV(t *testing.T) {
+	r := PrequentialResult{
+		Years:    []int{2010, 2011},
+		Rho:      []float64{0.7, 0.71},
+		Recall50: []float64{0.5, 0.6},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 || rows[2][2] != "0.6" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestColdStartWriteCSV(t *testing.T) {
+	r := ColdStartResult{
+		All:    map[string]float64{"AR": 0.72, "CC": 0.51},
+		Recent: map[string]float64{"AR": 0.56, "CC": 0.49},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 || rows[1][0] != "AR" || rows[1][2] != "0.56" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"fmt"
+
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+	"attrank/internal/rank"
+)
+
+// AttRankGrid enumerates the parameterization space of Table 3:
+// α ∈ [0, 0.5] step 0.1, β ∈ [0, 1] step 0.1, γ = 1−α−β (implied, in
+// [0, 0.9]), y ∈ [1, 5] step 1. W is fixed per dataset by the tail fit.
+func AttRankGrid(w float64) []core.Params {
+	var grid []core.Params
+	for ai := 0; ai <= 5; ai++ {
+		for bi := 0; bi <= 10; bi++ {
+			alpha := float64(ai) / 10
+			beta := float64(bi) / 10
+			gamma := 1 - alpha - beta
+			if gamma < -1e-9 || gamma > 0.9+1e-9 {
+				continue
+			}
+			if gamma < 0 {
+				gamma = 0
+			}
+			for y := 1; y <= 5; y++ {
+				grid = append(grid, core.Params{
+					Alpha: alpha, Beta: beta, Gamma: gamma,
+					AttentionYears: y, W: w,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// Candidate is one tuned configuration of a method family.
+type Candidate struct {
+	Method rank.Method
+	Label  string
+}
+
+// CiteRankGrid follows Table 4: α ∈ [0.1, 0.7] step 0.2, τdir ∈ [2, 10]
+// step 2 — 20 settings.
+func CiteRankGrid() []Candidate {
+	var out []Candidate
+	for ai := 1; ai <= 7; ai += 2 {
+		for tau := 2; tau <= 10; tau += 2 {
+			c := baselines.CiteRank{Alpha: float64(ai) / 10, TauDir: float64(tau)}
+			out = append(out, Candidate{Method: c, Label: fmt.Sprintf("CR(α=%.1f,τ=%d)", c.Alpha, tau)})
+		}
+	}
+	return out
+}
+
+// FutureRankGrid follows Table 4: α ∈ [0.1, 0.5] step 0.1, β and γ in
+// [0, 0.9] step 0.1 with α+β+γ ≤ 1, ρ ∈ {−0.82, −0.62, −0.42}. To keep
+// the sweep comparable to the paper's 120 settings, β is restricted to
+// the small values the original work found optimal (≤ 0.2).
+func FutureRankGrid() []Candidate {
+	var out []Candidate
+	for _, rho := range []float64{-0.82, -0.62, -0.42} {
+		for ai := 1; ai <= 5; ai++ {
+			for bi := 0; bi <= 2; bi++ {
+				for gi := 0; gi <= 9; gi++ {
+					alpha := float64(ai) / 10
+					beta := float64(bi) / 10
+					gamma := float64(gi) / 10
+					if alpha+beta+gamma > 1+1e-9 {
+						continue
+					}
+					f := baselines.FutureRank{Alpha: alpha, Beta: beta, Gamma: gamma, Rho: rho, MaxIter: 150}
+					out = append(out, Candidate{
+						Method: f,
+						Label:  fmt.Sprintf("FR(α=%.1f,β=%.1f,γ=%.1f,ρ=%.2f)", alpha, beta, gamma, rho),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RAMGrid follows Table 4: γ ∈ [0.1, 0.9] step 0.1 — 9 settings.
+func RAMGrid() []Candidate {
+	var out []Candidate
+	for gi := 1; gi <= 9; gi++ {
+		r := baselines.RAM{Gamma: float64(gi) / 10}
+		out = append(out, Candidate{Method: r, Label: fmt.Sprintf("RAM(γ=%.1f)", r.Gamma)})
+	}
+	return out
+}
+
+// ECMGrid follows Table 4: α, γ ∈ [0.1, 0.5] step 0.1 — 25 settings.
+func ECMGrid() []Candidate {
+	var out []Candidate
+	for ai := 1; ai <= 5; ai++ {
+		for gi := 1; gi <= 5; gi++ {
+			e := baselines.ECM{Alpha: float64(ai) / 10, Gamma: float64(gi) / 10}
+			out = append(out, Candidate{Method: e, Label: fmt.Sprintf("ECM(α=%.1f,γ=%.1f)", e.Alpha, e.Gamma)})
+		}
+	}
+	return out
+}
+
+// WSDMGrid follows Table 4: α ∈ [1.1, 2.3] step 0.3, β ∈ [1, 5] step 1,
+// i ∈ {4, 5} — 50 settings.
+func WSDMGrid() []Candidate {
+	var out []Candidate
+	for ai := 0; ai < 5; ai++ {
+		for b := 1; b <= 5; b++ {
+			for _, iters := range []int{4, 5} {
+				w := baselines.WSDM{Alpha: 1.1 + 0.3*float64(ai), Beta: float64(b), Iters: iters}
+				out = append(out, Candidate{
+					Method: w,
+					Label:  fmt.Sprintf("WSDM(α=%.1f,β=%d,i=%d)", w.Alpha, b, iters),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CompetitorFamilies returns the §4.3 competitor grids keyed by family
+// name, in the paper's presentation order. WSDM is included only when
+// hasVenues is set, mirroring the paper (venue data exists only for PMC
+// and DBLP).
+func CompetitorFamilies(hasVenues bool) map[string][]Candidate {
+	fams := map[string][]Candidate{
+		"CR":  CiteRankGrid(),
+		"FR":  FutureRankGrid(),
+		"RAM": RAMGrid(),
+		"ECM": ECMGrid(),
+	}
+	if hasVenues {
+		fams["WSDM"] = WSDMGrid()
+	}
+	return fams
+}
+
+// FamilyOrder is the presentation order of method families in the
+// figures: competitors first, then AttRank and its two ablations.
+var FamilyOrder = []string{"CR", "FR", "RAM", "ECM", "WSDM", "AR", "NO-ATT", "ATT-ONLY"}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"fmt"
+
+	"attrank/internal/core"
+	"attrank/internal/metrics"
+)
+
+// PrequentialResult tracks ranking quality as the evaluation time tN
+// walks forward year by year with a fixed horizon — the view an operator
+// of a live ranking service has: "how good were last year's rankings,
+// and the year before?".
+type PrequentialResult struct {
+	Dataset string
+	Horizon int // years of future used as ground truth at each step
+	Years   []int
+	// Rho[i] is AttRank's Spearman ρ at tN = Years[i]; Recall50[i] the
+	// top-50 overlap with the realized future's top-50.
+	Rho      []float64
+	Recall50 []float64
+}
+
+// Prequential evaluates AttRank (recommended parameters) at every tN in
+// [firstYear, lastYear], each time using the following `horizon` years
+// as ground truth. Years whose current state is too small or whose
+// future holds no citations are skipped.
+func Prequential(d Dataset, firstYear, lastYear, horizon int) (PrequentialResult, error) {
+	out := PrequentialResult{Dataset: d.Name, Horizon: horizon}
+	if horizon < 1 {
+		return out, fmt.Errorf("eval: prequential horizon %d must be ≥ 1", horizon)
+	}
+	if lastYear < firstYear {
+		return out, fmt.Errorf("eval: prequential year range [%d, %d] empty", firstYear, lastYear)
+	}
+	if lastYear+horizon > d.Net.MaxYear() {
+		return out, fmt.Errorf("eval: prequential needs data through %d, have %d",
+			lastYear+horizon, d.Net.MaxYear())
+	}
+	// A Tracker warm-starts each year's re-rank from the previous year's
+	// scores — the same fixed points as cold ranking, reached faster.
+	tracker, err := core.NewTracker(core.Params{
+		Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: d.W,
+	})
+	if err != nil {
+		return out, fmt.Errorf("eval: prequential %s: %w", d.Name, err)
+	}
+	for year := firstYear; year <= lastYear; year++ {
+		current, keep := d.Net.Until(year)
+		if current.N() < 50 {
+			continue
+		}
+		truth := make([]float64, current.N())
+		total := 0.0
+		for cur, orig := range keep {
+			truth[cur] = float64(d.Net.CitationsIn(orig, year+1, year+horizon))
+			total += truth[cur]
+		}
+		if total == 0 {
+			continue
+		}
+		res, err := tracker.Update(current, year)
+		if err != nil {
+			return out, fmt.Errorf("eval: prequential %s@%d: %w", d.Name, year, err)
+		}
+		rho, err := metrics.Spearman(res.Scores, truth)
+		if err != nil {
+			continue // constant truth this year
+		}
+		recall, err := metrics.OverlapAtK(truth, res.Scores, 50)
+		if err != nil {
+			continue
+		}
+		out.Years = append(out.Years, year)
+		out.Rho = append(out.Rho, rho)
+		out.Recall50 = append(out.Recall50, recall)
+	}
+	if len(out.Years) == 0 {
+		return out, fmt.Errorf("eval: prequential %s: no evaluable years in [%d, %d]",
+			d.Name, firstYear, lastYear)
+	}
+	return out, nil
+}

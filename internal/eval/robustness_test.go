@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSplitAtOrigins(t *testing.T) {
+	net := ladderNet(t)
+	early, err := NewSplitAt(net, 0.3, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := NewSplitAt(net, 0.5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Current.N() >= mid.Current.N() {
+		t.Errorf("earlier origin should yield a smaller current state: %d vs %d",
+			early.Current.N(), mid.Current.N())
+	}
+	// The default constructor must equal origin 0.5.
+	def, err := NewSplit(net, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.TN != mid.TN || def.TF != mid.TF {
+		t.Errorf("NewSplit != NewSplitAt(0.5): (%d,%d) vs (%d,%d)", def.TN, def.TF, mid.TN, mid.TF)
+	}
+}
+
+func TestNewSplitAtValidation(t *testing.T) {
+	net := ladderNet(t)
+	for _, c := range []struct{ origin, ratio float64 }{
+		{0, 1.6}, {1, 1.6}, {-0.2, 1.6}, {0.5, 1.0}, {0.5, 2.5},
+	} {
+		if _, err := NewSplitAt(net, c.origin, c.ratio); err == nil {
+			t.Errorf("origin=%v ratio=%v accepted", c.origin, c.ratio)
+		}
+	}
+	// Non-default origins may use ratios above 2 (future clamped).
+	if _, err := NewSplitAt(net, 0.3, 3.0); err != nil {
+		t.Errorf("origin=0.3 ratio=3 rejected: %v", err)
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	r, err := SeedStability("hep-th", 0.05, []int64{1, 2, 3}, Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Seeds) != 3 {
+		t.Fatalf("seeds = %v", r.Seeds)
+	}
+	for _, fam := range []string{"AR", "NO-ATT", "CR", "RAM", "ECM"} {
+		vs, ok := r.Values[fam]
+		if !ok || len(vs) != 3 {
+			t.Fatalf("family %s has %d values", fam, len(vs))
+		}
+		mean, std := r.MeanStd(fam)
+		if math.IsNaN(mean) || std < 0 {
+			t.Errorf("family %s: mean=%v std=%v", fam, mean, std)
+		}
+	}
+	if r.ARWins < 0 || r.ARWins > 3 {
+		t.Errorf("ARWins = %d out of range", r.ARWins)
+	}
+	// The headline shape: AR's mean beats NO-ATT's mean across seeds.
+	arMean, _ := r.MeanStd("AR")
+	noAttMean, _ := r.MeanStd("NO-ATT")
+	if arMean <= noAttMean {
+		t.Errorf("AR mean (%v) should beat NO-ATT mean (%v)", arMean, noAttMean)
+	}
+}
+
+func TestSeedStabilityUnknownDataset(t *testing.T) {
+	if _, err := SeedStability("nope", 0.1, []int64{1}, Rho()); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestMeanStdEmptyFamily(t *testing.T) {
+	r := StabilityResult{Values: map[string][]float64{}}
+	mean, std := r.MeanStd("absent")
+	if !math.IsNaN(mean) || !math.IsNaN(std) {
+		t.Errorf("absent family should be NaN, got %v/%v", mean, std)
+	}
+}
+
+func TestOriginSweep(t *testing.T) {
+	d, err := LoadDataset("dblp", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OriginSweep(d, []float64{0.4, 0.5, 0.6}, Rho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := r.Values["AR"]
+	if len(ar) != 3 {
+		t.Fatalf("AR origins = %d", len(ar))
+	}
+	noAtt := r.Values["NO-ATT"]
+	for i := range ar {
+		if ar[i] <= noAtt[i] {
+			t.Errorf("origin %v: AR (%v) should beat NO-ATT (%v)", r.Origins[i], ar[i], noAtt[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package eval implements the paper's evaluation protocol (§4.1): the
+// temporal current/future split controlled by the test ratio, the
+// short-term-impact ground truth, the tuning grids of Tables 3 and 4,
+// parallel parameter sweeps, and one driver per table/figure of the
+// evaluation section.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"attrank/internal/graph"
+)
+
+// Split is a current/future partition of a citation network.
+//
+// Following §4.1: papers are ordered by publication time; the older half
+// forms the current state C(tN) (the "training" network all methods see),
+// and the future state C(tN+τ) contains ratio × |current| papers. The
+// time horizon τ is derived, not chosen — its nonlinear relation to the
+// ratio (Table 2) comes from the datasets' growth curves.
+type Split struct {
+	// Full is the complete network the split was derived from.
+	Full *graph.Network
+	// Current is the sub-network C(tN): papers published ≤ TN and the
+	// citations among them.
+	Current *graph.Network
+	// Keep maps Current's node indices to Full's node indices.
+	Keep []int32
+	// TN is the current time (year of the newest paper in Current).
+	TN int
+	// TF is the future time tN+τ bounding the future state.
+	TF int
+	// Ratio is the requested test ratio.
+	Ratio float64
+}
+
+// Tau returns the time horizon τ in years.
+func (s *Split) Tau() int { return s.TF - s.TN }
+
+// NewSplit partitions net at the given test ratio with the paper's
+// default origin (the older half forms the current state). Ratio must be
+// in (1, 2]; 2.0 means the future state is the whole dataset.
+func NewSplit(net *graph.Network, ratio float64) (*Split, error) {
+	return NewSplitAt(net, 0.5, ratio)
+}
+
+// NewSplitAt generalizes NewSplit: the current state holds the oldest
+// `origin` fraction of the papers (the paper fixes origin = 0.5), and the
+// future state holds ratio × that count. Used by the origin-robustness
+// extension experiment. origin must be in (0, 1); origin × ratio must not
+// exceed 1 by more than rounding (the future state is clamped to the
+// whole dataset).
+func NewSplitAt(net *graph.Network, origin, ratio float64) (*Split, error) {
+	if origin <= 0 || origin >= 1 {
+		return nil, fmt.Errorf("eval: split origin %v out of (0, 1)", origin)
+	}
+	if ratio <= 1 {
+		return nil, fmt.Errorf("eval: test ratio %v must exceed 1", ratio)
+	}
+	if origin == 0.5 && ratio > 2 {
+		return nil, fmt.Errorf("eval: test ratio %v out of (1, 2]", ratio)
+	}
+	n := net.N()
+	if n < 4 {
+		return nil, fmt.Errorf("eval: network too small to split (%d papers)", n)
+	}
+	order := net.PapersByTime()
+	half := int(float64(n) * origin)
+	if half < 1 {
+		half = 1
+	}
+	tn := net.Year(order[half-1])
+
+	futureCount := int(float64(half) * ratio)
+	if futureCount > n {
+		futureCount = n
+	}
+	tf := net.Year(order[futureCount-1])
+	if tf < tn {
+		tf = tn
+	}
+
+	current, keep := net.Until(tn)
+	if current.N() == 0 {
+		return nil, fmt.Errorf("eval: empty current state at tN=%d", tn)
+	}
+	return &Split{
+		Full:    net,
+		Current: current,
+		Keep:    keep,
+		TN:      tn,
+		TF:      tf,
+		Ratio:   ratio,
+	}, nil
+}
+
+// GroundTruth returns the STI of every paper in the current state: the
+// number of citations received from papers published in (TN, TF]. The
+// slice is indexed by Current's node indices, so it aligns with any
+// method's score vector on Current.
+func (s *Split) GroundTruth() []float64 {
+	sti := make([]float64, s.Current.N())
+	for cur, orig := range s.Keep {
+		sti[cur] = float64(s.Full.CitationsIn(orig, s.TN+1, s.TF))
+	}
+	return sti
+}
+
+// RecentlyPopular reports, for Table 1, how many of the top-k papers by
+// STI were "recently popular": among the top-k most cited during the
+// past `window` years before TN.
+func (s *Split) RecentlyPopular(k, window int) int {
+	sti := s.GroundTruth()
+	recent := make([]float64, s.Current.N())
+	for cur, orig := range s.Keep {
+		recent[cur] = float64(s.Full.CitationsIn(orig, s.TN-window+1, s.TN))
+	}
+	topSTI := topKIndices(sti, k)
+	topRecent := make(map[int]struct{}, k)
+	for _, i := range topKIndices(recent, k) {
+		topRecent[i] = struct{}{}
+	}
+	count := 0
+	for _, i := range topSTI {
+		if _, ok := topRecent[i]; ok {
+			count++
+		}
+	}
+	return count
+}
+
+func topKIndices(scores []float64, k int) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	// Full sort is fine at evaluation sizes.
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}

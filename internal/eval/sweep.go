@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"attrank/internal/core"
+	"attrank/internal/metrics"
+)
+
+// Metric is a ranking-quality measure against the STI ground truth.
+type Metric struct {
+	// Name is "rho" or "ndcg@k".
+	Name string
+	// Fn compares a method's scores with the ground-truth gains.
+	Fn func(scores, truth []float64) (float64, error)
+}
+
+// Rho returns the Spearman correlation metric of §4.1.
+func Rho() Metric {
+	return Metric{Name: "rho", Fn: metrics.Spearman}
+}
+
+// NDCGAt returns the nDCG@k metric of §4.1.
+func NDCGAt(k int) Metric {
+	return Metric{
+		Name: fmt.Sprintf("ndcg@%d", k),
+		Fn: func(scores, truth []float64) (float64, error) {
+			return metrics.NDCG(scores, truth, k)
+		},
+	}
+}
+
+// SweepResult is the outcome of evaluating one candidate configuration.
+type SweepResult struct {
+	Label string
+	Value float64
+	// Err is non-nil when the configuration failed (e.g. non-convergence);
+	// such configurations are excluded from best-of selection, as the
+	// paper excludes non-converging parameter ranges (§4.3 footnote).
+	Err error
+}
+
+// SweepCandidates evaluates every candidate on the split in parallel and
+// returns the per-candidate results in input order plus the index of the
+// best successful one (−1 if none succeeded).
+func SweepCandidates(s *Split, truth []float64, cands []Candidate, m Metric) ([]SweepResult, int) {
+	results := make([]SweepResult, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range cands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cands[i]
+			scores, err := c.Method.Scores(s.Current, s.TN)
+			if err != nil {
+				results[i] = SweepResult{Label: c.Label, Err: err}
+				return
+			}
+			v, err := m.Fn(scores, truth)
+			results[i] = SweepResult{Label: c.Label, Value: v, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	best := -1
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if best < 0 || r.Value > results[best].Value {
+			best = i
+		}
+	}
+	return results, best
+}
+
+// AttRankCell is the sweep outcome for one Table-3 grid point.
+type AttRankCell struct {
+	Params core.Params
+	Value  float64
+	Err    error
+}
+
+// SweepAttRank evaluates the full AttRank grid on the split, in parallel,
+// returning cells in grid order.
+func SweepAttRank(s *Split, truth []float64, grid []core.Params, m Metric) []AttRankCell {
+	cells := make([]AttRankCell, len(grid))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range grid {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := grid[i]
+			res, err := core.Rank(s.Current, s.TN, p)
+			if err != nil {
+				cells[i] = AttRankCell{Params: p, Err: err}
+				return
+			}
+			v, err := m.Fn(res.Scores, truth)
+			cells[i] = AttRankCell{Params: p, Value: v, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return cells
+}
+
+// BestCell returns the best successful cell, optionally filtered. The
+// filter selects the AttRank variants of the comparison: nil for full
+// AttRank, β=0 for NO-ATT, β=1 for ATT-ONLY.
+func BestCell(cells []AttRankCell, filter func(core.Params) bool) (AttRankCell, bool) {
+	var best AttRankCell
+	found := false
+	for _, c := range cells {
+		if c.Err != nil {
+			continue
+		}
+		if filter != nil && !filter(c.Params) {
+			continue
+		}
+		if !found || c.Value > best.Value {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// NoAttFilter selects the β = 0 cells (NO-ATT variant).
+func NoAttFilter(p core.Params) bool { return p.Beta == 0 }
+
+// AttOnlyFilter selects the β = 1 cells (ATT-ONLY variant).
+func AttOnlyFilter(p core.Params) bool { return p.Beta == 1 }
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+
+	"attrank/internal/baselines"
+	"attrank/internal/core"
+	"attrank/internal/metrics"
+	"attrank/internal/synth"
+)
+
+// TrendShiftResult measures how quickly ranking methods pick up an
+// emerging hot topic — the "current research trends" narrative behind the
+// paper's attention mechanism. A synthetic corpus is generated with one
+// topic bursting a few years before the evaluation time tN; the result
+// reports, for each method, how many of its top-k papers belong to the
+// bursting topic, next to the ground truth's count (top-k by realized
+// STI).
+type TrendShiftResult struct {
+	Dataset    string
+	K          int
+	BurstTopic int
+	BurstYear  int
+	TN         int
+	// TopicInTopK maps "AR", "NO-ATT", "CC" and "truth" to the number of
+	// top-k papers from the bursting topic.
+	TopicInTopK map[string]int
+}
+
+// TrendShift generates a DBLP-like corpus with four topics where topic 3
+// bursts (boost ×6) a few years before the default split's tN, then
+// counts bursting-topic papers in each method's top-k.
+func TrendShift(scale float64, k int) (TrendShiftResult, error) {
+	out := TrendShiftResult{Dataset: "dblp+burst", K: k, BurstTopic: 3, TopicInTopK: make(map[string]int)}
+	if k <= 0 {
+		return out, fmt.Errorf("eval: trendshift needs k > 0, got %d", k)
+	}
+	profile := synth.DBLP()
+	if scale > 0 && scale != 1 {
+		profile = profile.Scale(scale)
+	}
+	profile.Topics = 4
+	profile.TopicAffinity = 0.5
+	// The default split puts tN around the early 2000s for DBLP; start
+	// the burst shortly before so the trend is young at ranking time.
+	// The probe generation (no burst) shares the final network's paper
+	// arrival schedule, so its tN is the final tN.
+	probe, err := synth.Generate(profile)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift probe: %w", err)
+	}
+	s0, err := NewSplit(probe, DefaultRatio)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift: %w", err)
+	}
+	burstYear := s0.TN - 3
+	profile.Burst = &synth.Burst{Topic: out.BurstTopic, StartYear: burstYear, Boost: 6}
+	out.BurstYear = burstYear
+
+	net, topics, err := synth.GenerateWithTopics(profile, profile.Seed)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift: %w", err)
+	}
+	w, err := core.FitWFromNetwork(net, 10)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift: %w", err)
+	}
+	s, err := NewSplit(net, DefaultRatio)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift: %w", err)
+	}
+	out.TN = s.TN
+	truth := s.GroundTruth()
+
+	countTopic := func(scores []float64) int {
+		count := 0
+		for _, idx := range metrics.TopK(scores, k) {
+			orig := s.Keep[idx]
+			if topics[orig] == int32(out.BurstTopic) {
+				count++
+			}
+		}
+		return count
+	}
+
+	out.TopicInTopK["truth"] = countTopic(truth)
+
+	ar, err := core.Rank(s.Current, s.TN, core.Params{
+		Alpha: 0.2, Beta: 0.5, Gamma: 0.3, AttentionYears: 3, W: w,
+	})
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift AR: %w", err)
+	}
+	out.TopicInTopK["AR"] = countTopic(ar.Scores)
+
+	noAtt, err := core.Rank(s.Current, s.TN, core.Params{
+		Alpha: 0.2, Beta: 0, Gamma: 0.8, AttentionYears: 3, W: w,
+	})
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift NO-ATT: %w", err)
+	}
+	out.TopicInTopK["NO-ATT"] = countTopic(noAtt.Scores)
+
+	cc, err := baselines.CitationCount{}.Scores(s.Current, s.TN)
+	if err != nil {
+		return out, fmt.Errorf("eval: trendshift CC: %w", err)
+	}
+	out.TopicInTopK["CC"] = countTopic(cc)
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package graph
+
+import "sort"
+
+// Co-citation and bibliographic coupling are the two classic relatedness
+// measures on citation networks (Small 1973; Kessler 1963). They power
+// "related papers" features: two papers are related when they are often
+// cited together (co-citation) or cite the same prior work (coupling).
+
+// CoCitation returns the number of papers that cite both a and b.
+func (n *Network) CoCitation(a, b int32) int {
+	return countCommon(n.citers[n.citPtr[a]:n.citPtr[a+1]], n.citers[n.citPtr[b]:n.citPtr[b+1]])
+}
+
+// Coupling returns the number of papers referenced by both a and b
+// (bibliographic coupling strength).
+func (n *Network) Coupling(a, b int32) int {
+	ra := n.refs[n.refPtr[a]:n.refPtr[a+1]]
+	rb := n.refs[n.refPtr[b]:n.refPtr[b+1]]
+	// Reference lists are not sorted; use a set over the smaller one.
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	set := make(map[int32]struct{}, len(ra))
+	for _, r := range ra {
+		set[r] = struct{}{}
+	}
+	count := 0
+	for _, r := range rb {
+		if _, ok := set[r]; ok {
+			count++
+		}
+	}
+	return count
+}
+
+// countCommon intersects two citer slices. Citers are sorted by year then
+// index, not by index, so use a set.
+func countCommon(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	set := make(map[int32]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	count := 0
+	for _, x := range b {
+		if _, ok := set[x]; ok {
+			count++
+		}
+	}
+	return count
+}
+
+// Related scores one paper's relatedness to others.
+type Related struct {
+	Paper int32
+	// CoCited is the co-citation count; Coupled the shared-reference
+	// count. Score is their sum, the simple combined relatedness used
+	// for ranking.
+	CoCited, Coupled int
+	Score            int
+}
+
+// RelatedPapers returns the k papers most related to paper i, combining
+// co-citation (papers cited alongside i) and bibliographic coupling
+// (papers sharing references with i). Papers with zero relatedness are
+// omitted; ties break by node index.
+func (n *Network) RelatedPapers(i int32, k int) []Related {
+	if k <= 0 {
+		return nil
+	}
+	coc := make(map[int32]int)
+	// Co-citation: walk i's citers and credit everything else they cite.
+	n.Citers(i, func(citer int32) {
+		n.References(citer, func(other int32) {
+			if other != i {
+				coc[other]++
+			}
+		})
+	})
+	coup := make(map[int32]int)
+	// Coupling: walk i's references and credit their other citers.
+	n.References(i, func(ref int32) {
+		n.Citers(ref, func(other int32) {
+			if other != i {
+				coup[other]++
+			}
+		})
+	})
+	all := make(map[int32]Related, len(coc)+len(coup))
+	for p, c := range coc {
+		r := all[p]
+		r.Paper = p
+		r.CoCited = c
+		all[p] = r
+	}
+	for p, c := range coup {
+		r := all[p]
+		r.Paper = p
+		r.Coupled = c
+		all[p] = r
+	}
+	out := make([]Related, 0, len(all))
+	for _, r := range all {
+		r.Score = r.CoCited + r.Coupled
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Paper < out[b].Paper
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}

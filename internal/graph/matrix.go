@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"attrank/internal/sparse"
+)
+
+// CitationMatrix returns the 0/1 citation matrix C of the network as a
+// sparse matrix: C[i,j] = 1 iff paper j cites paper i (column j is the
+// reference list of j).
+func (n *Network) CitationMatrix() (*sparse.Matrix, error) {
+	entries := make([]sparse.Coord, 0, n.Edges())
+	for j := int32(0); int(j) < n.N(); j++ {
+		n.References(j, func(ref int32) {
+			entries = append(entries, sparse.Coord{Row: ref, Col: j, Val: 1})
+		})
+	}
+	m, err := sparse.NewMatrix(n.N(), n.N(), entries)
+	if err != nil {
+		return nil, fmt.Errorf("graph: citation matrix: %w", err)
+	}
+	return m, nil
+}
+
+// StochasticMatrix returns the column-stochastic matrix S of the paper:
+// each paper spreads unit mass uniformly over its references, and papers
+// without references are dangling columns handled by the Stochastic type.
+func (n *Network) StochasticMatrix() (*sparse.Stochastic, error) {
+	c, err := n.CitationMatrix()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sparse.NewColumnStochastic(c)
+	if err != nil {
+		return nil, fmt.Errorf("graph: stochastic matrix: %w", err)
+	}
+	return s, nil
+}
+
+// AgeWeightedMatrix returns the retained adjacency matrix of RAM/ECM
+// (Ghosh et al. 2011): entry (i,j) = gamma^(now − t_j) if paper j cites
+// paper i, where t_j is the publication year of the *citing* paper, so
+// recent citations retain more weight. gamma must be in (0, 1].
+func (n *Network) AgeWeightedMatrix(now int, gamma float64) (*sparse.Matrix, error) {
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("graph: age-weighted matrix: gamma %v out of (0,1]", gamma)
+	}
+	entries := make([]sparse.Coord, 0, n.Edges())
+	for j := int32(0); int(j) < n.N(); j++ {
+		age := now - n.papers[j].Year
+		if age < 0 {
+			age = 0
+		}
+		w := math.Pow(gamma, float64(age))
+		n.References(j, func(ref int32) {
+			entries = append(entries, sparse.Coord{Row: ref, Col: j, Val: w})
+		})
+	}
+	m, err := sparse.NewMatrix(n.N(), n.N(), entries)
+	if err != nil {
+		return nil, fmt.Errorf("graph: age-weighted matrix: %w", err)
+	}
+	return m, nil
+}
+
+// PaperAuthorEdges calls fn(paper, author) for every paper–author
+// incidence, the bipartite structure used by FutureRank and the WSDM
+// winner.
+func (n *Network) PaperAuthorEdges(fn func(paper, author int32)) {
+	for i := range n.papers {
+		for _, a := range n.papers[i].Authors {
+			fn(int32(i), a)
+		}
+	}
+}
+
+// PaperVenueEdges calls fn(paper, venue) for every paper with a venue.
+func (n *Network) PaperVenueEdges(fn func(paper, venue int32)) {
+	for i := range n.papers {
+		if v := n.papers[i].Venue; v != NoVenue {
+			fn(int32(i), v)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package graph implements the citation-network substrate of the paper: a
+// directed graph whose nodes are papers and whose edge p→q means "p cites
+// q", annotated with publication years and optional author/venue metadata.
+//
+// A Network is immutable once built (see Builder). The temporal operations
+// needed by the evaluation protocol — restricting to the state C(t) of the
+// network at a time t, and counting citations made inside a window
+// C[t−y : t] — are provided as methods.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoVenue marks a paper without venue metadata.
+const NoVenue int32 = -1
+
+// Paper is the metadata of a single publication. References live in the
+// Network adjacency, not here.
+type Paper struct {
+	// ID is the external identifier (dataset key), unique per network.
+	ID string
+	// Year is the publication time t_p. The paper's model only needs a
+	// totally ordered integer time; all four datasets use years.
+	Year int
+	// Authors are indices into the network's author table; may be empty.
+	Authors []int32
+	// Venue is an index into the venue table, or NoVenue.
+	Venue int32
+}
+
+// Network is an immutable citation network. Node indices are dense int32
+// in [0, N).
+type Network struct {
+	papers []Paper
+	idx    map[string]int32 // ID → node
+
+	// CSR out-adjacency: refs[refPtr[i]:refPtr[i+1]] are the papers cited
+	// by paper i (its reference list).
+	refPtr []int32
+	refs   []int32
+
+	// CSR in-adjacency: citers[citPtr[i]:citPtr[i+1]] are the papers that
+	// cite paper i, sorted by the citing paper's year (ascending) so that
+	// windowed citation counts are a binary search away.
+	citPtr []int32
+	citers []int32
+
+	authors []string // author table; may be empty
+	venues  []string // venue table; may be empty
+
+	minYear, maxYear int
+}
+
+// N returns the number of papers.
+func (n *Network) N() int { return len(n.papers) }
+
+// Paper returns the metadata of node i.
+func (n *Network) Paper(i int32) Paper { return n.papers[i] }
+
+// Year returns the publication year of node i.
+func (n *Network) Year(i int32) int { return n.papers[i].Year }
+
+// Lookup resolves an external ID to a node index.
+func (n *Network) Lookup(id string) (int32, bool) {
+	i, ok := n.idx[id]
+	return i, ok
+}
+
+// MinYear returns the earliest publication year in the network.
+func (n *Network) MinYear() int { return n.minYear }
+
+// MaxYear returns the latest publication year in the network; this is the
+// "current time" t_N when the whole network is the current state.
+func (n *Network) MaxYear() int { return n.maxYear }
+
+// Edges returns the total number of citation edges.
+func (n *Network) Edges() int { return len(n.refs) }
+
+// NumAuthors returns the size of the author table.
+func (n *Network) NumAuthors() int { return len(n.authors) }
+
+// AuthorName returns the name of author a, or "" if out of range.
+func (n *Network) AuthorName(a int32) string {
+	if a < 0 || int(a) >= len(n.authors) {
+		return ""
+	}
+	return n.authors[a]
+}
+
+// NumVenues returns the size of the venue table.
+func (n *Network) NumVenues() int { return len(n.venues) }
+
+// VenueName returns the name of venue v, or "" if v is NoVenue or out of
+// range.
+func (n *Network) VenueName(v int32) string {
+	if v < 0 || int(v) >= len(n.venues) {
+		return ""
+	}
+	return n.venues[v]
+}
+
+// References calls fn for every paper cited by node i.
+func (n *Network) References(i int32, fn func(ref int32)) {
+	for k := n.refPtr[i]; k < n.refPtr[i+1]; k++ {
+		fn(n.refs[k])
+	}
+}
+
+// OutDegree returns the number of references of node i (k_i in the paper).
+func (n *Network) OutDegree(i int32) int { return int(n.refPtr[i+1] - n.refPtr[i]) }
+
+// Citers calls fn for every paper citing node i, in ascending order of the
+// citing paper's year.
+func (n *Network) Citers(i int32, fn func(citer int32)) {
+	for k := n.citPtr[i]; k < n.citPtr[i+1]; k++ {
+		fn(n.citers[k])
+	}
+}
+
+// InDegree returns the citation count CC(i) of node i.
+func (n *Network) InDegree(i int32) int { return int(n.citPtr[i+1] - n.citPtr[i]) }
+
+// CitationsIn returns the number of citations node i received from papers
+// published in years [from, to], inclusive. Citations are attributed to
+// the publication year of the citing paper, as in the paper's definition
+// of the attention window C[tN−y : tN].
+func (n *Network) CitationsIn(i int32, from, to int) int {
+	lo, hi := n.citPtr[i], n.citPtr[i+1]
+	seg := n.citers[lo:hi]
+	// seg is sorted by citer year; locate the [from, to] slice.
+	a := sort.Search(len(seg), func(k int) bool { return n.papers[seg[k]].Year >= from })
+	b := sort.Search(len(seg), func(k int) bool { return n.papers[seg[k]].Year > to })
+	return b - a
+}
+
+// YearlyCitations returns, for node i, a map year → citations received
+// from papers published that year.
+func (n *Network) YearlyCitations(i int32) map[int]int {
+	out := make(map[int]int)
+	n.Citers(i, func(c int32) { out[n.papers[c].Year]++ })
+	return out
+}
+
+// PapersByTime returns all node indices ordered by (year, node index)
+// ascending — the order used for temporal splits.
+func (n *Network) PapersByTime() []int32 {
+	order := make([]int32, n.N())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := n.papers[order[a]], n.papers[order[b]]
+		if pa.Year != pb.Year {
+			return pa.Year < pb.Year
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// CountByYear returns a map year → number of papers published that year.
+func (n *Network) CountByYear() map[int]int {
+	out := make(map[int]int)
+	for i := range n.papers {
+		out[n.papers[i].Year]++
+	}
+	return out
+}
+
+// Until returns the sub-network C(t): papers with Year ≤ t and the
+// citations among them, along with a mapping from new node indices to the
+// original ones. Metadata tables are shared with the parent.
+func (n *Network) Until(t int) (*Network, []int32) {
+	return n.Filter(func(_ int32, p Paper) bool { return p.Year <= t })
+}
+
+// Filter returns the induced sub-network of the papers the predicate
+// keeps (citations survive when both endpoints do), along with a mapping
+// from new node indices to the original ones. Metadata tables are shared
+// with the parent. Useful for venue-, author- or time-restricted views.
+func (n *Network) Filter(keepFn func(i int32, p Paper) bool) (*Network, []int32) {
+	keep := make([]int32, 0, n.N())
+	old2new := make([]int32, n.N())
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	for i := int32(0); int(i) < n.N(); i++ {
+		if keepFn(i, n.papers[i]) {
+			old2new[i] = int32(len(keep))
+			keep = append(keep, i)
+		}
+	}
+	b := NewBuilder()
+	b.authors = n.authors
+	b.venues = n.venues
+	b.shareTables = true
+	for _, old := range keep {
+		p := n.papers[old]
+		if err := b.AddPaperIndexed(p.ID, p.Year, p.Authors, p.Venue); err != nil {
+			// Cannot happen: IDs were unique in the parent network.
+			panic(fmt.Sprintf("graph: Filter rebuild: %v", err))
+		}
+	}
+	for _, old := range keep {
+		n.References(old, func(ref int32) {
+			if old2new[ref] >= 0 {
+				b.AddEdgeByIndex(old2new[old], old2new[ref])
+			}
+		})
+	}
+	sub, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: Filter rebuild: %v", err))
+	}
+	return sub, keep
+}
+
+// Validate checks structural invariants: sorted citer lists, matching
+// edge counts, and in-bounds indices. It is O(V+E) and used by tests and
+// the data loaders.
+func (n *Network) Validate() error {
+	if len(n.refPtr) != n.N()+1 || len(n.citPtr) != n.N()+1 {
+		return fmt.Errorf("graph: pointer array length mismatch")
+	}
+	if len(n.refs) != len(n.citers) {
+		return fmt.Errorf("graph: out-edge count %d != in-edge count %d", len(n.refs), len(n.citers))
+	}
+	for i := int32(0); int(i) < n.N(); i++ {
+		prevYear := -1 << 30
+		for k := n.citPtr[i]; k < n.citPtr[i+1]; k++ {
+			c := n.citers[k]
+			if c < 0 || int(c) >= n.N() {
+				return fmt.Errorf("graph: citer index %d out of range for node %d", c, i)
+			}
+			if y := n.papers[c].Year; y < prevYear {
+				return fmt.Errorf("graph: citers of node %d not sorted by year", i)
+			} else {
+				prevYear = y
+			}
+		}
+		for k := n.refPtr[i]; k < n.refPtr[i+1]; k++ {
+			if r := n.refs[k]; r < 0 || int(r) >= n.N() {
+				return fmt.Errorf("graph: reference index %d out of range for node %d", r, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile confidence interval for a ranking
+// metric by resampling item pairs with replacement: it draws iters
+// bootstrap resamples of (scores, gains), evaluates fn on each, and
+// returns the (1−level)/2 and (1+level)/2 percentiles of the resulting
+// statistic. Resamples on which fn fails (e.g. a constant-ranking draw)
+// are skipped; an error is returned if fewer than half succeed.
+//
+// Use it to attach uncertainty to the headline comparisons when the
+// evaluation corpus is small.
+func BootstrapCI(
+	fn func(scores, gains []float64) (float64, error),
+	scores, gains []float64,
+	iters int,
+	level float64,
+	seed int64,
+) (lo, hi float64, err error) {
+	if len(scores) != len(gains) {
+		return 0, 0, fmt.Errorf("metrics: bootstrap length mismatch %d vs %d", len(scores), len(gains))
+	}
+	n := len(scores)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("metrics: bootstrap needs at least 2 items, got %d", n)
+	}
+	if iters < 10 {
+		return 0, 0, fmt.Errorf("metrics: bootstrap needs at least 10 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("metrics: bootstrap level %v out of (0,1)", level)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, 0, iters)
+	s := make([]float64, n)
+	g := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			s[i], g[i] = scores[j], gains[j]
+		}
+		v, ferr := fn(s, g)
+		if ferr != nil {
+			continue
+		}
+		stats = append(stats, v)
+	}
+	if len(stats) < iters/2 {
+		return 0, 0, fmt.Errorf("metrics: bootstrap: only %d of %d resamples evaluable", len(stats), iters)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(len(stats)))
+	hiIdx := int((1 - alpha) * float64(len(stats)))
+	if hiIdx >= len(stats) {
+		hiIdx = len(stats) - 1
+	}
+	return stats[loIdx], stats[hiIdx], nil
+}

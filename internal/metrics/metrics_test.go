@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksFromScores(t *testing.T) {
+	ranks := RanksFromScores([]float64{10, 30, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksFromScoresTies(t *testing.T) {
+	// Scores 5,5,3: the two 5s occupy ranks 1 and 2 → both get 1.5.
+	ranks := RanksFromScores([]float64{5, 5, 3})
+	if ranks[0] != 1.5 || ranks[1] != 1.5 || ranks[2] != 3 {
+		t.Fatalf("ranks = %v, want [1.5 1.5 3]", ranks)
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	ranks := RanksFromScores([]float64{7, 7, 7, 7})
+	for _, r := range ranks {
+		if r != 2.5 {
+			t.Fatalf("ranks = %v, want all 2.5", ranks)
+		}
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	rho, err := Spearman(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("ρ(a,a) = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanReversed(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho+1) > 1e-12 {
+		t.Errorf("ρ = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic example: ranks differ by d = (0,0,1,-1,0) → ρ = 1 − 6·2/(5·24) = 0.9.
+	a := []float64{5, 4, 3, 2, 1}
+	b := []float64{5, 4, 2, 3, 1}
+	rho, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.9) > 1e-12 {
+		t.Errorf("ρ = %v, want 0.9", rho)
+	}
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	// ρ depends only on ranks: applying a monotone transform leaves it unchanged.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r1, err1 := Spearman(a, b)
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = math.Exp(a[i]) // strictly increasing transform
+		}
+		r2, err2 := Spearman(a2, b)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(10)) // plenty of ties
+			b[i] = float64(rng.Intn(10))
+		}
+		r1, err1 := Spearman(a, b)
+		r2, err2 := Spearman(b, a)
+		if err1 != nil || err2 != nil {
+			return (err1 == nil) == (err2 == nil)
+		}
+		return math.Abs(r1-r2) < 1e-12 && r1 >= -1 && r1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Error("single item should fail")
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Spearman([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant ranking should fail")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	tau, err := KendallTau(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-1) > 1e-12 {
+		t.Errorf("τ(a,a) = %v, want 1", tau)
+	}
+	rev := []float64{4, 3, 2, 1}
+	tau, err = KendallTau(a, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau+1) > 1e-12 {
+		t.Errorf("τ = %v, want -1", tau)
+	}
+	if _, err := KendallTau([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant should fail")
+	}
+}
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	gains := []float64{0, 10, 5, 1}
+	// Scores that rank items exactly by gain.
+	v, err := NDCG(gains, gains, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("nDCG of ideal ranking = %v, want 1", v)
+	}
+}
+
+func TestNDCGKnownValue(t *testing.T) {
+	// 3 items, gains 3,2,1; method ranks them 2,1,3 (scores 5,9,1).
+	// DCG = 2/log2(2) + 3/log2(3) + 1/log2(4) = 2 + 1.892789… + 0.5
+	// IDCG = 3 + 2/log2(3) + 0.5
+	scores := []float64{5, 9, 1}
+	gains := []float64{3, 2, 1}
+	dcg := 2 + 3/math.Log2(3) + 0.5
+	idcg := 3 + 2/math.Log2(3) + 0.5
+	v, err := NDCG(scores, gains, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-dcg/idcg) > 1e-12 {
+		t.Errorf("nDCG = %v, want %v", v, dcg/idcg)
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	// With k=1 only the top pick matters.
+	scores := []float64{1, 2} // method picks item 1 first
+	gains := []float64{10, 1}
+	v, err := NDCG(scores, gains, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("nDCG@1 = %v, want 0.1", v)
+	}
+}
+
+func TestNDCGKLargerThanN(t *testing.T) {
+	v, err := NDCG([]float64{1, 2}, []float64{1, 2}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("nDCG with k>n = %v, want 1", v)
+	}
+}
+
+func TestNDCGErrors(t *testing.T) {
+	if _, err := NDCG([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NDCG([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NDCG([]float64{1, 2}, []float64{0, 0}, 2); err == nil {
+		t.Error("all-zero gains should fail")
+	}
+	if _, err := NDCG(nil, nil, 5); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestNDCGRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		scores := make([]float64, n)
+		gains := make([]float64, n)
+		positive := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			gains[i] = float64(rng.Intn(20))
+			if gains[i] > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			gains[0] = 1
+		}
+		k := 1 + rng.Intn(n+5)
+		v, err := NDCG(scores, gains, k)
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderingDeterministicTies(t *testing.T) {
+	order := Ordering([]float64{5, 9, 5, 1})
+	want := []int{1, 0, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Ordering = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	top := TopK([]float64{1, 5, 3}, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopK = %v, want [1 2]", top)
+	}
+	if got := TopK([]float64{1}, 10); len(got) != 1 {
+		t.Errorf("TopK clamp failed: %v", got)
+	}
+}
+
+func TestOverlapAtK(t *testing.T) {
+	a := []float64{10, 9, 8, 1, 2}
+	b := []float64{10, 1, 8, 9, 2}
+	// top-3(a) = {0,1,2}, top-3(b) = {0,3,2} → overlap 2/3.
+	v, err := OverlapAtK(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2.0/3) > 1e-12 {
+		t.Errorf("overlap = %v, want 2/3", v)
+	}
+	if _, err := OverlapAtK(a, b[:2], 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := OverlapAtK(a, b, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NDCG returns the normalized discounted cumulative gain at rank k of the
+// ranking induced by scores, measured against the ground-truth gains
+// (rel(i) in the paper is the short-term impact of the paper placed at
+// position i):
+//
+//	DCG@k  = Σ_{i=1..k} rel(i) / log2(i+1)
+//	nDCG@k = DCG@k / IDCG@k
+//
+// IDCG is the DCG of the gain-descending ordering. The result is in
+// [0, 1]. An error is returned for mismatched lengths, k ≤ 0, or an
+// all-zero gain vector (ideal DCG undefined).
+func NDCG(scores, gains []float64, k int) (float64, error) {
+	if len(scores) != len(gains) {
+		return 0, fmt.Errorf("metrics: ndcg length mismatch %d vs %d", len(scores), len(gains))
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("metrics: ndcg needs k > 0, got %d", k)
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("metrics: ndcg on empty input")
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	dcg := dcgAtK(Ordering(scores), gains, k)
+
+	ideal := make([]float64, len(gains))
+	copy(ideal, gains)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i := 0; i < k; i++ {
+		idcg += ideal[i] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0, fmt.Errorf("metrics: ideal DCG is zero (no positive gains)")
+	}
+	v := dcg / idcg
+	if v > 1 { // floating-point drift guard
+		v = 1
+	}
+	return v, nil
+}
+
+func dcgAtK(order []int, gains []float64, k int) float64 {
+	dcg := 0.0
+	for i := 0; i < k && i < len(order); i++ {
+		dcg += gains[order[i]] / math.Log2(float64(i)+2)
+	}
+	return dcg
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the ranking-quality measures of the paper's
+// evaluation: Spearman's ρ (tie-aware, via average ranks) and nDCG@k with
+// the short-term impact as the gain, plus Kendall's τ and top-k overlap as
+// supplementary diagnostics.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RanksFromScores converts a score vector into fractional ranks where the
+// highest score receives rank 1. Equal scores receive the average of the
+// ranks they occupy (the standard treatment for Spearman's ρ with ties).
+func RanksFromScores(scores []float64) []float64 {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[order[j]] == scores[order[i]] {
+			j++
+		}
+		// Items order[i..j) are tied; average rank of positions i+1..j.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[order[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}
+
+// Ordering returns item indices sorted by descending score. Ties are
+// broken by ascending index so the ordering is deterministic.
+func Ordering(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// TopK returns the indices of the k highest-scoring items (deterministic
+// tie-break by index). k is clamped to len(scores).
+func TopK(scores []float64, k int) []int {
+	order := Ordering(scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// OverlapAtK returns |topK(a) ∩ topK(b)| / k, the fraction of agreement
+// between the two rankings' top-k sets.
+func OverlapAtK(a, b []float64, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: overlap length mismatch %d vs %d", len(a), len(b))
+	}
+	if k <= 0 || len(a) == 0 {
+		return 0, fmt.Errorf("metrics: overlap needs k > 0 and non-empty input")
+	}
+	if k > len(a) {
+		k = len(a)
+	}
+	inA := make(map[int]struct{}, k)
+	for _, i := range TopK(a, k) {
+		inA[i] = struct{}{}
+	}
+	hits := 0
+	for _, i := range TopK(b, k) {
+		if _, ok := inA[i]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), nil
+}

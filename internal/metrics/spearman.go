@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spearman returns Spearman's rank correlation coefficient ρ between the
+// rankings induced by the two score vectors. Ties receive average ranks
+// and ρ is computed as the Pearson correlation of the rank vectors, which
+// is exact in the presence of ties. The result is in [−1, 1]; it returns
+// an error for mismatched lengths, fewer than two items, or a constant
+// input (undefined correlation).
+func Spearman(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: spearman length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return 0, fmt.Errorf("metrics: spearman needs at least 2 items, got %d", len(a))
+	}
+	ra := RanksFromScores(a)
+	rb := RanksFromScores(b)
+	return pearson(ra, rb)
+}
+
+func pearson(x, y []float64) (float64, error) {
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("metrics: correlation undefined for constant ranking")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against floating-point drift outside [-1, 1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// KendallTau returns Kendall's τ-b rank correlation between the rankings
+// induced by the two score vectors, with the standard tie correction. It
+// is O(n²) and intended for diagnostics on moderate n, not for the main
+// evaluation loop (the paper reports Spearman's ρ).
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: kendall length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("metrics: kendall needs at least 2 items, got %d", n)
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				// tied in both: excluded from all terms
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesA) * (concordant + discordant + tiesB))
+	if denom == 0 {
+		return 0, fmt.Errorf("metrics: kendall undefined for constant ranking")
+	}
+	return (concordant - discordant) / denom, nil
+}

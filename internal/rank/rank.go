@@ -1,0 +1,32 @@
+// Package rank defines the interface shared by every paper-ranking method
+// in this repository (AttRank, its NO-ATT / ATT-ONLY variants, and the
+// five competitors of the paper's §4.3), so the evaluation harness can
+// treat them uniformly.
+package rank
+
+import "attrank/internal/graph"
+
+// Method produces one score per paper of a network, viewed at time now
+// (the current time t_N of the paper's protocol; citations and paper ages
+// are interpreted relative to it). Higher scores mean higher estimated
+// short-term impact. Implementations must return non-negative scores; by
+// convention all methods in this repository normalize scores to sum to 1
+// so they are directly comparable.
+type Method interface {
+	// Name returns a short identifier ("AR", "CR", "FR", "RAM", ...).
+	Name() string
+	// Scores ranks all papers of net as of time now.
+	Scores(net *graph.Network, now int) ([]float64, error)
+}
+
+// Func adapts a function to the Method interface.
+type Func struct {
+	ID string
+	Fn func(net *graph.Network, now int) ([]float64, error)
+}
+
+// Name implements Method.
+func (f Func) Name() string { return f.ID }
+
+// Scores implements Method.
+func (f Func) Scores(net *graph.Network, now int) ([]float64, error) { return f.Fn(net, now) }

@@ -1,0 +1,56 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Constructor builds a Method from a bag of named float parameters; it
+// must reject parameters it cannot honor. Registered constructors let
+// callers (CLIs, services, config files) name methods without linking
+// their packages directly.
+type Constructor func(params map[string]float64) (Method, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Constructor)
+)
+
+// Register installs a constructor under a method name ("PR", "AR", …).
+// Registering a duplicate name is a programmer error and panics, like
+// database/sql.Register.
+func Register(name string, c Constructor) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || c == nil {
+		panic("rank: Register with empty name or nil constructor")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("rank: Register called twice for %q", name))
+	}
+	registry[name] = c
+}
+
+// New builds the named method with the given parameters.
+func New(name string, params map[string]float64) (Method, error) {
+	registryMu.RLock()
+	c, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rank: unknown method %q (registered: %v)", name, Names())
+	}
+	return c(params)
+}
+
+// Names lists the registered method names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

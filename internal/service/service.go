@@ -1,0 +1,407 @@
+// Package service exposes a ranked citation corpus over HTTP — the
+// deployment shape of AttRank as a scholarly-search backend. The server
+// ranks the corpus once at startup (and on demand via /v1/refresh) and
+// serves read-only JSON endpoints:
+//
+//	GET /v1/stats            corpus statistics and ranking metadata
+//	GET /v1/top?n=20         the top-n papers with scores and citations
+//	GET /v1/paper/{id}       one paper: metadata, score, rank, explanation
+//	GET /v1/compare?a=x&b=y  two papers side by side
+//	GET /v1/authors?n=20     top authors by aggregated impact
+//	GET /v1/related/{id}     related papers (co-citation + coupling)
+//	POST /v1/refresh         re-rank (warm-started) and report iterations
+//
+// All responses are JSON; errors use {"error": "..."} with conventional
+// status codes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"attrank/internal/authors"
+	"attrank/internal/core"
+	"attrank/internal/graph"
+	"attrank/internal/metrics"
+)
+
+// Server serves a ranked view of one citation network. It is safe for
+// concurrent use.
+type Server struct {
+	net    *graph.Network
+	params core.Params
+	now    int
+
+	mu        sync.RWMutex
+	result    *core.Result
+	positions []int // node → 0-based rank position
+
+	// refreshMu serializes re-ranking: the Tracker is not safe for
+	// concurrent use, and refreshes are rare relative to reads.
+	refreshMu sync.Mutex
+	tracker   *core.Tracker
+}
+
+// New ranks the network at time now with the given parameters and
+// returns a ready Server.
+func New(net *graph.Network, now int, params core.Params) (*Server, error) {
+	tracker, err := core.NewTracker(params)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{net: net, params: params, now: now, tracker: tracker}
+	if err := s.refresh(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) refresh() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	res, err := s.tracker.Update(s.net, s.now)
+	if err != nil {
+		return err
+	}
+	positions := make([]int, s.net.N())
+	for pos, idx := range metrics.Ordering(res.Scores) {
+		positions[idx] = pos
+	}
+	s.mu.Lock()
+	s.result = res
+	s.positions = positions
+	s.mu.Unlock()
+	return nil
+}
+
+// ListenAndServe runs the service on addr until the context is
+// cancelled, then shuts down gracefully (draining in-flight requests for
+// up to 5 seconds). It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/top", s.handleTop)
+	mux.HandleFunc("/v1/paper/", s.handlePaper)
+	mux.HandleFunc("/v1/compare", s.handleCompare)
+	mux.HandleFunc("/v1/refresh", s.handleRefresh)
+	mux.HandleFunc("/v1/authors", s.handleAuthors)
+	mux.HandleFunc("/v1/related/", s.handleRelated)
+	return mux
+}
+
+type relatedBody struct {
+	ID      string `json:"id"`
+	Rank    int    `json:"rank"`
+	CoCited int    `json:"co_cited"`
+	Coupled int    `json:"coupled"`
+}
+
+// handleRelated serves the papers most related to one paper by
+// co-citation and bibliographic coupling (GET /v1/related/{id}?n=10).
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/related/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing paper id")
+		return
+	}
+	idx, ok := s.net.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown paper %q", id)
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 100 {
+			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 100]")
+			return
+		}
+		n = v
+	}
+	s.mu.RLock()
+	positions := s.positions
+	s.mu.RUnlock()
+	var out []relatedBody
+	for _, rel := range s.net.RelatedPapers(idx, n) {
+		out = append(out, relatedBody{
+			ID:      s.net.Paper(rel.Paper).ID,
+			Rank:    positions[rel.Paper] + 1,
+			CoCited: rel.CoCited,
+			Coupled: rel.Coupled,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged by the
+	// caller's middleware; ignore here.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+type statsBody struct {
+	Papers    int     `json:"papers"`
+	Citations int     `json:"citations"`
+	Authors   int     `json:"authors"`
+	Venues    int     `json:"venues"`
+	MinYear   int     `json:"min_year"`
+	MaxYear   int     `json:"max_year"`
+	Now       int     `json:"now"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	Gamma     float64 `json:"gamma"`
+	Years     int     `json:"attention_years"`
+	W         float64 `json:"w"`
+	Iters     int     `json:"iterations"`
+	Converged bool    `json:"converged"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	res := s.result
+	s.mu.RUnlock()
+	st := s.net.ComputeStats()
+	writeJSON(w, http.StatusOK, statsBody{
+		Papers: st.Papers, Citations: st.Edges, Authors: st.Authors,
+		Venues: st.Venues, MinYear: st.MinYear, MaxYear: st.MaxYear,
+		Now: s.now, Alpha: s.params.Alpha, Beta: s.params.Beta,
+		Gamma: s.params.Gamma, Years: s.params.AttentionYears,
+		W: s.params.W, Iters: res.Iterations, Converged: res.Converged,
+	})
+}
+
+type paperBody struct {
+	ID           string   `json:"id"`
+	Year         int      `json:"year"`
+	Venue        string   `json:"venue,omitempty"`
+	Authors      []string `json:"authors,omitempty"`
+	Score        float64  `json:"score"`
+	Rank         int      `json:"rank"` // 1-based
+	Citations    int      `json:"citations"`
+	Recent3y     int      `json:"recent_citations_3y"`
+	FlowPct      float64  `json:"flow_pct"`
+	AttentionPct float64  `json:"attention_pct"`
+	RecencyPct   float64  `json:"recency_pct"`
+}
+
+func (s *Server) paperBody(idx int32) (paperBody, error) {
+	s.mu.RLock()
+	res := s.result
+	pos := s.positions[idx]
+	s.mu.RUnlock()
+	p := s.net.Paper(idx)
+	b := paperBody{
+		ID: p.ID, Year: p.Year, Venue: s.net.VenueName(p.Venue),
+		Score: res.Scores[idx], Rank: pos + 1,
+		Citations: s.net.InDegree(idx),
+		Recent3y:  s.net.CitationsIn(idx, s.now-2, s.now),
+	}
+	for _, a := range p.Authors {
+		b.Authors = append(b.Authors, s.net.AuthorName(a))
+	}
+	e, err := core.Explain(s.net, res, s.params, idx)
+	if err != nil {
+		return b, err
+	}
+	if e.Score > 0 {
+		b.FlowPct = 100 * e.Flow / e.Score
+		b.AttentionPct = 100 * e.Attention / e.Score
+		b.RecencyPct = 100 * e.Recency / e.Score
+	}
+	return b, nil
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+			return
+		}
+		n = v
+	}
+	s.mu.RLock()
+	scores := s.result.Scores
+	s.mu.RUnlock()
+	var out []paperBody
+	for _, idx := range metrics.TopK(scores, n) {
+		b, err := s.paperBody(int32(idx))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "explain: %v", err)
+			return
+		}
+		out = append(out, b)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/paper/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing paper id")
+		return
+	}
+	idx, ok := s.net.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown paper %q", id)
+		return
+	}
+	b, err := s.paperBody(idx)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	aID, bID := q.Get("a"), q.Get("b")
+	if aID == "" || bID == "" {
+		writeError(w, http.StatusBadRequest, "need both a and b query parameters")
+		return
+	}
+	aIdx, ok := s.net.Lookup(aID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown paper %q", aID)
+		return
+	}
+	bIdx, ok := s.net.Lookup(bID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown paper %q", bID)
+		return
+	}
+	aBody, err := s.paperBody(aIdx)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	bBody, err := s.paperBody(bIdx)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]paperBody{"a": aBody, "b": bBody})
+}
+
+type authorBody struct {
+	Name   string  `json:"name"`
+	Rank   int     `json:"rank"`
+	Impact float64 `json:"impact"` // fractional share of the corpus impact
+	Papers int     `json:"papers"`
+}
+
+// handleAuthors serves the top authors by fractionally aggregated
+// AttRank impact (GET /v1/authors?n=20).
+func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.net.NumAuthors() == 0 {
+		writeError(w, http.StatusNotFound, "network has no author metadata")
+		return
+	}
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+			return
+		}
+		n = v
+	}
+	s.mu.RLock()
+	scores := s.result.Scores
+	s.mu.RUnlock()
+	impact, err := authors.AuthorScores(s.net, scores, authors.Fractional)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "aggregating: %v", err)
+		return
+	}
+	paperCount := make([]int, s.net.NumAuthors())
+	s.net.PaperAuthorEdges(func(_, a int32) { paperCount[a]++ })
+
+	var out []authorBody
+	for rank, e := range authors.Top(impact, n) {
+		out = append(out, authorBody{
+			Name:   s.net.AuthorName(e.Index),
+			Rank:   rank + 1,
+			Impact: e.Score,
+			Papers: paperCount[e.Index],
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type refreshBody struct {
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := s.refresh(); err != nil {
+		writeError(w, http.StatusInternalServerError, "refresh: %v", err)
+		return
+	}
+	s.mu.RLock()
+	res := s.result
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, refreshBody{Iterations: res.Iterations, Converged: res.Converged})
+}

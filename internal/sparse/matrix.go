@@ -1,0 +1,183 @@
+// Package sparse provides the minimal sparse linear algebra needed by the
+// ranking methods in this repository: compressed sparse column (CSC)
+// matrices, column-stochastic normalization with explicit dangling-column
+// bookkeeping, sparse matrix–vector products, and a handful of dense
+// vector helpers.
+//
+// All ranking methods in the paper iterate x ← M·x for a column-stochastic
+// M derived from the citation matrix, so the CSC layout (fast access to a
+// column = the references of one citing paper) is the natural choice.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is a single nonzero entry (row, col, value) used while assembling
+// a matrix.
+type Coord struct {
+	Row, Col int32
+	Val      float64
+}
+
+// Matrix is an immutable sparse matrix in compressed sparse column form.
+// Entry (r, c) carries the weight of the edge c → r; for a citation matrix
+// column c lists the papers referenced by paper c.
+type Matrix struct {
+	rows, cols int
+	colPtr     []int32   // len cols+1; column c occupies [colPtr[c], colPtr[c+1])
+	rowIdx     []int32   // row index of each nonzero
+	val        []float64 // value of each nonzero
+}
+
+// NewMatrix assembles a CSC matrix from coordinate triples. Duplicate
+// (row, col) entries are summed. It returns an error if any coordinate is
+// out of bounds or carries a non-finite value.
+func NewMatrix(rows, cols int, entries []Coord) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of bounds for %dx%d matrix", e.Row, e.Col, rows, cols)
+		}
+		if !isFinite(e.Val) {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) has non-finite value %v", e.Row, e.Col, e.Val)
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Col != sorted[j].Col {
+			return sorted[i].Col < sorted[j].Col
+		}
+		return sorted[i].Row < sorted[j].Row
+	})
+
+	m := &Matrix{
+		rows:   rows,
+		cols:   cols,
+		colPtr: make([]int32, cols+1),
+	}
+	m.rowIdx = make([]int32, 0, len(sorted))
+	m.val = make([]float64, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		sum := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		m.rowIdx = append(m.rowIdx, sorted[i].Row)
+		m.val = append(m.val, sum)
+		m.colPtr[sorted[i].Col+1]++
+		i = j
+	}
+	for c := 0; c < cols; c++ {
+		m.colPtr[c+1] += m.colPtr[c]
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored nonzero entries.
+func (m *Matrix) NNZ() int { return len(m.val) }
+
+// At returns the value at (row, col). It is O(log nnz(col)) and intended
+// for tests and spot checks, not inner loops.
+func (m *Matrix) At(row, col int) float64 {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.cols {
+		return 0
+	}
+	lo, hi := m.colPtr[col], m.colPtr[col+1]
+	seg := m.rowIdx[lo:hi]
+	k := sort.Search(len(seg), func(i int) bool { return seg[i] >= int32(row) })
+	if k < len(seg) && seg[k] == int32(row) {
+		return m.val[int(lo)+k]
+	}
+	return 0
+}
+
+// Column calls fn(row, val) for each nonzero in column c, in increasing
+// row order.
+func (m *Matrix) Column(c int, fn func(row int32, val float64)) {
+	lo, hi := m.colPtr[c], m.colPtr[c+1]
+	for k := lo; k < hi; k++ {
+		fn(m.rowIdx[k], m.val[k])
+	}
+}
+
+// ColSum returns the sum of the entries of column c.
+func (m *Matrix) ColSum(c int) float64 {
+	lo, hi := m.colPtr[c], m.colPtr[c+1]
+	s := 0.0
+	for k := lo; k < hi; k++ {
+		s += m.val[k]
+	}
+	return s
+}
+
+// ColNNZ returns the number of stored entries in column c.
+func (m *Matrix) ColNNZ(c int) int { return int(m.colPtr[c+1] - m.colPtr[c]) }
+
+// Scale returns a copy of the matrix with every entry multiplied by f.
+func (m *Matrix) Scale(f float64) *Matrix {
+	out := &Matrix{
+		rows:   m.rows,
+		cols:   m.cols,
+		colPtr: m.colPtr, // immutable: safe to share
+		rowIdx: m.rowIdx,
+		val:    make([]float64, len(m.val)),
+	}
+	for i, v := range m.val {
+		out.val[i] = v * f
+	}
+	return out
+}
+
+// MulVec computes dst = M·x, writing into dst (which must have length
+// Rows). x must have length Cols. dst and x must not alias.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: matrix %dx%d, x %d, dst %d",
+			m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c := 0; c < m.cols; c++ {
+		xc := x[c]
+		if xc == 0 {
+			continue
+		}
+		lo, hi := m.colPtr[c], m.colPtr[c+1]
+		for k := lo; k < hi; k++ {
+			dst[m.rowIdx[k]] += m.val[k] * xc
+		}
+	}
+}
+
+// MulVecTrans computes dst = Mᵀ·x: dst[c] = Σ_r M[r,c]·x[r].
+func (m *Matrix) MulVecTrans(dst, x []float64) {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVecTrans dimension mismatch: matrix %dx%d, x %d, dst %d",
+			m.rows, m.cols, len(x), len(dst)))
+	}
+	for c := 0; c < m.cols; c++ {
+		lo, hi := m.colPtr[c], m.colPtr[c+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += m.val[k] * x[m.rowIdx[k]]
+		}
+		dst[c] = s
+	}
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(t testing.TB, seed int64, n, nnz int) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Coord, nnz)
+	for i := range entries {
+		entries[i] = Coord{
+			Row: int32(rng.Intn(n)), Col: int32(rng.Intn(n)), Val: rng.Float64(),
+		}
+	}
+	m, err := NewMatrix(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCSRMatchesCSC(t *testing.T) {
+	m := randomMatrix(t, 1, 40, 300)
+	c := m.ToCSR()
+	if c.Rows() != m.Rows() || c.Cols() != m.Cols() || c.NNZ() != m.NNZ() {
+		t.Fatalf("shape mismatch after conversion")
+	}
+	x := make([]float64, 40)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 40)
+	m.MulVec(want, x)
+	got := make([]float64, 40)
+	c.MulVec(got, x)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("CSR MulVec differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		m := randomMatrix(t, seed, n, n*4)
+		c := m.ToCSR()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		serial := make([]float64, n)
+		c.MulVec(serial, x)
+		par := make([]float64, n)
+		c.MulVecParallel(par, x, int(workers%9))
+		for i := range serial {
+			if math.Abs(serial[i]-par[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelStochasticMatchesSerial(t *testing.T) {
+	m := randomMatrix(t, 9, 80, 200) // plenty of dangling columns
+	s, err := NewColumnStochastic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Parallel(4)
+	if p.N() != s.N() {
+		t.Fatalf("dimension mismatch")
+	}
+	x := Uniform(80)
+	want := make([]float64, 80)
+	s.MulVec(want, x)
+	got := make([]float64, 80)
+	p.MulVec(got, x)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("parallel stochastic differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if math.Abs(Sum(got)-1) > 1e-9 {
+		t.Errorf("mass not preserved: %v", Sum(got))
+	}
+}
+
+func TestMulVecParallelEdgeCases(t *testing.T) {
+	// Single row, more workers than rows, zero workers.
+	m := mustMatrix(t, 1, 1, []Coord{{Row: 0, Col: 0, Val: 2}})
+	c := m.ToCSR()
+	dst := make([]float64, 1)
+	c.MulVecParallel(dst, []float64{3}, 16)
+	if dst[0] != 6 {
+		t.Errorf("dst = %v, want 6", dst[0])
+	}
+	c.MulVecParallel(dst, []float64{3}, 0)
+	if dst[0] != 6 {
+		t.Errorf("auto workers dst = %v, want 6", dst[0])
+	}
+}
+
+func BenchmarkMulVecSerial(b *testing.B) {
+	m := randomMatrix(b, 3, 20000, 200000)
+	c := m.ToCSR()
+	x := Uniform(20000)
+	dst := make([]float64, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVec(dst, x)
+	}
+}
+
+func BenchmarkMulVecParallel(b *testing.B) {
+	m := randomMatrix(b, 3, 20000, 200000)
+	c := m.ToCSR()
+	x := Uniform(20000)
+	dst := make([]float64, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVecParallel(dst, x, 0)
+	}
+}

@@ -1,0 +1,98 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns Σ x[i].
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// L1Diff returns Σ |a[i] − b[i]|, the convergence criterion used by every
+// iterative method in the paper (ε ≤ 1e−12 in the experiments).
+func L1Diff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("sparse: L1Diff length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Normalize scales x in place so that Σ x[i] = 1 and returns the original
+// sum. If the sum is zero or non-finite, x is set to the uniform
+// distribution.
+func Normalize(x []float64) float64 {
+	s := Sum(x)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1 / float64(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return s
+	}
+	inv := 1 / s
+	for i := range x {
+		x[i] *= inv
+	}
+	return s
+}
+
+// Uniform returns a fresh probability vector of length n with all entries
+// equal to 1/n.
+func Uniform(n int) []float64 {
+	x := make([]float64, n)
+	u := 1 / float64(n)
+	for i := range x {
+		x[i] = u
+	}
+	return x
+}
+
+// AXPY computes dst[i] += a·x[i].
+func AXPY(dst []float64, a float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("sparse: AXPY length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// Fill sets every entry of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// MaxAbs returns max |x[i]|, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dot returns Σ a[i]·b[i].
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,384 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"attrank/internal/graph"
+)
+
+// Generate builds a citation network from the profile, deterministically
+// for a given profile (including its Seed).
+func Generate(p Profile) (*graph.Network, error) {
+	return GenerateSeeded(p, p.Seed)
+}
+
+// GenerateSeeded builds a citation network from the profile with an
+// explicit seed, so tests can draw independent instances.
+func GenerateSeeded(p Profile, seed int64) (*graph.Network, error) {
+	net, _, err := GenerateWithTopics(p, seed)
+	return net, err
+}
+
+// GenerateWithTopics builds the network and also returns each paper's
+// topic assignment (nil when the profile has no topics). Node i's topic
+// is topics[i].
+func GenerateWithTopics(p Profile, seed int64) (*graph.Network, []int32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{p: p, rng: rng}
+	net, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, g.topics, nil
+}
+
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+
+	years        []int     // publication year per paper
+	fitness      []float64 // log-normal per-paper fitness, ≤ fitCap
+	fitCap       float64
+	papersByYear [][]int32 // year offset → papers published that year
+	// recentCited[yo] holds the targets of citations made by papers of
+	// year offset yo; the attachment mechanism samples from the
+	// concatenation of the last AttentionWindow years.
+	recentCited [][]int32
+	// refs holds each paper's reference list, for the triadic-closure hop
+	// of the attention mechanism.
+	refs [][]int32
+	// topics holds each paper's topic when the profile enables topics.
+	topics []int32
+}
+
+func (g *generator) run() (*graph.Network, error) {
+	p := g.p
+	numYears := p.EndYear - p.StartYear + 1
+
+	// Papers per year ∝ Growth^offset, scaled to the requested total,
+	// with at least one paper in the first year so references resolve.
+	weights := make([]float64, numYears)
+	totalW := 0.0
+	for y := range weights {
+		weights[y] = math.Pow(p.Growth, float64(y))
+		totalW += weights[y]
+	}
+	perYear := make([]int, numYears)
+	assigned := 0
+	for y := range perYear {
+		perYear[y] = int(float64(p.Papers) * weights[y] / totalW)
+		assigned += perYear[y]
+	}
+	for i := 0; assigned < p.Papers; i++ { // distribute rounding remainder
+		perYear[numYears-1-i%numYears]++
+		assigned++
+	}
+	if perYear[0] == 0 {
+		// The first year must seed the network; take one paper from the
+		// largest year so the total stays exactly p.Papers.
+		perYear[0] = 1
+		largest := 0
+		for y, c := range perYear {
+			if y > 0 && c > perYear[largest] {
+				largest = y
+			}
+		}
+		if largest > 0 && perYear[largest] > 0 {
+			perYear[largest]--
+		}
+	}
+
+	g.years = make([]int, 0, p.Papers)
+	g.fitness = make([]float64, 0, p.Papers)
+	g.papersByYear = make([][]int32, numYears)
+	g.recentCited = make([][]int32, numYears)
+
+	b := graph.NewBuilder()
+	authorNames := g.makeAuthorNames()
+	venueNames := g.makeVenueNames()
+
+	node := int32(0)
+	for yo := 0; yo < numYears; yo++ {
+		year := p.StartYear + yo
+		for k := 0; k < perYear[yo]; k++ {
+			id := "p" + strconv.Itoa(int(node))
+			authors := g.pickAuthors(authorNames)
+			venue := g.pickVenue(venueNames)
+			if _, err := b.AddPaper(id, year, authors, venue); err != nil {
+				return nil, fmt.Errorf("synth: %w", err)
+			}
+			g.years = append(g.years, year)
+			fit := math.Exp(g.rng.NormFloat64() * p.FitnessSigma)
+			cap := math.Exp(3 * p.FitnessSigma)
+			if fit > cap {
+				fit = cap
+			}
+			if g.fitCap < fit {
+				g.fitCap = fit
+			}
+			g.fitness = append(g.fitness, fit)
+			g.papersByYear[yo] = append(g.papersByYear[yo], node)
+			if p.Topics > 0 {
+				// Quadratic skew: low-numbered topics are larger fields.
+				u := g.rng.Float64()
+				topic := int32(u * u * float64(p.Topics))
+				if int(topic) >= p.Topics {
+					topic = int32(p.Topics - 1)
+				}
+				g.topics = append(g.topics, topic)
+			}
+
+			refs := g.pickReferences(node, yo)
+			for _, ref := range refs {
+				b.AddEdgeByIndex(node, ref)
+				g.recentCited[yo] = append(g.recentCited[yo], ref)
+			}
+			g.refs = append(g.refs, refs)
+			node++
+		}
+	}
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return net, nil
+}
+
+// pickReferences selects the reference list of a paper published at year
+// offset yo, mixing the three mechanisms of the model.
+func (g *generator) pickReferences(self int32, yo int) []int32 {
+	if yo == 0 {
+		return nil // nothing to cite yet
+	}
+	p := g.p
+	// Poisson-distributed reference count with mean RefMean, via Knuth's
+	// method (mean is small), capped at the number of available papers.
+	want := g.poisson(p.RefMean)
+	avail := 0
+	for i := 0; i < yo; i++ {
+		avail += len(g.papersByYear[i])
+	}
+	if want > avail {
+		want = avail
+	}
+	if want == 0 {
+		return nil
+	}
+	chosen := make(map[int32]struct{}, want)
+	refs := make([]int32, 0, want)
+	// Bounded retries: duplicates and rejected candidates are retried a
+	// fixed number of times; short lists are acceptable (real reference
+	// lists also leave the dataset).
+	for attempts := 0; len(refs) < want && attempts < want*12; attempts++ {
+		var cand int32 = -1
+		r := g.rng.Float64()
+		switch {
+		case r < p.PAttention:
+			cand = g.sampleAttention(yo)
+		case r < p.PAttention+p.PRecency:
+			cand = g.sampleRecency(yo)
+		default:
+			cand = g.sampleFitness(yo)
+		}
+		if cand < 0 || cand == self {
+			continue
+		}
+		if _, dup := chosen[cand]; dup {
+			continue
+		}
+		// Topic affinity: cross-topic references are rejected with
+		// probability TopicAffinity.
+		if p.Topics > 0 && g.topics[cand] != g.topics[self] && g.rng.Float64() < p.TopicAffinity {
+			continue
+		}
+		chosen[cand] = struct{}{}
+		refs = append(refs, cand)
+	}
+	return refs
+}
+
+// sampleAttention copies the target of a citation made during the last
+// AttentionWindow years — the time-restricted preferential attachment.
+// A soft age-acceptance (time constant 5·RecencyTheta, much gentler than
+// the recency branch) keeps the mechanism from snowballing on the oldest
+// papers in short-history datasets while still letting old-but-popular
+// papers stay popular.
+func (g *generator) sampleAttention(yo int) int32 {
+	lo := yo - g.p.AttentionWindow
+	if lo < 0 {
+		lo = 0
+	}
+	total := 0
+	for y := lo; y < yo; y++ {
+		total += len(g.recentCited[y])
+	}
+	if total == 0 {
+		return -1
+	}
+	k := g.rng.Intn(total)
+	for y := lo; y < yo; y++ {
+		if k < len(g.recentCited[y]) {
+			cand := g.recentCited[y][k]
+			// Triadic closure: with some probability the researcher reads
+			// the trending paper and cites something from its reference
+			// list instead — the impact flow AttRank's α·S term models.
+			if g.rng.Float64() < 0.35 {
+				if rl := g.refs[cand]; len(rl) > 0 {
+					cand = rl[g.rng.Intn(len(rl))]
+				}
+			}
+			age := float64(g.p.StartYear + yo - g.years[cand])
+			if g.rng.Float64() > math.Exp(-age/(5*g.p.RecencyTheta)) {
+				return -1
+			}
+			return cand
+		}
+		k -= len(g.recentCited[y])
+	}
+	return -1
+}
+
+// sampleRecency picks a paper with age preference ∝ exp(−age/θ): first an
+// age from the truncated geometric induced by θ, then a uniform paper of
+// that year, fitness-accepted.
+func (g *generator) sampleRecency(yo int) int32 {
+	// Truncated discrete exponential over ages 1..yo (age counted in
+	// years before the citing year).
+	q := math.Exp(-1 / g.p.RecencyTheta)
+	// Inverse CDF sampling on the truncated geometric.
+	u := g.rng.Float64()
+	norm := (1 - math.Pow(q, float64(yo))) / (1 - q)
+	cum := 0.0
+	age := 1
+	for ; age <= yo; age++ {
+		cum += math.Pow(q, float64(age-1)) / norm
+		if u <= cum {
+			break
+		}
+	}
+	if age > yo {
+		age = yo
+	}
+	papers := g.papersByYear[yo-age]
+	if len(papers) == 0 {
+		return -1
+	}
+	cand := papers[g.rng.Intn(len(papers))]
+	return g.fitnessAccept(cand)
+}
+
+// sampleFitness picks any earlier paper, fitness-accepted.
+func (g *generator) sampleFitness(yo int) int32 {
+	total := 0
+	for y := 0; y < yo; y++ {
+		total += len(g.papersByYear[y])
+	}
+	if total == 0 {
+		return -1
+	}
+	k := g.rng.Intn(total)
+	for y := 0; y < yo; y++ {
+		if k < len(g.papersByYear[y]) {
+			return g.fitnessAccept(g.papersByYear[y][k])
+		}
+		k -= len(g.papersByYear[y])
+	}
+	return -1
+}
+
+func (g *generator) fitnessAccept(cand int32) int32 {
+	accept := g.fitness[cand] / g.fitCap
+	if b := g.p.Burst; b != nil && g.topics[cand] == int32(b.Topic) &&
+		g.years[cand] >= b.StartYear {
+		accept *= b.Boost
+		if accept > 1 {
+			accept = 1
+		}
+	}
+	if g.rng.Float64() <= accept {
+		return cand
+	}
+	return -1
+}
+
+func (g *generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(mean*10+20) { // numerical guard
+			return k
+		}
+	}
+}
+
+func (g *generator) makeAuthorNames() []string {
+	names := make([]string, g.p.AuthorPool)
+	for i := range names {
+		names[i] = "author-" + strconv.Itoa(i)
+	}
+	return names
+}
+
+func (g *generator) makeVenueNames() []string {
+	names := make([]string, g.p.Venues)
+	for i := range names {
+		names[i] = "venue-" + strconv.Itoa(i)
+	}
+	return names
+}
+
+// pickAuthors draws 1+Poisson(mean−1) authors, reusing prolific authors
+// via a Zipf-ish squared-uniform index so some authors publish a lot.
+func (g *generator) pickAuthors(pool []string) []string {
+	if len(pool) == 0 || g.p.AuthorsPerPaper <= 0 {
+		return nil
+	}
+	count := 1 + g.poisson(g.p.AuthorsPerPaper-1)
+	if count > len(pool) {
+		count = len(pool)
+	}
+	seen := make(map[int]struct{}, count)
+	var names []string
+	for attempts := 0; len(names) < count && attempts < count*8; attempts++ {
+		u := g.rng.Float64()
+		idx := int(u * u * float64(len(pool))) // quadratic skew toward index 0
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		names = append(names, pool[idx])
+	}
+	return names
+}
+
+// pickVenue draws a venue with a quadratic skew so a few venues dominate,
+// or "" when the profile has no venues.
+func (g *generator) pickVenue(pool []string) string {
+	if len(pool) == 0 {
+		return ""
+	}
+	u := g.rng.Float64()
+	idx := int(u * u * float64(len(pool)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}

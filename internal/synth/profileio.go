@@ -1,0 +1,44 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadProfile parses a Profile from JSON. Unknown fields are rejected so
+// typos in hand-written profiles surface immediately; the profile is
+// validated before being returned.
+func ReadProfile(r io.Reader) (Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("synth: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// WriteProfile renders a Profile as indented JSON.
+func WriteProfile(w io.Writer, p Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("synth: encoding profile: %w", err)
+	}
+	return nil
+}
+
+// LoadProfileFile reads a Profile from a JSON file.
+func LoadProfileFile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("synth: %w", err)
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}

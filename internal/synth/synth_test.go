@@ -1,0 +1,541 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"attrank/internal/core"
+)
+
+// smallProfile returns a fast profile for tests.
+func smallProfile() Profile {
+	p := HepTh()
+	p.Papers = 1200
+	p.AuthorPool = 400
+	return p
+}
+
+func TestGenerateBasics(t *testing.T) {
+	net, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 1200 {
+		t.Fatalf("N = %d, want 1200", net.N())
+	}
+	if net.Edges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("invalid network: %v", err)
+	}
+	if net.MinYear() < 1992 || net.MaxYear() > 2003 {
+		t.Errorf("years %d..%d out of profile range", net.MinYear(), net.MaxYear())
+	}
+	if net.NumAuthors() == 0 {
+		t.Error("no authors generated")
+	}
+	if net.NumVenues() != 0 {
+		t.Error("hep-th profile should have no venues")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := smallProfile()
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.Edges() != b.Edges() {
+		t.Fatalf("same profile produced different networks: %d/%d vs %d/%d",
+			a.N(), a.Edges(), b.N(), b.Edges())
+	}
+	for i := int32(0); int(i) < a.N(); i++ {
+		if a.InDegree(i) != b.InDegree(i) {
+			t.Fatalf("in-degree differs at node %d", i)
+		}
+	}
+}
+
+func TestGenerateSeededVariation(t *testing.T) {
+	p := smallProfile()
+	a, err := GenerateSeeded(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSeeded(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Edges() == b.Edges() {
+		// Edge counts could coincide; check degrees too.
+		same := true
+		for i := int32(0); int(i) < a.N(); i++ {
+			if a.InDegree(i) != b.InDegree(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical networks")
+		}
+	}
+}
+
+func TestCitationsOnlyPointBackward(t *testing.T) {
+	net, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); int(i) < net.N(); i++ {
+		y := net.Year(i)
+		net.References(i, func(ref int32) {
+			if net.Year(ref) >= y {
+				t.Fatalf("paper %d (year %d) cites %d (year %d): citations must point to the past",
+					i, y, ref, net.Year(ref))
+			}
+		})
+	}
+}
+
+func TestCitationAgeShapeMatchesProfile(t *testing.T) {
+	// hep-th must peak earlier and decay faster than APS (Figure 1a).
+	hep := HepTh()
+	hep.Papers = 3000
+	hep.AuthorPool = 800
+	aps := APS()
+	aps.Papers = 3000
+	aps.AuthorPool = 800
+
+	hepNet, err := Generate(hep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsNet, err := Generate(aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := hepNet.CitationAgeDistribution(10)
+	ad := apsNet.CitationAgeDistribution(10)
+
+	peak := func(d []float64) int {
+		p := 0
+		for i, v := range d {
+			if v > d[p] {
+				p = i
+			}
+		}
+		return p
+	}
+	if hp, ap := peak(hd), peak(ad); hp > ap {
+		t.Errorf("hep-th peak (%d) should not be later than APS peak (%d)", hp, ap)
+	}
+	// Tail mass beyond 5 years must be larger for APS.
+	tail := func(d []float64) float64 {
+		s := 0.0
+		for i := 6; i < len(d); i++ {
+			s += d[i]
+		}
+		return s
+	}
+	if tail(hd) >= tail(ad) {
+		t.Errorf("hep-th tail %v should be lighter than APS tail %v", tail(hd), tail(ad))
+	}
+}
+
+func TestFittedWOrdering(t *testing.T) {
+	// The fitted decay must be steeper (more negative) for hep-th than for
+	// APS, mirroring the paper's w = −0.48 vs −0.12.
+	hep := HepTh()
+	hep.Papers = 3000
+	aps := APS()
+	aps.Papers = 3000
+	hepNet, err := Generate(hep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsNet, err := Generate(aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := core.FitWFromNetwork(hepNet, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := core.FitWFromNetwork(apsNet, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh >= wa {
+		t.Errorf("fitted w: hep-th %v should be more negative than APS %v", wh, wa)
+	}
+	if wh >= 0 || wa >= 0 {
+		t.Errorf("fitted w must be negative: hep-th %v, APS %v", wh, wa)
+	}
+}
+
+func TestHeavyTailInDegrees(t *testing.T) {
+	net, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	total := 0
+	for i := int32(0); int(i) < net.N(); i++ {
+		d := net.InDegree(i)
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(total) / float64(net.N())
+	if float64(maxDeg) < 5*mean {
+		t.Errorf("max in-degree %d should greatly exceed the mean %.2f (heavy tail)", maxDeg, mean)
+	}
+}
+
+func TestVenueProfilesHaveVenues(t *testing.T) {
+	p := PMC()
+	p.Papers = 800
+	p.AuthorPool = 400
+	net, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumVenues() == 0 {
+		t.Error("PMC profile should attach venues")
+	}
+	stats := net.ComputeStats()
+	if stats.WithVenue != net.N() {
+		t.Errorf("all PMC papers should have venues, got %d of %d", stats.WithVenue, net.N())
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", StartYear: 2000, EndYear: 1999, Papers: 10, Growth: 1, RecencyTheta: 1, AttentionWindow: 1},
+		func() Profile { p := HepTh(); p.Papers = 0; return p }(),
+		func() Profile { p := HepTh(); p.Growth = 0; return p }(),
+		func() Profile { p := HepTh(); p.RecencyTheta = 0; return p }(),
+		func() Profile { p := HepTh(); p.PAttention = 0.8; p.PRecency = 0.5; return p }(),
+		func() Profile { p := HepTh(); p.AttentionWindow = 0; return p }(),
+		func() Profile { p := HepTh(); p.AuthorPool = 0; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"hep-th", "aps", "pmc", "dblp"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Errorf("ProfileByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("got %s, want %s", p.Name, name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	p := DBLP()
+	s := p.Scale(0.1)
+	if s.Papers >= p.Papers {
+		t.Errorf("Scale(0.1) did not shrink: %d vs %d", s.Papers, p.Papers)
+	}
+	same := p.Scale(0)
+	if same.Papers != p.Papers {
+		t.Error("Scale(0) should be a no-op")
+	}
+}
+
+func TestMeanReferencesNearProfile(t *testing.T) {
+	p := smallProfile()
+	net, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(net.Edges()) / float64(net.N())
+	// Early years lack candidates and rejection trims lists, so the mean
+	// lands below RefMean but must stay within a sane band.
+	if mean < p.RefMean*0.3 || mean > p.RefMean*1.2 {
+		t.Errorf("mean refs %.2f too far from profile mean %v", mean, p.RefMean)
+	}
+}
+
+func TestAttentionPersistence(t *testing.T) {
+	// The generator's core promise: papers heavily cited in a window keep
+	// being cited in the next window more than average. Measure on dblp.
+	p := DBLP()
+	p.Papers = 4000
+	p.AuthorPool = 1500
+	net, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := 2005
+	var topGain, allGain, topCount, allCount float64
+	type pc struct {
+		node int32
+		past int
+	}
+	var byPast []pc
+	for i := int32(0); int(i) < net.N(); i++ {
+		if net.Year(i) > mid {
+			continue
+		}
+		past := net.CitationsIn(i, mid-2, mid)
+		future := net.CitationsIn(i, mid+1, mid+3)
+		byPast = append(byPast, pc{i, past})
+		allGain += float64(future)
+		allCount++
+		_ = past
+	}
+	// Top 5% by recent citations.
+	kth := len(byPast) / 20
+	if kth < 5 {
+		t.Skip("network too small")
+	}
+	// Partial selection: simple sort-free threshold via copy+sort would be
+	// fine at this size; use counting.
+	maxPast := 0
+	for _, e := range byPast {
+		if e.past > maxPast {
+			maxPast = e.past
+		}
+	}
+	hist := make([]int, maxPast+1)
+	for _, e := range byPast {
+		hist[e.past]++
+	}
+	threshold := maxPast
+	cum := 0
+	for d := maxPast; d >= 0; d-- {
+		cum += hist[d]
+		if cum >= kth {
+			threshold = d
+			break
+		}
+	}
+	for _, e := range byPast {
+		if e.past >= threshold && e.past > 0 {
+			topGain += float64(net.CitationsIn(e.node, mid+1, mid+3))
+			topCount++
+		}
+	}
+	if topCount == 0 {
+		t.Skip("no recently-popular papers found")
+	}
+	topMean := topGain / topCount
+	allMean := allGain / allCount
+	if topMean <= 2*allMean {
+		t.Errorf("recently popular papers should keep being cited: top mean %.2f vs overall %.2f",
+			topMean, allMean)
+	}
+	_ = math.Abs
+}
+
+func TestTopicsAssignment(t *testing.T) {
+	p := smallProfile()
+	p.Topics = 5
+	p.TopicAffinity = 0.8
+	net, topics, err := GenerateWithTopics(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != net.N() {
+		t.Fatalf("topics = %d for %d papers", len(topics), net.N())
+	}
+	seen := make(map[int32]int)
+	for _, tp := range topics {
+		if tp < 0 || int(tp) >= p.Topics {
+			t.Fatalf("topic %d out of range", tp)
+		}
+		seen[tp]++
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d topics used", len(seen))
+	}
+	// Affinity: most references stay within topic.
+	within, total := 0, 0
+	for i := int32(0); int(i) < net.N(); i++ {
+		net.References(i, func(ref int32) {
+			total++
+			if topics[i] == topics[ref] {
+				within++
+			}
+		})
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	if frac := float64(within) / float64(total); frac < 0.6 {
+		t.Errorf("within-topic fraction = %.2f, want well above the null", frac)
+	}
+}
+
+func TestTopicsOffByDefault(t *testing.T) {
+	_, topics, err := GenerateWithTopics(smallProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topics != nil {
+		t.Errorf("topics = %v, want nil when disabled", topics)
+	}
+}
+
+func TestBurstShiftsCitations(t *testing.T) {
+	base := smallProfile()
+	base.Papers = 2500
+	base.Topics = 4
+	base.TopicAffinity = 0.5
+
+	burst := base
+	burst.Burst = &Burst{Topic: 3, StartYear: 1999, Boost: 6}
+
+	share := func(p Profile) float64 {
+		net, topics, err := GenerateWithTopics(p, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topicCites, total := 0, 0
+		for i := int32(0); int(i) < net.N(); i++ {
+			// Citations made by papers published from the burst year on.
+			if net.Year(i) < 1999 {
+				continue
+			}
+			net.References(i, func(ref int32) {
+				total++
+				if topics[ref] == 3 {
+					topicCites++
+				}
+			})
+		}
+		if total == 0 {
+			t.Fatal("no post-1999 citations")
+		}
+		return float64(topicCites) / float64(total)
+	}
+	if b, n := share(burst), share(base); b <= n*1.5 {
+		t.Errorf("burst topic share %.3f should far exceed baseline %.3f", b, n)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	p := smallProfile()
+	p.Burst = &Burst{Topic: 0, StartYear: 1999, Boost: 3}
+	if err := p.Validate(); err == nil {
+		t.Error("burst without topics accepted")
+	}
+	p.Topics = 3
+	p.TopicAffinity = 0.5
+	p.Burst = &Burst{Topic: 9, StartYear: 1999, Boost: 3}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range burst topic accepted")
+	}
+	p.Burst = &Burst{Topic: 1, StartYear: 1999, Boost: 0.5}
+	if err := p.Validate(); err == nil {
+		t.Error("boost < 1 accepted")
+	}
+	p.TopicAffinity = 2
+	p.Burst = nil
+	if err := p.Validate(); err == nil {
+		t.Error("affinity > 1 accepted")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := DBLP()
+	p.Topics = 3
+	p.TopicAffinity = 0.6
+	p.Burst = &Burst{Topic: 1, StartYear: 2010, Boost: 4}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name || back.Papers != p.Papers || back.RecencyTheta != p.RecencyTheta {
+		t.Errorf("round trip changed profile: %+v", back)
+	}
+	if back.Burst == nil || back.Burst.Boost != 4 {
+		t.Errorf("burst lost: %+v", back.Burst)
+	}
+}
+
+func TestReadProfileRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader(`{"Name":"x","Typo":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadProfileRejectsInvalid(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader(`{"Name":"x"}`)); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed json accepted")
+	}
+}
+
+func TestLoadProfileFile(t *testing.T) {
+	p := HepTh()
+	path := filepath.Join(t.TempDir(), "profile.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfile(f, p); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "hep-th" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if _, err := LoadProfileFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenerateExactPaperCount(t *testing.T) {
+	// Regression: forcing a seed paper into the first year must not
+	// inflate the total.
+	for _, total := range []int{50, 400, 1234} {
+		p := DBLP()
+		p.Papers = total
+		p.AuthorPool = total / 3
+		net, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.N() != total {
+			t.Errorf("Papers=%d generated %d", total, net.N())
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package textplot renders the repository's experimental results in the
+// terminal: shaded heatmaps for the α–β parameter studies (Figure 2),
+// multi-series line charts for the comparative evaluations (Figures 3–5),
+// and aligned tables. Stdlib only; output is plain UTF-8.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// shades maps a normalized value in [0,1] to a density glyph.
+var shades = []rune(" ░▒▓█")
+
+// Heatmap renders a matrix as shaded cells. rows[i][j] is the value at
+// row label rowLabels[i] and column label colLabels[j]; NaN cells render
+// as '·'. Values are normalized over the finite entries.
+func Heatmap(title string, rowLabels, colLabels []string, rows [][]float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		for _, v := range r {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	// Column header.
+	fmt.Fprintf(&sb, "%*s ", labelW, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&sb, "%4s", c)
+	}
+	sb.WriteByte('\n')
+	for i, r := range rows {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&sb, "%*s ", labelW, label)
+		for _, v := range r {
+			if math.IsNaN(v) {
+				sb.WriteString("   ·")
+				continue
+			}
+			t := 0.0
+			if hi > lo {
+				t = (v - lo) / (hi - lo)
+			}
+			idx := int(t * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			g := shades[idx]
+			fmt.Fprintf(&sb, "  %c%c", g, g)
+		}
+		sb.WriteByte('\n')
+	}
+	if hi >= lo {
+		fmt.Fprintf(&sb, "%*s min=%.4f max=%.4f\n", labelW, "", lo, hi)
+	}
+	return sb.String()
+}
+
+// LineChart renders several named series over a shared x-axis as an
+// ASCII grid of the given height. NaN points are skipped. Each series is
+// drawn with its own glyph; a legend follows the chart.
+func LineChart(title string, xs []float64, series map[string][]float64, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range names {
+		for _, v := range series[n] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if math.IsInf(lo, 1) {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	glyphs := []byte("ox+*#@%&$~")
+	colWidth := 6
+	width := len(xs) * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, n := range names {
+		g := glyphs[si%len(glyphs)]
+		for xi, v := range series[n] {
+			if xi >= len(xs) || math.IsNaN(v) {
+				continue
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			col := xi*colWidth + colWidth/2
+			if row >= 0 && row < height && col < width {
+				if grid[row][col] != ' ' {
+					// Collision: nudge right.
+					if col+1 < width {
+						col++
+					}
+				}
+				grid[row][col] = g
+			}
+		}
+	}
+	for i, row := range grid {
+		y := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%8.4f |%s\n", y, string(row))
+	}
+	// X-axis.
+	fmt.Fprintf(&sb, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%8s  ", "")
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-*s", colWidth, trimFloat(x))
+	}
+	sb.WriteByte('\n')
+	// Legend.
+	for si, n := range names {
+		fmt.Fprintf(&sb, "  %c %s", glyphs[si%len(glyphs)], n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Table renders rows with a header, columns padded to fit. Widths are
+// measured in runes so non-ASCII labels (τ, ρ, α) stay aligned.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Histogram renders labeled counts as horizontal bars scaled to maxWidth
+// characters. Bars carry their exact count after the bar.
+func Histogram(title string, labels []string, counts []int, maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	maxCount := 0
+	labelW := 0
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if i < len(labels) && utf8.RuneCountInString(labels[i]) > labelW {
+			labelW = utf8.RuneCountInString(labels[i])
+		}
+	}
+	if maxCount == 0 {
+		sb.WriteString("(empty)\n")
+		return sb.String()
+	}
+	for i, c := range counts {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		bar := int(float64(c) / float64(maxCount) * float64(maxWidth))
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %d\n", labelW, label, strings.Repeat("█", bar), c)
+	}
+	return sb.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int(x))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", x), "0"), ".")
+}

@@ -1,0 +1,141 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestHeatmapRendersAllCells(t *testing.T) {
+	out := Heatmap("demo",
+		[]string{"r0", "r1"},
+		[]string{"c0", "c1", "c2"},
+		[][]float64{{0, 0.5, 1}, {1, math.NaN(), 0}})
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "·") {
+		t.Error("NaN cell not rendered as ·")
+	}
+	if !strings.Contains(out, "██") {
+		t.Error("max cell not rendered with full shade")
+	}
+	if !strings.Contains(out, "min=0.0000 max=1.0000") {
+		t.Errorf("missing range line:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + 2 rows + range
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHeatmapConstantValues(t *testing.T) {
+	out := Heatmap("const", []string{"r"}, []string{"c"}, [][]float64{{0.7}})
+	if out == "" || !strings.Contains(out, "const") {
+		t.Error("constant heatmap failed to render")
+	}
+}
+
+func TestLineChartRendersSeries(t *testing.T) {
+	out := LineChart("chart",
+		[]float64{1.2, 1.4, 1.6},
+		map[string][]float64{
+			"AR": {0.5, 0.6, 0.7},
+			"CR": {0.4, math.NaN(), 0.5},
+		}, 8)
+	if !strings.Contains(out, "chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "AR") || !strings.Contains(out, "CR") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "1.2") || !strings.Contains(out, "1.6") {
+		t.Error("missing x labels")
+	}
+	// Two glyph kinds must appear in the plot area.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("empty", []float64{1}, map[string][]float64{"A": {math.NaN()}}, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestLineChartMinHeight(t *testing.T) {
+	out := LineChart("h", []float64{1, 2}, map[string][]float64{"A": {1, 2}}, 1)
+	if strings.Count(out, "|") < 4 {
+		t.Errorf("height not clamped up:\n%s", out)
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table(
+		[]string{"dataset", "τ"},
+		[][]string{{"hep-th", "3"}, {"aps", "10"}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if utf8.RuneCountInString(lines[0]) != utf8.RuneCountInString(lines[1]) {
+		t.Errorf("separator misaligned with header:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "hep-th") {
+		t.Errorf("row content wrong:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.2: "1.2",
+		5:   "5",
+		1.6: "1.6",
+		500: "500",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("deg", []string{"0", "1", "2+"}, []int{10, 5, 1}, 20)
+	if !strings.Contains(out, "deg") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "5") {
+		t.Error("missing counts")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// The largest bucket gets the full width; smaller ones proportionally.
+	if strings.Count(lines[1], "█") != 20 {
+		t.Errorf("max bar width = %d, want 20", strings.Count(lines[1], "█"))
+	}
+	if strings.Count(lines[3], "█") != 2 {
+		t.Errorf("small bar width = %d, want 2", strings.Count(lines[3], "█"))
+	}
+}
+
+func TestHistogramNonZeroGetsAtLeastOneCell(t *testing.T) {
+	out := Histogram("h", []string{"big", "tiny"}, []int{1000, 1}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[2], "█") != 1 {
+		t.Errorf("non-zero count must render at least one cell:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	out := Histogram("h", nil, []int{0, 0}, 10)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("all-zero histogram should say empty:\n%s", out)
+	}
+}
