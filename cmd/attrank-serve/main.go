@@ -4,12 +4,29 @@
 // Usage:
 //
 //	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0]
+//	attrank-serve -wal state/ [-in seed.tsv] [-rerank-after 256] [-rerank-every 2s] [-snapshot-every 4096]
 //
-// Example session:
+// Without -wal the server is read-only: it ranks the corpus once at
+// startup and serves it. With -wal it runs the live-ingestion subsystem
+// (internal/ingest): mutations posted to /v1/papers, /v1/citations and
+// /v1/batch are made durable in a write-ahead log under the given
+// directory, compacted into the corpus in the background, and re-ranked
+// on a debounce schedule. On restart the corpus is recovered from the
+// snapshot plus the WAL tail; -in then only seeds a fresh, empty
+// directory.
+//
+// Example read-only session:
 //
 //	attrank-serve -in dblp.tsv &
 //	curl localhost:8080/v1/top?n=5
 //	curl localhost:8080/v1/paper/p42
+//
+// Example live session:
+//
+//	attrank-serve -wal state/ -in dblp.tsv &
+//	curl -X POST localhost:8080/v1/papers -d '{"id":"p-new","year":2021,"authors":["ada"]}'
+//	curl -X POST localhost:8080/v1/citations -d '{"citing":"p-new","cited":"p42"}'
+//	curl localhost:8080/v1/epoch
 package main
 
 import (
@@ -19,10 +36,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"attrank/internal/core"
 	"attrank/internal/dataio"
+	"attrank/internal/graph"
+	"attrank/internal/ingest"
 	"attrank/internal/service"
 )
 
@@ -36,14 +57,36 @@ func main() {
 		y     = flag.Int("y", 3, "attention window in years")
 		w     = flag.Float64("w", 0, "recency exponent (0 = fit from data)")
 		now   = flag.Int("now", 0, "current time tN (default: newest year)")
+
+		wal           = flag.String("wal", "", "live mode: durable state directory (WAL + snapshots)")
+		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
+		rerankEvery   = flag.Duration("rerank-every", ingest.DefaultRerankEvery, "live mode: re-rank at most this long after a mutation")
+		snapshotEvery = flag.Int("snapshot-every", ingest.DefaultSnapshotEvery, "live mode: snapshot after this many compacted mutations (negative disables)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "attrank-serve: -in is required")
+	if *in == "" && *wal == "" {
+		fmt.Fprintln(os.Stderr, "attrank-serve: -in or -wal is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv, err := build(*in, *alpha, *beta, *gamma, *y, *w, *now)
+	var (
+		srv *service.Server
+		err error
+	)
+	if *wal != "" {
+		var ing *ingest.Ingester
+		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *rerankAfter, *rerankEvery, *snapshotEvery)
+		if err == nil {
+			defer func() {
+				if err := ing.Close(); err != nil {
+					log.Printf("attrank-serve: closing ingester: %v", err)
+				}
+			}()
+			srv = service.NewLive(ing)
+		}
+	} else {
+		srv, err = build(*in, *alpha, *beta, *gamma, *y, *w, *now)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "attrank-serve:", err)
 		os.Exit(1)
@@ -66,14 +109,62 @@ func build(in string, alpha, beta, gamma float64, y int, w float64, now int) (*s
 		now = net.MaxYear()
 	}
 	if w == 0 {
-		fitted, err := core.FitWFromNetwork(net, 10)
-		if err != nil {
-			return nil, fmt.Errorf("fitting w: %w", err)
+		if w, err = fitW(net); err != nil {
+			return nil, err
 		}
-		w = fitted
-		log.Printf("attrank-serve: fitted w = %.4f", w)
 	}
 	return service.New(net, now, core.Params{
 		Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w,
 	})
+}
+
+// buildLive opens the ingestion subsystem over the durable state in dir.
+// The seed corpus (-in) is only consulted when dir holds no snapshot yet;
+// on restart the snapshot plus the WAL tail are authoritative.
+func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, rerankAfter int, rerankEvery time.Duration, snapshotEvery int) (*ingest.Ingester, error) {
+	var seed *graph.Network
+	if in != "" {
+		var err error
+		if seed, err = dataio.LoadFile(in); err != nil {
+			return nil, err
+		}
+	}
+	if w == 0 {
+		// Fit the recency exponent from whatever corpus we will start
+		// from: the existing snapshot if the directory has one, else the
+		// seed. An empty corpus keeps w = 0 (uniform recency) until the
+		// operator restarts with an explicit -w.
+		fitNet := seed
+		if snap, err := dataio.LoadBinaryFile(filepath.Join(dir, "snapshot.anb")); err == nil {
+			fitNet = snap
+		}
+		if fitNet != nil && fitNet.N() > 0 {
+			var err error
+			if w, err = fitW(fitNet); err != nil {
+				return nil, err
+			}
+		} else {
+			log.Printf("attrank-serve: empty corpus, using w = 0 (uniform recency)")
+		}
+	}
+	return ingest.Open(seed, ingest.Config{
+		Dir: dir,
+		Params: core.Params{
+			Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w,
+		},
+		Now:           now,
+		RerankAfter:   rerankAfter,
+		RerankEvery:   rerankEvery,
+		SnapshotEvery: snapshotEvery,
+		Logf:          log.Printf,
+	})
+}
+
+func fitW(net *graph.Network) (float64, error) {
+	w, err := core.FitWFromNetwork(net, 10)
+	if err != nil {
+		return 0, fmt.Errorf("fitting w: %w", err)
+	}
+	log.Printf("attrank-serve: fitted w = %.4f", w)
+	return w, nil
 }

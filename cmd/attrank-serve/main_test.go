@@ -7,7 +7,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"strings"
+	"time"
+
 	"attrank/internal/dataio"
+	"attrank/internal/ingest"
+	"attrank/internal/service"
 	"attrank/internal/synth"
 )
 
@@ -73,5 +78,104 @@ func TestBuildInvalidParams(t *testing.T) {
 	f.Close()
 	if _, err := build(path, 0.9, 0.9, 0.9, 3, -0.2, 0); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+func writeSynthTSV(t *testing.T, papers int) string {
+	t.Helper()
+	p := synth.HepTh()
+	p.Papers = papers
+	p.AuthorPool = 60
+	net, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteTSV(f, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBuildLiveAndServe drives the live-ingestion wiring: seed a fresh
+// WAL directory from -in, post a mutation, and watch the epoch advance
+// across a restart that must not re-read the seed.
+func TestBuildLiveAndServe(t *testing.T) {
+	seedPath := writeSynthTSV(t, 150)
+	dir := t.TempDir()
+
+	ing, err := buildLive(seedPath, dir, 0.2, 0.5, 0.3, 3, 0, 0, 1<<20, time.Hour, ingest.DefaultSnapshotEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewLive(ing)
+	srv.SetLogf(nil)
+	ts := httptest.NewServer(srv.Handler())
+
+	resp, err := http.Post(ts.URL+"/v1/papers", "application/json",
+		strings.NewReader(`{"id":"live-1","year":2003,"authors":["ada"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add paper: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/paper/live-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("paper after refresh: %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory with NO seed: state must come back
+	// from the snapshot + WAL.
+	re, err := buildLive("", dir, 0.2, 0.5, 0.3, 3, 0, 0, 1<<20, time.Hour, ingest.DefaultSnapshotEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	r := re.Ranking()
+	if r == nil || r.Net.N() != 151 {
+		t.Fatalf("recovered corpus has %d papers, want 151", r.Net.N())
+	}
+}
+
+func TestBuildLiveEmptyCorpus(t *testing.T) {
+	ing, err := buildLive("", t.TempDir(), 0.2, 0.5, 0.3, 3, 0, 0, 1<<20, time.Hour, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	if ing.Ranking() != nil {
+		t.Error("empty corpus published a ranking")
+	}
+}
+
+func TestBuildLiveBadSeed(t *testing.T) {
+	if _, err := buildLive(filepath.Join(t.TempDir(), "nope.tsv"), t.TempDir(),
+		0.2, 0.5, 0.3, 3, 0, 0, 1<<20, time.Hour, -1); err == nil {
+		t.Error("missing seed accepted")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"attrank/internal/graph"
 	"attrank/internal/sparse"
@@ -135,6 +136,9 @@ type Result struct {
 	// diagnostics and the examples.
 	Attention []float64
 	Recency   []float64
+	// Duration is the wall-clock time Rank spent, for operational
+	// monitoring (e.g. the live-ingestion /v1/epoch endpoint).
+	Duration time.Duration
 }
 
 // ErrEmptyNetwork is returned when ranking a network without papers.
@@ -150,6 +154,7 @@ func Rank(net *graph.Network, now int, p Params) (*Result, error) {
 	if n == 0 {
 		return nil, ErrEmptyNetwork
 	}
+	started := time.Now()
 
 	att := AttentionVector(net, now, p.AttentionYears)
 	rec := RecencyVector(net, now, p.W)
@@ -165,6 +170,7 @@ func Rank(net *graph.Network, now int, p Params) (*Result, error) {
 		res.Iterations = 1
 		res.Converged = true
 		res.Residuals = []float64{0}
+		res.Duration = time.Since(started)
 		return res, nil
 	}
 
@@ -212,6 +218,7 @@ func Rank(net *graph.Network, now int, p Params) (*Result, error) {
 		}
 	}
 	res.Scores = x
+	res.Duration = time.Since(started)
 	return res, nil
 }
 

@@ -1,0 +1,60 @@
+package dataio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"attrank/internal/graph"
+)
+
+// SaveBinaryAtomic writes the network in the binary (.anb) format to path
+// with crash-safe semantics: the bytes go to a temporary file in the same
+// directory, are fsync'd, and are then renamed over path. A reader (or a
+// recovery after a crash mid-write) sees either the old complete file or
+// the new complete file, never a torn one. This is the snapshot path of
+// the live-ingestion subsystem.
+func SaveBinaryAtomic(path string, net *graph.Network) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dataio: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if err := WriteBinary(tmp, net); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("dataio: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dataio: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dataio: snapshot rename: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadBinaryFile reads a binary (.anb) network from path.
+func LoadBinaryFile(path string) (*graph.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

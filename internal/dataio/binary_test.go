@@ -3,6 +3,7 @@ package dataio
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -105,5 +106,38 @@ func TestBinaryNeverPanicsOnGarbage(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSaveBinaryAtomicRoundTrip(t *testing.T) {
+	net := sampleNet(t)
+	path := filepath.Join(t.TempDir(), "snap.anb")
+	if err := SaveBinaryAtomic(path, net); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != net.N() || rt.Edges() != net.Edges() {
+		t.Fatalf("round trip: N=%d edges=%d, want %d, %d", rt.N(), rt.Edges(), net.N(), net.Edges())
+	}
+	// Overwriting an existing snapshot must leave no temp files behind.
+	if err := SaveBinaryAtomic(path, net); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1 (no temp files)", len(entries))
+	}
+}
+
+func TestSaveBinaryAtomicBadDir(t *testing.T) {
+	net := sampleNet(t)
+	if err := SaveBinaryAtomic(filepath.Join(t.TempDir(), "missing", "snap.anb"), net); err == nil {
+		t.Error("write into a missing directory accepted")
 	}
 }

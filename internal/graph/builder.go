@@ -32,6 +32,42 @@ func NewBuilder() *Builder {
 	}
 }
 
+// NewBuilderFrom returns a Builder pre-loaded with every paper, edge and
+// metadata entry of net, ready to accept additional papers and citations.
+// Existing papers keep their node indices (base papers come first, in
+// order), and base authors/venues are not re-interned: the tables are
+// copied once and extended in place, so growing a million-paper network
+// by a handful of papers costs O(V+E) copying but no string hashing of
+// the base corpus. This is the compaction path of the live-ingestion
+// subsystem (internal/ingest).
+func NewBuilderFrom(net *Network) *Builder {
+	b := &Builder{
+		papers:    make([]Paper, len(net.papers)),
+		idx:       make(map[string]int32, len(net.papers)),
+		edges:     make([][2]int32, 0, len(net.refs)),
+		authors:   append([]string(nil), net.authors...),
+		authorIdx: make(map[string]int32, len(net.authors)),
+		venues:    append([]string(nil), net.venues...),
+		venueIdx:  make(map[string]int32, len(net.venues)),
+	}
+	copy(b.papers, net.papers)
+	for i := range b.papers {
+		b.idx[b.papers[i].ID] = int32(i)
+	}
+	for i, name := range b.authors {
+		b.authorIdx[name] = int32(i)
+	}
+	for i, name := range b.venues {
+		b.venueIdx[name] = int32(i)
+	}
+	for i := int32(0); int(i) < net.N(); i++ {
+		net.References(i, func(ref int32) {
+			b.edges = append(b.edges, [2]int32{i, ref})
+		})
+	}
+	return b
+}
+
 // NumPapers returns the number of papers added so far.
 func (b *Builder) NumPapers() int { return len(b.papers) }
 

@@ -355,3 +355,94 @@ func TestCountByYear(t *testing.T) {
 		t.Errorf("CountByYear = %v", c)
 	}
 }
+
+func TestHasEdge(t *testing.T) {
+	n := buildTiny(t)
+	lookup := func(id string) int32 {
+		t.Helper()
+		i, ok := n.Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+		return i
+	}
+	for _, e := range [][2]string{{"p1", "p0"}, {"p2", "p0"}, {"p2", "p1"}, {"p3", "p2"}, {"p4", "p2"}, {"p4", "p0"}} {
+		if !n.HasEdge(lookup(e[0]), lookup(e[1])) {
+			t.Errorf("HasEdge(%s, %s) = false, want true", e[0], e[1])
+		}
+	}
+	for _, e := range [][2]string{{"p0", "p1"}, {"p1", "p2"}, {"p3", "p0"}, {"p0", "p0"}} {
+		if n.HasEdge(lookup(e[0]), lookup(e[1])) {
+			t.Errorf("HasEdge(%s, %s) = true, want false", e[0], e[1])
+		}
+	}
+}
+
+func TestNewBuilderFromRoundTrip(t *testing.T) {
+	n := buildTiny(t)
+	// Rebuilding with no additions must reproduce the network exactly.
+	rt, err := NewBuilderFrom(n).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if rt.N() != n.N() || rt.Edges() != n.Edges() {
+		t.Fatalf("round trip: N=%d edges=%d, want %d, %d", rt.N(), rt.Edges(), n.N(), n.Edges())
+	}
+	for i := int32(0); int(i) < n.N(); i++ {
+		if rt.Paper(i).ID != n.Paper(i).ID {
+			t.Fatalf("node %d: ID %q, want %q (indices must be preserved)", i, rt.Paper(i).ID, n.Paper(i).ID)
+		}
+	}
+	if rt.NumAuthors() != n.NumAuthors() || rt.NumVenues() != n.NumVenues() {
+		t.Errorf("tables: %d authors, %d venues, want %d, %d",
+			rt.NumAuthors(), rt.NumVenues(), n.NumAuthors(), n.NumVenues())
+	}
+}
+
+func TestNewBuilderFromExtend(t *testing.T) {
+	n := buildTiny(t)
+	b := NewBuilderFrom(n)
+	// A new paper reusing one base author ("alice") and adding a new one;
+	// base tables must not grow duplicates, and base papers keep indices.
+	idx, err := b.AddPaper("p5", 1999, []string{"alice", "erin"}, "VLDB")
+	if err != nil {
+		t.Fatalf("AddPaper: %v", err)
+	}
+	if int(idx) != n.N() {
+		t.Fatalf("new paper index = %d, want %d", idx, n.N())
+	}
+	b.AddEdge("p5", "p4")
+	b.AddEdge("p5", "p0")
+	grown, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if grown.N() != n.N()+1 || grown.Edges() != n.Edges()+2 {
+		t.Fatalf("grown: N=%d edges=%d", grown.N(), grown.Edges())
+	}
+	if grown.NumAuthors() != n.NumAuthors()+1 {
+		t.Errorf("authors = %d, want %d (alice reused, erin added)", grown.NumAuthors(), n.NumAuthors()+1)
+	}
+	if grown.NumVenues() != n.NumVenues() {
+		t.Errorf("venues = %d, want %d (VLDB reused)", grown.NumVenues(), n.NumVenues())
+	}
+	// Duplicate base ID still rejected.
+	if _, err := b.AddPaper("p0", 2000, nil, ""); err == nil {
+		t.Error("duplicate base ID accepted")
+	}
+	// The base network is untouched.
+	if n.N() != 5 || n.Edges() != 6 || n.NumAuthors() != 4 {
+		t.Errorf("base mutated: N=%d edges=%d authors=%d", n.N(), n.Edges(), n.NumAuthors())
+	}
+	i5, _ := grown.Lookup("p5")
+	i4, _ := grown.Lookup("p4")
+	if !grown.HasEdge(i5, i4) {
+		t.Error("new edge p5→p4 missing")
+	}
+}

@@ -122,6 +122,15 @@ func (n *Network) Citers(i int32, fn func(citer int32)) {
 // InDegree returns the citation count CC(i) of node i.
 func (n *Network) InDegree(i int32) int { return int(n.citPtr[i+1] - n.citPtr[i]) }
 
+// HasEdge reports whether the citation citing→cited exists. Reference
+// lists are sorted by cited index (Build orders edges by (citing, cited)),
+// so this is a binary search over the citing paper's references.
+func (n *Network) HasEdge(citing, cited int32) bool {
+	seg := n.refs[n.refPtr[citing]:n.refPtr[citing+1]]
+	k := sort.Search(len(seg), func(i int) bool { return seg[i] >= cited })
+	return k < len(seg) && seg[k] == cited
+}
+
 // CitationsIn returns the number of citations node i received from papers
 // published in years [from, to], inclusive. Citations are attributed to
 // the publication year of the citing paper, as in the paper's definition

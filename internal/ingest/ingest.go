@@ -1,0 +1,629 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"attrank/internal/core"
+	"attrank/internal/dataio"
+	"attrank/internal/graph"
+	"attrank/internal/metrics"
+)
+
+// Default debounce and snapshot policy, used when Config leaves the
+// corresponding fields zero.
+const (
+	DefaultRerankAfter   = 256
+	DefaultRerankEvery   = 2 * time.Second
+	DefaultSnapshotEvery = 4096
+)
+
+// Config configures an Ingester.
+type Config struct {
+	// Dir holds the durable state: snapshot.anb and wal.log. Created if
+	// missing.
+	Dir string
+	// Params are the AttRank parameters used for every re-rank.
+	Params core.Params
+	// Now is the ranking time tN. The effective time of each re-rank is
+	// max(Now, corpus max year), so ingesting newer papers advances the
+	// clock automatically. Zero means "derive from the corpus".
+	Now int
+	// RerankAfter triggers a background re-rank once this many mutations
+	// are pending (K of the debounce policy). DefaultRerankAfter if zero.
+	RerankAfter int
+	// RerankEvery bounds the staleness: a re-rank runs this long after
+	// the first pending mutation even if fewer than RerankAfter arrived
+	// (T of the debounce policy). DefaultRerankEvery if zero.
+	RerankEvery time.Duration
+	// SnapshotEvery compacts the WAL into a fresh snapshot after this
+	// many mutations. DefaultSnapshotEvery if zero; negative disables
+	// automatic snapshots.
+	SnapshotEvery int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Ranking is one published, immutable view of the ranked corpus. Readers
+// obtain it from Ingester.Ranking and use its fields without locking: a
+// later epoch never mutates an earlier Ranking, it replaces the pointer.
+type Ranking struct {
+	// Epoch increments with every publication; the first ranking is 1.
+	Epoch uint64
+	// Net is the compacted corpus this ranking was computed on.
+	Net *graph.Network
+	// Result holds the AttRank scores and convergence diagnostics.
+	Result *core.Result
+	// Positions maps node index → 0-based rank position.
+	Positions []int
+	// Stats is Net.ComputeStats(), computed once per epoch so serving it
+	// is free.
+	Stats graph.Stats
+	// RankedAt is the effective ranking time tN used.
+	RankedAt int
+}
+
+// Status reports the ingester's operational state for monitoring.
+type Status struct {
+	Epoch          uint64        // current ranking epoch (0 = none yet)
+	Papers         int           // corpus papers, pending included
+	Citations      int           // corpus citations, pending included
+	Pending        int           // mutations accepted but not yet ranked
+	WALBytes       int64         // current write-ahead log size
+	LastRerank     time.Duration // wall time of the last re-rank (compaction + iteration)
+	LastIterations int           // power iterations of the last re-rank
+	Snapshots      uint64        // snapshots written since Open
+}
+
+// ItemError reports a rejected mutation inside a batch.
+type ItemError struct {
+	Index int    `json:"index"`
+	Msg   string `json:"error"`
+}
+
+// BatchResult summarizes one ApplyBatch call. Duplicates (papers whose ID
+// already exists, edges already present) are idempotent no-ops, not
+// errors; Errors lists mutations that were invalid and skipped.
+type BatchResult struct {
+	Accepted   int
+	Duplicates int
+	Errors     []ItemError
+}
+
+// Ingester coordinates the live-ingestion subsystem. All methods are safe
+// for concurrent use.
+type Ingester struct {
+	cfg      Config
+	snapPath string
+	logf     func(string, ...any)
+
+	// mu guards the mutable corpus state and the WAL. Writers hold it
+	// for validation + WAL append; the scheduler holds it briefly to
+	// swap a freshly compacted network in. Compaction and ranking
+	// themselves run outside the lock.
+	mu            sync.Mutex
+	wal           *WAL
+	base          *graph.Network      // last compacted immutable network
+	delta         []Mutation          // accepted mutations not yet compacted
+	deltaIDs      map[string]struct{} // paper IDs in delta
+	deltaEdges    map[[2]string]struct{}
+	sinceSnapshot int // mutations compacted since the last snapshot
+	closed        bool
+
+	ranking atomic.Pointer[Ranking]
+	lastDur atomic.Int64 // last re-rank wall time, ns
+	lastIt  atomic.Int64 // last re-rank iterations
+	epoch   atomic.Uint64
+	snaps   atomic.Uint64
+
+	tracker *core.Tracker // owned by the scheduler goroutine (and Open)
+
+	kick    chan struct{}
+	flushCh chan chan error
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// Open starts an ingester over the durable state in cfg.Dir. If the
+// directory holds a snapshot, the corpus is recovered from it plus the
+// WAL tail; otherwise seed (which may be nil for an initially empty
+// corpus) becomes the base and is snapshotted immediately so a crash
+// before the first automatic snapshot still recovers. When the corpus is
+// non-empty, Open publishes the initial ranking (epoch 1) before
+// returning, so a server attaching to the ingester is immediately ready.
+func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("ingest: Config.Dir is required")
+	}
+	if cfg.RerankAfter <= 0 {
+		cfg.RerankAfter = DefaultRerankAfter
+	}
+	if cfg.RerankEvery <= 0 {
+		cfg.RerankEvery = DefaultRerankEvery
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	tracker, err := core.NewTracker(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	ing := &Ingester{
+		cfg:        cfg,
+		snapPath:   filepath.Join(cfg.Dir, "snapshot.anb"),
+		logf:       cfg.Logf,
+		deltaIDs:   make(map[string]struct{}),
+		deltaEdges: make(map[[2]string]struct{}),
+		tracker:    tracker,
+		kick:       make(chan struct{}, 1),
+		flushCh:    make(chan chan error),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if ing.logf == nil {
+		ing.logf = func(string, ...any) {}
+	}
+
+	freshDir := true
+	if _, err := os.Stat(ing.snapPath); err == nil {
+		freshDir = false
+		base, err := dataio.LoadBinaryFile(ing.snapPath)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: recovering snapshot: %w", err)
+		}
+		ing.base = base
+	} else if seed != nil {
+		ing.base = seed
+	} else {
+		empty, err := graph.NewBuilder().Build()
+		if err != nil {
+			return nil, err
+		}
+		ing.base = empty
+	}
+
+	// Replay the WAL tail into the delta. Records are validated with the
+	// same rules as live writes, so a record made redundant by the
+	// snapshot (crash between snapshot and WAL reset) replays as a
+	// duplicate no-op.
+	replayed, skipped := 0, 0
+	wal, err := OpenWAL(filepath.Join(cfg.Dir, "wal.log"), func(m Mutation) error {
+		switch ing.validate(m) {
+		case applyOK:
+			ing.applyToDelta(m)
+			replayed++
+		case applyDuplicate:
+			// no-op
+		default:
+			// An invalid durable record means the snapshot and WAL
+			// disagree (e.g. a hand-edited directory). Skip but report.
+			skipped++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ing.wal = wal
+	if replayed > 0 || skipped > 0 {
+		ing.logf("ingest: recovered %d mutations from WAL (%d invalid skipped)", replayed, skipped)
+	}
+
+	// A fresh directory with a seeded corpus: make the seed durable now,
+	// otherwise it exists only in memory and a crash loses it.
+	if freshDir && seed != nil {
+		if err := dataio.SaveBinaryAtomic(ing.snapPath, ing.base); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		ing.snaps.Add(1)
+	}
+
+	if ing.base.N() > 0 || len(ing.delta) > 0 {
+		if err := ing.rerank(); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: initial ranking: %w", err)
+		}
+	}
+	go ing.loop()
+	return ing, nil
+}
+
+// Ranking returns the most recently published ranking, or nil if the
+// corpus has been empty so far.
+func (ing *Ingester) Ranking() *Ranking { return ing.ranking.Load() }
+
+// Params returns the ranking parameters.
+func (ing *Ingester) Params() core.Params { return ing.cfg.Params }
+
+// Status returns a consistent snapshot of the operational counters.
+func (ing *Ingester) Status() Status {
+	ing.mu.Lock()
+	st := Status{
+		Papers:    ing.base.N() + len(ing.deltaIDs),
+		Citations: ing.base.Edges() + len(ing.deltaEdges),
+		Pending:   len(ing.delta),
+		WALBytes:  ing.wal.Size(),
+	}
+	ing.mu.Unlock()
+	st.Epoch = ing.epoch.Load()
+	st.LastRerank = time.Duration(ing.lastDur.Load())
+	st.LastIterations = int(ing.lastIt.Load())
+	st.Snapshots = ing.snaps.Load()
+	return st
+}
+
+// AddPaper durably records one paper. A paper whose ID already exists is
+// an idempotent no-op reported as duplicate=true.
+func (ing *Ingester) AddPaper(p PaperMut) (duplicate bool, err error) {
+	return ing.addOne(Mutation{Kind: KindPaper, Paper: p})
+}
+
+// AddCitation durably records one citation edge. An existing edge is an
+// idempotent no-op reported as duplicate=true.
+func (ing *Ingester) AddCitation(c CitationMut) (duplicate bool, err error) {
+	return ing.addOne(Mutation{Kind: KindCitation, Citation: c})
+}
+
+func (ing *Ingester) addOne(m Mutation) (bool, error) {
+	res, err := ing.ApplyBatch([]Mutation{m})
+	if err != nil {
+		return false, err
+	}
+	if len(res.Errors) > 0 {
+		return false, fmt.Errorf("%s", res.Errors[0].Msg)
+	}
+	return res.Duplicates == 1, nil
+}
+
+// ApplyBatch validates the mutations in order (later items may reference
+// papers introduced earlier in the same batch), appends the accepted ones
+// to the WAL with a single fsync, buffers them in the delta overlay and
+// wakes the re-rank scheduler. Invalid items are skipped and reported in
+// the result; the returned error is reserved for systemic failures (log
+// I/O, closed ingester), after which none of the batch is applied.
+func (ing *Ingester) ApplyBatch(muts []Mutation) (BatchResult, error) {
+	var res BatchResult
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.closed {
+		return res, fmt.Errorf("ingest: closed")
+	}
+	accepted := make([]Mutation, 0, len(muts))
+	// Track intra-batch state so validation sees earlier accepted items.
+	undoIDs := make([]string, 0, 4)
+	undoEdges := make([][2]string, 0, 4)
+	for i, m := range muts {
+		switch v := ing.validate(m); v {
+		case applyOK:
+			accepted = append(accepted, m)
+			// Provisionally apply to the validation maps only; the delta
+			// list is extended after the WAL append succeeds.
+			switch m.Kind {
+			case KindPaper:
+				ing.deltaIDs[m.Paper.ID] = struct{}{}
+				undoIDs = append(undoIDs, m.Paper.ID)
+			case KindCitation:
+				key := [2]string{m.Citation.Citing, m.Citation.Cited}
+				ing.deltaEdges[key] = struct{}{}
+				undoEdges = append(undoEdges, key)
+			}
+		case applyDuplicate:
+			res.Duplicates++
+		default:
+			res.Errors = append(res.Errors, ItemError{Index: i, Msg: v.msg})
+		}
+	}
+	if len(accepted) == 0 {
+		return res, nil
+	}
+	if err := ing.wal.Append(accepted...); err != nil {
+		// Nothing was acknowledged; roll the validation maps back.
+		for _, id := range undoIDs {
+			delete(ing.deltaIDs, id)
+		}
+		for _, e := range undoEdges {
+			delete(ing.deltaEdges, e)
+		}
+		return BatchResult{}, err
+	}
+	ing.delta = append(ing.delta, accepted...)
+	res.Accepted = len(accepted)
+	select {
+	case ing.kick <- struct{}{}:
+	default:
+	}
+	return res, nil
+}
+
+// applyVerdict classifies one mutation against the current corpus.
+type applyVerdict struct {
+	code int // 0 accept, 1 duplicate, 2 error
+	msg  string
+}
+
+var (
+	applyOK        = applyVerdict{code: 0}
+	applyDuplicate = applyVerdict{code: 1}
+)
+
+func applyError(format string, args ...any) applyVerdict {
+	return applyVerdict{code: 2, msg: fmt.Sprintf(format, args...)}
+}
+
+// validate requires ing.mu. Its rules are exactly the failure modes of
+// graph.Builder.Build, so an accepted mutation can never make compaction
+// fail.
+func (ing *Ingester) validate(m Mutation) applyVerdict {
+	switch m.Kind {
+	case KindPaper:
+		if m.Paper.ID == "" {
+			return applyError("empty paper id")
+		}
+		if ing.hasPaper(m.Paper.ID) {
+			return applyDuplicate
+		}
+		return applyOK
+	case KindCitation:
+		c := m.Citation
+		if c.Citing == "" || c.Cited == "" {
+			return applyError("citation needs both citing and cited ids")
+		}
+		if c.Citing == c.Cited {
+			return applyError("self-citation %q", c.Citing)
+		}
+		if !ing.hasPaper(c.Citing) {
+			return applyError("unknown citing paper %q", c.Citing)
+		}
+		if !ing.hasPaper(c.Cited) {
+			return applyError("unknown cited paper %q", c.Cited)
+		}
+		if _, ok := ing.deltaEdges[[2]string{c.Citing, c.Cited}]; ok {
+			return applyDuplicate
+		}
+		ci, okc := ing.base.Lookup(c.Citing)
+		ti, okt := ing.base.Lookup(c.Cited)
+		if okc && okt && ing.base.HasEdge(ci, ti) {
+			return applyDuplicate
+		}
+		return applyOK
+	default:
+		return applyError("unknown mutation kind %d", m.Kind)
+	}
+}
+
+func (ing *Ingester) hasPaper(id string) bool {
+	if _, ok := ing.deltaIDs[id]; ok {
+		return true
+	}
+	_, ok := ing.base.Lookup(id)
+	return ok
+}
+
+// applyToDelta requires ing.mu and a mutation that validated as applyOK.
+func (ing *Ingester) applyToDelta(m Mutation) {
+	ing.delta = append(ing.delta, m)
+	switch m.Kind {
+	case KindPaper:
+		ing.deltaIDs[m.Paper.ID] = struct{}{}
+	case KindCitation:
+		ing.deltaEdges[[2]string{m.Citation.Citing, m.Citation.Cited}] = struct{}{}
+	}
+}
+
+// Flush forces a synchronous compaction + re-rank and returns once the
+// new epoch is published (the /v1/refresh path, and handy in tests).
+func (ing *Ingester) Flush() error {
+	done := make(chan error, 1)
+	select {
+	case ing.flushCh <- done:
+		return <-done
+	case <-ing.stopCh:
+		return fmt.Errorf("ingest: closed")
+	}
+}
+
+// Close stops the scheduler, waits for any in-flight re-rank, and closes
+// the WAL. Pending mutations are already durable; they are recovered on
+// the next Open.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+	close(ing.stopCh)
+	<-ing.done
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.wal.Close()
+}
+
+// loop is the re-rank scheduler: it debounces mutations (rank after
+// RerankAfter mutations or RerankEvery elapsed, whichever first) and
+// serializes every re-rank and snapshot.
+func (ing *Ingester) loop() {
+	defer close(ing.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	pending := func() int {
+		ing.mu.Lock()
+		defer ing.mu.Unlock()
+		return len(ing.delta)
+	}
+	runRerank := func() {
+		if err := ing.rerank(); err != nil {
+			ing.logf("ingest: rerank: %v", err)
+		}
+		ing.maybeSnapshot()
+	}
+	for {
+		select {
+		case <-ing.kick:
+			n := pending()
+			if n >= ing.cfg.RerankAfter {
+				disarm()
+				runRerank()
+			} else if n > 0 && !armed {
+				timer.Reset(ing.cfg.RerankEvery)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			runRerank()
+		case done := <-ing.flushCh:
+			disarm()
+			err := ing.rerank()
+			ing.maybeSnapshot()
+			done <- err
+		case <-ing.stopCh:
+			disarm()
+			return
+		}
+	}
+}
+
+// rerank compacts the delta into a fresh immutable network, ranks it
+// (warm-started by the tracker), publishes the new epoch, and swaps the
+// compacted network in as the new base. Readers are never blocked: they
+// keep using the previous Ranking until the atomic pointer swap.
+func (ing *Ingester) rerank() error {
+	started := time.Now()
+	ing.mu.Lock()
+	base := ing.base
+	upTo := len(ing.delta)
+	deltaPrefix := ing.delta[:upTo:upTo]
+	ing.mu.Unlock()
+
+	net := base
+	if upTo > 0 {
+		b := graph.NewBuilderFrom(base)
+		for _, m := range deltaPrefix {
+			switch m.Kind {
+			case KindPaper:
+				if _, err := b.AddPaper(m.Paper.ID, m.Paper.Year, m.Paper.Authors, m.Paper.Venue); err != nil {
+					return fmt.Errorf("compacting: %w", err)
+				}
+			case KindCitation:
+				b.AddEdge(m.Citation.Citing, m.Citation.Cited)
+			}
+		}
+		var err error
+		net, err = b.Build()
+		if err != nil {
+			return fmt.Errorf("compacting: %w", err)
+		}
+	}
+	if net.N() == 0 {
+		return nil // nothing to rank yet
+	}
+
+	now := ing.cfg.Now
+	if net.MaxYear() > now {
+		now = net.MaxYear()
+	}
+	res, err := ing.tracker.Update(net, now)
+	if err != nil {
+		return err
+	}
+	positions := make([]int, net.N())
+	for pos, idx := range metrics.Ordering(res.Scores) {
+		positions[idx] = pos
+	}
+	r := &Ranking{
+		Epoch:     ing.epoch.Add(1),
+		Net:       net,
+		Result:    res,
+		Positions: positions,
+		Stats:     net.ComputeStats(),
+		RankedAt:  now,
+	}
+
+	ing.mu.Lock()
+	ing.base = net
+	ing.delta = append([]Mutation(nil), ing.delta[upTo:]...)
+	ing.deltaIDs = make(map[string]struct{})
+	ing.deltaEdges = make(map[[2]string]struct{})
+	for _, m := range ing.delta {
+		switch m.Kind {
+		case KindPaper:
+			ing.deltaIDs[m.Paper.ID] = struct{}{}
+		case KindCitation:
+			ing.deltaEdges[[2]string{m.Citation.Citing, m.Citation.Cited}] = struct{}{}
+		}
+	}
+	ing.sinceSnapshot += upTo
+	ing.mu.Unlock()
+
+	ing.lastDur.Store(int64(time.Since(started)))
+	ing.lastIt.Store(int64(res.Iterations))
+	ing.ranking.Store(r)
+	ing.logf("ingest: epoch %d published: %d papers, %d mutations compacted, %d iterations in %s",
+		r.Epoch, net.N(), upTo, res.Iterations, time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+// maybeSnapshot writes a snapshot and resets the WAL when the policy says
+// so and every accepted mutation has been compacted. Holding mu for the
+// duration stalls writers (readers are unaffected); the WAL reset is only
+// safe while no new records can be appended.
+func (ing *Ingester) maybeSnapshot() {
+	if ing.cfg.SnapshotEvery < 0 {
+		return
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.sinceSnapshot < ing.cfg.SnapshotEvery || len(ing.delta) > 0 {
+		return
+	}
+	if err := ing.snapshotLocked(); err != nil {
+		ing.logf("ingest: snapshot: %v", err)
+	}
+}
+
+// Snapshot forces a snapshot of the compacted corpus. It fails if
+// mutations are pending (call Flush first).
+func (ing *Ingester) Snapshot() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if len(ing.delta) > 0 {
+		return fmt.Errorf("ingest: %d mutations pending; Flush before Snapshot", len(ing.delta))
+	}
+	return ing.snapshotLocked()
+}
+
+// snapshotLocked requires ing.mu and an empty delta. Crash ordering: the
+// snapshot rename lands before the WAL reset, and WAL replay is
+// idempotent, so a crash between the two merely replays mutations the
+// snapshot already contains.
+func (ing *Ingester) snapshotLocked() error {
+	started := time.Now()
+	if err := dataio.SaveBinaryAtomic(ing.snapPath, ing.base); err != nil {
+		return err
+	}
+	if err := ing.wal.Reset(); err != nil {
+		return err
+	}
+	ing.sinceSnapshot = 0
+	ing.snaps.Add(1)
+	ing.logf("ingest: snapshot of %d papers written in %s", ing.base.N(), time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package ingest is the live-ingestion subsystem: it accepts paper and
+// citation mutations at runtime, makes them durable in a write-ahead log,
+// and republishes AttRank rankings in the background without blocking
+// readers — the missing piece between the immutable graph.Network that
+// attrank-serve ranks at startup and the living corpus of a production
+// scholarly search engine.
+//
+// Architecture (see DESIGN.md §"Live ingestion"):
+//
+//   - Mutation: one accepted write (a new paper or a new citation edge).
+//   - WAL: an fsync'd, CRC-checked, length-prefixed record log. Every
+//     mutation is durable before it is acknowledged.
+//   - Ingester: the coordinator. It validates mutations against the
+//     current corpus (base network + delta overlay), appends them to the
+//     WAL, buffers them in the delta, and wakes the re-rank scheduler.
+//   - Scheduler: a background goroutine that debounces mutations (rank
+//     after K mutations or T elapsed, whichever first), compacts the
+//     delta into a fresh immutable graph.Network via graph.NewBuilderFrom,
+//     runs core.Tracker.Update (warm-started), and atomically swaps a
+//     versioned Ranking for readers.
+//   - Snapshot: the compacted network written atomically in the .anb
+//     binary format; the WAL is then truncated. Recovery = snapshot +
+//     WAL tail replay, and replay is idempotent, so a crash between
+//     snapshot rename and WAL truncation is harmless.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mutation kinds as stored in the WAL. Values are part of the on-disk
+// format; never renumber.
+const (
+	KindPaper    byte = 1
+	KindCitation byte = 2
+)
+
+// PaperMut adds one paper to the corpus.
+type PaperMut struct {
+	ID      string
+	Year    int
+	Authors []string
+	Venue   string
+}
+
+// CitationMut adds one citation edge Citing→Cited. Both endpoints must
+// already exist (in the base network, the delta, or earlier in the same
+// batch).
+type CitationMut struct {
+	Citing, Cited string
+}
+
+// Mutation is one write: exactly one of Paper or Citation is set,
+// selected by Kind.
+type Mutation struct {
+	Kind     byte
+	Paper    PaperMut
+	Citation CitationMut
+}
+
+// encode appends the WAL payload encoding of m to buf and returns the
+// extended slice. Layout: kind byte, then length-prefixed (u16) strings;
+// the paper year is an i32 and the author count a u16, all little-endian.
+func (m Mutation) encode(buf []byte) ([]byte, error) {
+	putStr := func(s string) error {
+		if len(s) > 0xFFFF {
+			return fmt.Errorf("ingest: string field of %d bytes exceeds 65535", len(s))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+		return nil
+	}
+	buf = append(buf, m.Kind)
+	switch m.Kind {
+	case KindPaper:
+		p := m.Paper
+		if err := putStr(p.ID); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(p.Year)))
+		if len(p.Authors) > 0xFFFF {
+			return nil, fmt.Errorf("ingest: %d authors exceeds 65535", len(p.Authors))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Authors)))
+		for _, a := range p.Authors {
+			if err := putStr(a); err != nil {
+				return nil, err
+			}
+		}
+		if err := putStr(p.Venue); err != nil {
+			return nil, err
+		}
+	case KindCitation:
+		if err := putStr(m.Citation.Citing); err != nil {
+			return nil, err
+		}
+		if err := putStr(m.Citation.Cited); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
+	}
+	return buf, nil
+}
+
+// decodeMutation parses one WAL payload produced by encode.
+func decodeMutation(payload []byte) (Mutation, error) {
+	var m Mutation
+	pos := 0
+	getStr := func() (string, error) {
+		if pos+2 > len(payload) {
+			return "", fmt.Errorf("ingest: truncated string length")
+		}
+		n := int(binary.LittleEndian.Uint16(payload[pos:]))
+		pos += 2
+		if pos+n > len(payload) {
+			return "", fmt.Errorf("ingest: truncated string body")
+		}
+		s := string(payload[pos : pos+n])
+		pos += n
+		return s, nil
+	}
+	if len(payload) == 0 {
+		return m, fmt.Errorf("ingest: empty mutation payload")
+	}
+	m.Kind = payload[0]
+	pos = 1
+	switch m.Kind {
+	case KindPaper:
+		id, err := getStr()
+		if err != nil {
+			return m, err
+		}
+		if pos+4 > len(payload) {
+			return m, fmt.Errorf("ingest: truncated paper year")
+		}
+		year := int32(binary.LittleEndian.Uint32(payload[pos:]))
+		pos += 4
+		if pos+2 > len(payload) {
+			return m, fmt.Errorf("ingest: truncated author count")
+		}
+		count := int(binary.LittleEndian.Uint16(payload[pos:]))
+		pos += 2
+		var authors []string
+		for i := 0; i < count; i++ {
+			a, err := getStr()
+			if err != nil {
+				return m, err
+			}
+			authors = append(authors, a)
+		}
+		venue, err := getStr()
+		if err != nil {
+			return m, err
+		}
+		m.Paper = PaperMut{ID: id, Year: int(year), Authors: authors, Venue: venue}
+	case KindCitation:
+		citing, err := getStr()
+		if err != nil {
+			return m, err
+		}
+		cited, err := getStr()
+		if err != nil {
+			return m, err
+		}
+		m.Citation = CitationMut{Citing: citing, Cited: cited}
+	default:
+		return m, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
+	}
+	if pos != len(payload) {
+		return m, fmt.Errorf("ingest: %d trailing bytes in mutation payload", len(payload)-pos)
+	}
+	return m, nil
+}

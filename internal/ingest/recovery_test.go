@@ -1,0 +1,235 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// copyDir clones the ingester's durable state, simulating what a kill -9
+// leaves on disk (the WAL is fsync'd per acknowledged batch, so a copy
+// taken while no write is in flight is exactly the post-crash state).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		blob, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func recoveryMutations() []Mutation {
+	muts := []Mutation{
+		paperMut("r1", 1999, []string{"erin"}, "X"),
+		paperMut("r2", 2000, []string{"frank", "alice"}, "V"),
+		paperMut("r3", 2001, nil, ""),
+	}
+	for _, e := range [][2]string{{"r1", "old"}, {"r2", "r1"}, {"r3", "r2"}, {"r3", "hot"}} {
+		muts = append(muts, citeMut(e[0], e[1]))
+	}
+	return muts
+}
+
+// TestCleanRestartRecoversCorpus: Close flushes nothing special — the WAL
+// alone must carry uncompacted mutations across a clean restart.
+func TestCleanRestartRecoversCorpus(t *testing.T) {
+	dir := t.TempDir()
+	ing := mustOpen(t, seedNet(t), testConfig(dir))
+	if res, err := ing.ApplyBatch(recoveryMutations()); err != nil || res.Accepted != 7 {
+		t.Fatalf("batch: %+v, %v", res, err)
+	}
+	// No Flush: mutations live only in the WAL and the in-memory delta.
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, nil, testConfig(dir))
+	r := re.Ranking()
+	if r == nil || r.Net.N() != 6 || r.Net.Edges() != 7 {
+		t.Fatalf("recovered corpus = %+v", r.Stats)
+	}
+	if _, ok := r.Net.Lookup("r3"); !ok {
+		t.Error("recovered corpus missing WAL-only paper r3")
+	}
+}
+
+// TestCrashRecoveryMatchesNeverCrashedRun is an acceptance criterion:
+// after a simulated kill -9 mid-stream, the reopened ingester must serve
+// the identical corpus and the same ranking as a process that never
+// crashed.
+func TestCrashRecoveryMatchesNeverCrashedRun(t *testing.T) {
+	liveDir, crashDir, cleanDir := t.TempDir(), t.TempDir(), t.TempDir()
+	muts := recoveryMutations()
+
+	// The "victim": seeded, mutated, never closed (we leak its file handle
+	// intentionally — a crashed process doesn't close anything either).
+	victim, err := Open(seedNet(t), testConfig(liveDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := victim.ApplyBatch(muts); err != nil || res.Accepted != 7 {
+		t.Fatalf("batch: %+v, %v", res, err)
+	}
+	// kill -9: clone the durable state without any shutdown cooperation.
+	copyDir(t, liveDir, crashDir)
+
+	// The control: same seed, same mutations, orderly lifecycle.
+	control := mustOpen(t, seedNet(t), testConfig(cleanDir))
+	if res, err := control.ApplyBatch(muts); err != nil || res.Accepted != 7 {
+		t.Fatalf("control batch: %+v, %v", res, err)
+	}
+	if err := control.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := mustOpen(t, nil, testConfig(crashDir))
+	rr, cr := recovered.Ranking(), control.Ranking()
+	if rr.Stats.Papers != cr.Stats.Papers || rr.Stats.Edges != cr.Stats.Edges ||
+		rr.Stats.Authors != cr.Stats.Authors || rr.Stats.Venues != cr.Stats.Venues {
+		t.Fatalf("recovered stats %+v != control stats %+v", rr.Stats, cr.Stats)
+	}
+	if got, want := topIDs(rr, 6), topIDs(cr, 6); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered ranking %v != control ranking %v", got, want)
+	}
+	victim.Close()
+}
+
+// TestCrashRecoveryTruncatedFinalRecord is the torn-write case: the crash
+// clips the last WAL record mid-payload. Recovery must keep every fully
+// written mutation and drop only the torn one.
+func TestCrashRecoveryTruncatedFinalRecord(t *testing.T) {
+	liveDir, crashDir := t.TempDir(), t.TempDir()
+	victim, err := Open(seedNet(t), testConfig(liveDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := recoveryMutations()
+	if res, err := victim.ApplyBatch(muts); err != nil || res.Accepted != 7 {
+		t.Fatalf("batch: %+v, %v", res, err)
+	}
+	copyDir(t, liveDir, crashDir)
+	victim.Close()
+
+	// Tear the final record: clip 3 bytes off the WAL tail.
+	walPath := filepath.Join(crashDir, "wal.log")
+	blob, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, nil, testConfig(crashDir))
+	r := re.Ranking()
+	// The last mutation (citation r3→hot) is torn; everything else holds.
+	if r.Net.N() != 6 || r.Net.Edges() != 6 {
+		t.Fatalf("recovered %d papers, %d edges; want 6, 6", r.Net.N(), r.Net.Edges())
+	}
+	i3, _ := r.Net.Lookup("r3")
+	ih, _ := r.Net.Lookup("hot")
+	if r.Net.HasEdge(i3, ih) {
+		t.Error("torn final record was replayed")
+	}
+	// And the reopened WAL must accept the edge again (at-least-once
+	// delivery from a retrying client).
+	if dup, err := re.AddCitation(CitationMut{Citing: "r3", Cited: "hot"}); err != nil || dup {
+		t.Fatalf("re-adding torn citation: dup=%v err=%v", dup, err)
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if re.Ranking().Net.Edges() != 7 {
+		t.Errorf("corpus after re-add = %d edges, want 7", re.Ranking().Net.Edges())
+	}
+}
+
+// TestRecoveryAfterSnapshotWithWALTail covers the crash window between a
+// snapshot rename and the WAL reset: replaying snapshot-covered records
+// must be a no-op, and post-snapshot records must still apply.
+func TestRecoveryAfterSnapshotWithWALTail(t *testing.T) {
+	dir := t.TempDir()
+	ing := mustOpen(t, seedNet(t), testConfig(dir))
+	if res, err := ing.ApplyBatch(recoveryMutations()); err != nil || res.Accepted != 7 {
+		t.Fatalf("batch: %+v, %v", res, err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot WITHOUT resetting the WAL, simulating a crash in between:
+	// write the snapshot through the ingester's own atomic path, then
+	// keep the stale WAL.
+	walBefore, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore the pre-snapshot WAL: every record in it is now redundant.
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), walBefore, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, nil, testConfig(dir))
+	r := re.Ranking()
+	if r.Net.N() != 6 || r.Net.Edges() != 7 {
+		t.Fatalf("recovered %d papers, %d edges; want 6, 7 (idempotent replay)", r.Net.N(), r.Net.Edges())
+	}
+	if st := re.Status(); st.Pending != 0 {
+		t.Errorf("redundant WAL records left pending mutations: %+v", st)
+	}
+}
+
+// TestRecoveryAtScale round-trips a thousand-mutation stream through a
+// simulated crash, the shape of the end-to-end acceptance criterion.
+func TestRecoveryAtScale(t *testing.T) {
+	liveDir, crashDir := t.TempDir(), t.TempDir()
+	cfg := testConfig(liveDir)
+	cfg.RerankAfter = 200 // let compaction interleave with the stream
+	victim, err := Open(seedNet(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for batch := 0; batch < 10; batch++ {
+		var muts []Mutation
+		for i := 0; i < 60; i++ {
+			id := fmt.Sprintf("s%d-%d", batch, i)
+			muts = append(muts, paperMut(id, 2000+batch, []string{fmt.Sprintf("a%d", i%17)}, "V"))
+			muts = append(muts, citeMut(id, "old"))
+		}
+		res, err := victim.ApplyBatch(muts)
+		if err != nil || len(res.Errors) > 0 {
+			t.Fatalf("batch %d: %+v, %v", batch, res, err)
+		}
+		total += res.Accepted
+	}
+	if total != 1200 {
+		t.Fatalf("accepted %d mutations", total)
+	}
+	copyDir(t, liveDir, crashDir)
+	victim.Close()
+
+	re := mustOpen(t, nil, testConfig(crashDir))
+	r := re.Ranking()
+	if r.Net.N() != 3+600 || r.Net.Edges() != 3+600 {
+		t.Fatalf("recovered %d papers, %d edges; want 603 each", r.Net.N(), r.Net.Edges())
+	}
+}

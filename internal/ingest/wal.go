@@ -1,0 +1,178 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record layout, after an 8-byte file header ("AWAL1\n" + 2 reserved
+// zero bytes):
+//
+//	u32 payloadLen, u32 crc32(IEEE, payload), payload
+//
+// Records are appended with a single write syscall and fsync'd before the
+// mutation is acknowledged. Replay stops at the first incomplete or
+// corrupt record — after a crash mid-append only the torn tail is lost,
+// which is exactly the unacknowledged suffix — and Open truncates the
+// file back to the last valid boundary so the next append never writes
+// after garbage.
+const (
+	walMagic     = "AWAL1\n\x00\x00"
+	walRecordMax = 1 << 24 // 16 MiB: far above any sane mutation
+)
+
+// WAL is an append-only, CRC-checked mutation log. It is not safe for
+// concurrent use; the Ingester serializes access.
+type WAL struct {
+	f    *os.File
+	size int64 // current valid size in bytes
+	buf  []byte
+}
+
+// OpenWAL opens (or creates) the log at path, replays every valid record
+// into fn, truncates any torn tail, and positions the log for appending.
+// fn is called in log order; a decode error from a *complete* record
+// (CRC-valid but unparseable) aborts the open, since that indicates
+// corruption beyond a torn write.
+func OpenWAL(path string, fn func(Mutation) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: wal open: %w", err)
+	}
+	valid, err := replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: wal truncate: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: wal seek: %w", err)
+	}
+	return &WAL{f: f, size: valid}, nil
+}
+
+// replay scans the log from the start, calling fn per valid record, and
+// returns the offset of the last valid record boundary. A missing or
+// short header on an otherwise empty file is repaired by rewriting the
+// header (valid = header length).
+func replay(f *os.File, fn func(Mutation) error) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("ingest: wal seek: %w", err)
+	}
+	header := make([]byte, len(walMagic))
+	n, err := io.ReadFull(f, header)
+	if err == io.EOF || (err == io.ErrUnexpectedEOF && n < len(walMagic)) {
+		// New or torn-at-birth log: (re)write the header.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("ingest: wal seek: %w", err)
+		}
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			return 0, fmt.Errorf("ingest: wal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("ingest: wal header sync: %w", err)
+		}
+		return int64(len(walMagic)), nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("ingest: wal header: %w", err)
+	}
+	if string(header) != walMagic {
+		return 0, fmt.Errorf("ingest: %s is not a WAL (magic %q)", f.Name(), header)
+	}
+
+	valid := int64(len(walMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// EOF exactly at a boundary, or a torn record header: stop.
+			return valid, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > walRecordMax {
+			return valid, nil // garbage tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return valid, nil // corrupt tail
+		}
+		m, err := decodeMutation(payload)
+		if err != nil {
+			// CRC passed but the payload is unparseable: real corruption,
+			// not a torn write. Refuse to silently drop durable records.
+			return valid, fmt.Errorf("ingest: wal record at offset %d: %w", valid, err)
+		}
+		if fn != nil {
+			if err := fn(m); err != nil {
+				return valid, err
+			}
+		}
+		valid += int64(8 + length)
+	}
+}
+
+// Append encodes, writes and fsyncs the mutations as consecutive records
+// with one sync for the whole group (the batch-ingest fast path). Nothing
+// is acknowledged to callers until the sync returns.
+func (w *WAL) Append(muts ...Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	w.buf = w.buf[:0]
+	for _, m := range muts {
+		payloadStart := len(w.buf) + 8
+		w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0) // record header placeholder
+		var err error
+		w.buf, err = m.encode(w.buf)
+		if err != nil {
+			return err
+		}
+		payload := w.buf[payloadStart:]
+		if len(payload) > walRecordMax {
+			return fmt.Errorf("ingest: wal record of %d bytes exceeds max %d", len(payload), walRecordMax)
+		}
+		binary.LittleEndian.PutUint32(w.buf[payloadStart-8:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(w.buf[payloadStart-4:], crc32.ChecksumIEEE(payload))
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("ingest: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: wal sync: %w", err)
+	}
+	w.size += int64(len(w.buf))
+	return nil
+}
+
+// Size returns the current log size in bytes (header included).
+func (w *WAL) Size() int64 { return w.size }
+
+// Reset truncates the log back to an empty (header-only) state, after a
+// snapshot has made its records redundant.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("ingest: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: wal reset seek: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: wal reset sync: %w", err)
+	}
+	w.size = int64(len(walMagic))
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }

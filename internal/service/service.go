@@ -1,15 +1,28 @@
 // Package service exposes a ranked citation corpus over HTTP — the
 // deployment shape of AttRank as a scholarly-search backend. The server
-// ranks the corpus once at startup (and on demand via /v1/refresh) and
-// serves read-only JSON endpoints:
+// serves every read from an immutable, atomically swapped epoch view
+// (ingest.Ranking), so readers never observe a half-built state while the
+// corpus is re-ranked behind them.
 //
-//	GET /v1/stats            corpus statistics and ranking metadata
+// Read endpoints:
+//
+//	GET /v1/stats            corpus statistics and ranking metadata (cached per epoch)
 //	GET /v1/top?n=20         the top-n papers with scores and citations
 //	GET /v1/paper/{id}       one paper: metadata, score, rank, explanation
 //	GET /v1/compare?a=x&b=y  two papers side by side
 //	GET /v1/authors?n=20     top authors by aggregated impact
 //	GET /v1/related/{id}     related papers (co-citation + coupling)
+//	GET /v1/epoch            ranking epoch, WAL size, pending mutations, last re-rank cost
+//	GET /healthz             process liveness (always 200)
+//	GET /readyz              200 once an initial ranking is published
 //	POST /v1/refresh         re-rank (warm-started) and report iterations
+//
+// Write endpoints (enabled when the server is attached to a live
+// ingester via NewLive; a static server answers 503):
+//
+//	POST /v1/papers          {"id": ..., "year": ..., "authors": [...], "venue": ...}
+//	POST /v1/citations       {"citing": ..., "cited": ...}
+//	POST /v1/batch           {"papers": [...], "citations": [...]}
 //
 // All responses are JSON; errors use {"error": "..."} with conventional
 // status codes.
@@ -17,8 +30,7 @@ package service
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -28,43 +40,98 @@ import (
 	"attrank/internal/authors"
 	"attrank/internal/core"
 	"attrank/internal/graph"
+	"attrank/internal/ingest"
 	"attrank/internal/metrics"
 )
 
-// Server serves a ranked view of one citation network. It is safe for
-// concurrent use.
+// Server serves a ranked view of a citation corpus. It is safe for
+// concurrent use. Two modes share every endpoint:
+//
+//   - static (New): one immutable network ranked at startup; /v1/refresh
+//     re-ranks it in place and write endpoints are disabled.
+//   - live (NewLive): reads follow the attached ingester's published
+//     epochs and writes stream mutations into it.
 type Server struct {
-	net    *graph.Network
 	params core.Params
-	now    int
+	logf   func(format string, args ...any)
 
-	mu        sync.RWMutex
-	result    *core.Result
-	positions []int // node → 0-based rank position
+	ing *ingest.Ingester // nil in static mode
 
-	// refreshMu serializes re-ranking: the Tracker is not safe for
-	// concurrent use, and refreshes are rare relative to reads.
-	refreshMu sync.Mutex
-	tracker   *core.Tracker
+	// Static-mode state: the network is fixed, but /v1/refresh still
+	// re-ranks (warm-started) and publishes a new epoch view.
+	staticMu      sync.Mutex // serializes static refreshes
+	net           *graph.Network
+	now           int
+	tracker       *core.Tracker
+	staticEpoch   uint64
+	staticView    atomicRanking
+	staticLastDur time.Duration
+}
+
+// atomicRanking is a tiny typed wrapper so the zero Server is useful.
+type atomicRanking struct {
+	mu sync.RWMutex
+	r  *ingest.Ranking
+}
+
+func (a *atomicRanking) Load() *ingest.Ranking {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.r
+}
+
+func (a *atomicRanking) Store(r *ingest.Ranking) {
+	a.mu.Lock()
+	a.r = r
+	a.mu.Unlock()
 }
 
 // New ranks the network at time now with the given parameters and
-// returns a ready Server.
+// returns a ready static-mode Server.
 func New(net *graph.Network, now int, params core.Params) (*Server, error) {
 	tracker, err := core.NewTracker(params)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{net: net, params: params, now: now, tracker: tracker}
-	if err := s.refresh(); err != nil {
+	s := &Server{params: params, net: net, now: now, tracker: tracker, logf: log.Printf}
+	if err := s.refreshStatic(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-func (s *Server) refresh() error {
-	s.refreshMu.Lock()
-	defer s.refreshMu.Unlock()
+// NewLive returns a Server whose corpus, rankings and write path are
+// backed by the ingester. The ingester publishes epochs in the
+// background; the server is ready as soon as the first one exists (for
+// an initially empty corpus, /readyz reports 503 until the first paper
+// is ranked).
+func NewLive(ing *ingest.Ingester) *Server {
+	return &Server{params: ing.Params(), ing: ing, logf: log.Printf}
+}
+
+// SetLogf redirects the request log (nil silences it).
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// view returns the current epoch view, or nil if no ranking has been
+// published yet (live mode over an initially empty corpus).
+func (s *Server) view() *ingest.Ranking {
+	if s.ing != nil {
+		return s.ing.Ranking()
+	}
+	return s.staticView.Load()
+}
+
+// refreshStatic re-ranks the static network (warm-started) and publishes
+// a fresh epoch view, stats included, so serving them is lock-free.
+func (s *Server) refreshStatic() error {
+	s.staticMu.Lock()
+	defer s.staticMu.Unlock()
+	started := time.Now()
 	res, err := s.tracker.Update(s.net, s.now)
 	if err != nil {
 		return err
@@ -73,10 +140,16 @@ func (s *Server) refresh() error {
 	for pos, idx := range metrics.Ordering(res.Scores) {
 		positions[idx] = pos
 	}
-	s.mu.Lock()
-	s.result = res
-	s.positions = positions
-	s.mu.Unlock()
+	s.staticEpoch++
+	s.staticLastDur = time.Since(started)
+	s.staticView.Store(&ingest.Ranking{
+		Epoch:     s.staticEpoch,
+		Net:       s.net,
+		Result:    res,
+		Positions: positions,
+		Stats:     s.net.ComputeStats(),
+		RankedAt:  s.now,
+	})
 	return nil
 }
 
@@ -97,7 +170,8 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service, wrapped in the
+// request-logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -107,7 +181,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/refresh", s.handleRefresh)
 	mux.HandleFunc("/v1/authors", s.handleAuthors)
 	mux.HandleFunc("/v1/related/", s.handleRelated)
-	return mux
+	mux.HandleFunc("/v1/papers", s.handleAddPaper)
+	mux.HandleFunc("/v1/citations", s.handleAddCitation)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.withRequestLog(mux)
+}
+
+// requireView fetches the current epoch view, answering 503 when no
+// ranking exists yet. Every read handler resolves IDs and scores against
+// the one view it got here, so concurrent epoch swaps cannot mix state.
+func (s *Server) requireView(w http.ResponseWriter) *ingest.Ranking {
+	v := s.view()
+	if v == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no ranking published yet (corpus empty)")
+	}
+	return v
 }
 
 type relatedBody struct {
@@ -121,57 +212,42 @@ type relatedBody struct {
 // co-citation and bibliographic coupling (GET /v1/related/{id}?n=10).
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	v := s.requireView(w)
+	if v == nil {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/related/")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing paper id")
+		s.writeError(w, http.StatusBadRequest, "missing paper id")
 		return
 	}
-	idx, ok := s.net.Lookup(id)
+	idx, ok := v.Net.Lookup(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown paper %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown paper %q", id)
 		return
 	}
 	n := 10
 	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 || v > 100 {
-			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 100]")
+		val, err := strconv.Atoi(q)
+		if err != nil || val < 1 || val > 100 {
+			s.writeError(w, http.StatusBadRequest, "n must be an integer in [1, 100]")
 			return
 		}
-		n = v
+		n = val
 	}
-	s.mu.RLock()
-	positions := s.positions
-	s.mu.RUnlock()
 	var out []relatedBody
-	for _, rel := range s.net.RelatedPapers(idx, n) {
+	for _, rel := range v.Net.RelatedPapers(idx, n) {
 		out = append(out, relatedBody{
-			ID:      s.net.Paper(rel.Paper).ID,
-			Rank:    positions[rel.Paper] + 1,
+			ID:      v.Net.Paper(rel.Paper).ID,
+			Rank:    v.Positions[rel.Paper] + 1,
 			CoCited: rel.CoCited,
 			Coupled: rel.Coupled,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding errors after the header is out can only be logged by the
-	// caller's middleware; ignore here.
-	_ = json.NewEncoder(w).Encode(body)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 type statsBody struct {
@@ -182,6 +258,7 @@ type statsBody struct {
 	MinYear   int     `json:"min_year"`
 	MaxYear   int     `json:"max_year"`
 	Now       int     `json:"now"`
+	Epoch     uint64  `json:"epoch"`
 	Alpha     float64 `json:"alpha"`
 	Beta      float64 `json:"beta"`
 	Gamma     float64 `json:"gamma"`
@@ -191,21 +268,25 @@ type statsBody struct {
 	Converged bool    `json:"converged"`
 }
 
+// handleStats serves the per-epoch cached corpus statistics: the full
+// O(V+E) walk ran once when the epoch was published, not per request.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.RLock()
-	res := s.result
-	s.mu.RUnlock()
-	st := s.net.ComputeStats()
-	writeJSON(w, http.StatusOK, statsBody{
+	v := s.requireView(w)
+	if v == nil {
+		return
+	}
+	st := v.Stats
+	s.writeJSON(w, http.StatusOK, statsBody{
 		Papers: st.Papers, Citations: st.Edges, Authors: st.Authors,
 		Venues: st.Venues, MinYear: st.MinYear, MaxYear: st.MaxYear,
-		Now: s.now, Alpha: s.params.Alpha, Beta: s.params.Beta,
+		Now: v.RankedAt, Epoch: v.Epoch,
+		Alpha: s.params.Alpha, Beta: s.params.Beta,
 		Gamma: s.params.Gamma, Years: s.params.AttentionYears,
-		W: s.params.W, Iters: res.Iterations, Converged: res.Converged,
+		W: s.params.W, Iters: v.Result.Iterations, Converged: v.Result.Converged,
 	})
 }
 
@@ -223,22 +304,20 @@ type paperBody struct {
 	RecencyPct   float64  `json:"recency_pct"`
 }
 
-func (s *Server) paperBody(idx int32) (paperBody, error) {
-	s.mu.RLock()
-	res := s.result
-	pos := s.positions[idx]
-	s.mu.RUnlock()
-	p := s.net.Paper(idx)
+// paperBody renders one paper from a single epoch view; idx must come
+// from the same view's Lookup.
+func (s *Server) paperBody(v *ingest.Ranking, idx int32) (paperBody, error) {
+	p := v.Net.Paper(idx)
 	b := paperBody{
-		ID: p.ID, Year: p.Year, Venue: s.net.VenueName(p.Venue),
-		Score: res.Scores[idx], Rank: pos + 1,
-		Citations: s.net.InDegree(idx),
-		Recent3y:  s.net.CitationsIn(idx, s.now-2, s.now),
+		ID: p.ID, Year: p.Year, Venue: v.Net.VenueName(p.Venue),
+		Score: v.Result.Scores[idx], Rank: v.Positions[idx] + 1,
+		Citations: v.Net.InDegree(idx),
+		Recent3y:  v.Net.CitationsIn(idx, v.RankedAt-2, v.RankedAt),
 	}
 	for _, a := range p.Authors {
-		b.Authors = append(b.Authors, s.net.AuthorName(a))
+		b.Authors = append(b.Authors, v.Net.AuthorName(a))
 	}
-	e, err := core.Explain(s.net, res, s.params, idx)
+	e, err := core.Explain(v.Net, v.Result, s.params, idx)
 	if err != nil {
 		return b, err
 	}
@@ -252,88 +331,97 @@ func (s *Server) paperBody(idx int32) (paperBody, error) {
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	v := s.requireView(w)
+	if v == nil {
 		return
 	}
 	n := 20
 	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 || v > 1000 {
-			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+		val, err := strconv.Atoi(q)
+		if err != nil || val < 1 || val > 1000 {
+			s.writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
 			return
 		}
-		n = v
+		n = val
 	}
-	s.mu.RLock()
-	scores := s.result.Scores
-	s.mu.RUnlock()
 	var out []paperBody
-	for _, idx := range metrics.TopK(scores, n) {
-		b, err := s.paperBody(int32(idx))
+	for _, idx := range metrics.TopK(v.Result.Scores, n) {
+		b, err := s.paperBody(v, int32(idx))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "explain: %v", err)
+			s.writeError(w, http.StatusInternalServerError, "explain: %v", err)
 			return
 		}
 		out = append(out, b)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	v := s.requireView(w)
+	if v == nil {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/paper/")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing paper id")
+		s.writeError(w, http.StatusBadRequest, "missing paper id")
 		return
 	}
-	idx, ok := s.net.Lookup(id)
+	idx, ok := v.Net.Lookup(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown paper %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown paper %q", id)
 		return
 	}
-	b, err := s.paperBody(idx)
+	b, err := s.paperBody(v, idx)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "explain: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, b)
+	s.writeJSON(w, http.StatusOK, b)
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	v := s.requireView(w)
+	if v == nil {
 		return
 	}
 	q := r.URL.Query()
 	aID, bID := q.Get("a"), q.Get("b")
 	if aID == "" || bID == "" {
-		writeError(w, http.StatusBadRequest, "need both a and b query parameters")
+		s.writeError(w, http.StatusBadRequest, "need both a and b query parameters")
 		return
 	}
-	aIdx, ok := s.net.Lookup(aID)
+	aIdx, ok := v.Net.Lookup(aID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown paper %q", aID)
+		s.writeError(w, http.StatusNotFound, "unknown paper %q", aID)
 		return
 	}
-	bIdx, ok := s.net.Lookup(bID)
+	bIdx, ok := v.Net.Lookup(bID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown paper %q", bID)
+		s.writeError(w, http.StatusNotFound, "unknown paper %q", bID)
 		return
 	}
-	aBody, err := s.paperBody(aIdx)
+	aBody, err := s.paperBody(v, aIdx)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "explain: %v", err)
 		return
 	}
-	bBody, err := s.paperBody(bIdx)
+	bBody, err := s.paperBody(v, bIdx)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "explain: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]paperBody{"a": aBody, "b": bBody})
+	s.writeJSON(w, http.StatusOK, map[string]paperBody{"a": aBody, "b": bBody})
 }
 
 type authorBody struct {
@@ -347,61 +435,74 @@ type authorBody struct {
 // AttRank impact (GET /v1/authors?n=20).
 func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	if s.net.NumAuthors() == 0 {
-		writeError(w, http.StatusNotFound, "network has no author metadata")
+	v := s.requireView(w)
+	if v == nil {
+		return
+	}
+	if v.Net.NumAuthors() == 0 {
+		s.writeError(w, http.StatusNotFound, "network has no author metadata")
 		return
 	}
 	n := 20
 	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 || v > 1000 {
-			writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
+		val, err := strconv.Atoi(q)
+		if err != nil || val < 1 || val > 1000 {
+			s.writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
 			return
 		}
-		n = v
+		n = val
 	}
-	s.mu.RLock()
-	scores := s.result.Scores
-	s.mu.RUnlock()
-	impact, err := authors.AuthorScores(s.net, scores, authors.Fractional)
+	impact, err := authors.AuthorScores(v.Net, v.Result.Scores, authors.Fractional)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "aggregating: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "aggregating: %v", err)
 		return
 	}
-	paperCount := make([]int, s.net.NumAuthors())
-	s.net.PaperAuthorEdges(func(_, a int32) { paperCount[a]++ })
+	paperCount := make([]int, v.Net.NumAuthors())
+	v.Net.PaperAuthorEdges(func(_, a int32) { paperCount[a]++ })
 
 	var out []authorBody
 	for rank, e := range authors.Top(impact, n) {
 		out = append(out, authorBody{
-			Name:   s.net.AuthorName(e.Index),
+			Name:   v.Net.AuthorName(e.Index),
 			Rank:   rank + 1,
 			Impact: e.Score,
 			Papers: paperCount[e.Index],
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 type refreshBody struct {
-	Iterations int  `json:"iterations"`
-	Converged  bool `json:"converged"`
+	Epoch      uint64 `json:"epoch"`
+	Iterations int    `json:"iterations"`
+	Converged  bool   `json:"converged"`
 }
 
+// handleRefresh forces a re-rank: through the ingester in live mode
+// (compacting pending mutations first), in place in static mode.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	if err := s.refresh(); err != nil {
-		writeError(w, http.StatusInternalServerError, "refresh: %v", err)
+	var err error
+	if s.ing != nil {
+		err = s.ing.Flush()
+	} else {
+		err = s.refreshStatic()
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "refresh: %v", err)
 		return
 	}
-	s.mu.RLock()
-	res := s.result
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, refreshBody{Iterations: res.Iterations, Converged: res.Converged})
+	v := s.requireView(w)
+	if v == nil {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, refreshBody{
+		Epoch: v.Epoch, Iterations: v.Result.Iterations, Converged: v.Result.Converged,
+	})
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# verify.sh — the full gate: build everything, vet everything, run all
+# tests under the race detector. Run from the repository root.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify.sh: all checks passed"
