@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench.sh — regenerate the ranking-kernel benchmark numbers. Run from
+# the repository root.
+#
+# Writes BENCH_core.json (the committed snapshot of the compiled-operator
+# harness on a 100k-paper synthetic power-law network) and then runs the
+# go-test microbenchmarks for the per-iteration kernels.
+set -eu
+
+echo "==> attrank-bench (100k-paper synthetic network -> BENCH_core.json)"
+go run ./cmd/attrank-bench -out BENCH_core.json "$@"
+
+echo "==> go test -bench (sparse + core kernels)"
+go test -run XXX -bench 'Iteration|Rank100k' -benchtime 10x \
+	./internal/sparse/ ./internal/core/

@@ -1,0 +1,201 @@
+// Command attrank-bench measures the ranking hot path on a synthetic
+// power-law citation network and writes the results as JSON (the
+// BENCH_core.json committed at the repo root is its output).
+//
+// Usage:
+//
+//	attrank-bench [-papers 100000] [-profile dblp] [-out BENCH_core.json] [-reps 20]
+//
+// It times, per power-method iteration: the serial CSC reference kernel
+// (three sweeps), the legacy parallel path (goroutine-spawning SpMV plus
+// separate combine and residual sweeps), and the fused kernel at one
+// partition and at one partition per core. It also reports the one-off
+// compilation costs the operator cache amortizes (matrix normalization,
+// CSR conversion) and a full cold-vs-warm Rank comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"attrank/internal/core"
+	"attrank/internal/sparse"
+	"attrank/internal/synth"
+)
+
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Profile     string `json:"profile"`
+	Papers      int    `json:"papers"`
+	Edges       int    `json:"edges"`
+	Dangling    int    `json:"dangling_papers"`
+	Reps        int    `json:"reps"`
+
+	// One-off costs the compiled operator pays once per network.
+	CompileStochasticNS int64 `json:"compile_stochastic_ns"`
+	ConvertCSRNS        int64 `json:"convert_csr_ns"`
+
+	// Per-iteration wall clock (best of reps), in nanoseconds.
+	IterSerialNS      int64 `json:"iter_serial_ns"`
+	IterLegacyNS      int64 `json:"iter_legacy_parallel_ns"`
+	IterFusedSerialNS int64 `json:"iter_fused_parts1_ns"`
+	IterFusedNS       int64 `json:"iter_fused_ns"`
+
+	// Full Rank wall clock: cold compiles everything, warm reuses the
+	// cached operator and warm-starts from the previous scores.
+	RankColdNS    int64   `json:"rank_cold_ns"`
+	RankWarmNS    int64   `json:"rank_warm_ns"`
+	RankColdIters int     `json:"rank_cold_iterations"`
+	RankWarmIters int     `json:"rank_warm_iterations"`
+	FusedVsLegacy float64 `json:"fused_vs_legacy_speedup"`
+	FusedVsSerial float64 `json:"fused_vs_serial_speedup"`
+}
+
+func main() {
+	var (
+		papers  = flag.Int("papers", 100000, "synthetic network size")
+		profile = flag.String("profile", "dblp", "synthetic profile: hep-th, aps, pmc, dblp")
+		out     = flag.String("out", "BENCH_core.json", "output JSON path")
+		reps    = flag.Int("reps", 20, "timing repetitions per kernel (best-of)")
+	)
+	flag.Parse()
+	if err := run(*papers, *profile, *out, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "attrank-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(papers int, profile, out string, reps int) error {
+	prof, err := synth.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	prof = prof.Scale(float64(papers) / float64(prof.Papers))
+	fmt.Printf("generating %s network with %d papers…\n", prof.Name, prof.Papers)
+	net, err := synth.Generate(prof)
+	if err != nil {
+		return err
+	}
+	r := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Profile:     prof.Name,
+		Papers:      net.N(),
+		Edges:       net.Edges(),
+		Reps:        reps,
+	}
+
+	// One-off compilation costs.
+	t0 := time.Now()
+	s, err := net.StochasticMatrix()
+	if err != nil {
+		return err
+	}
+	r.CompileStochasticNS = time.Since(t0).Nanoseconds()
+	r.Dangling = s.DanglingCount()
+
+	pool := sparse.NewPool(0)
+	defer pool.Close()
+	t0 = time.Now()
+	fused := s.Fused(pool)
+	r.ConvertCSRNS = time.Since(t0).Nanoseconds()
+
+	n := net.N()
+	now := net.MaxYear()
+	att := core.AttentionVector(net, now, 3)
+	rec := core.RecencyVector(net, now, -0.16)
+	x := sparse.Uniform(n)
+	next := make([]float64, n)
+	legacy := s.Parallel(0)
+
+	r.IterSerialNS = best(reps, func() {
+		s.MulVec(next, x)
+		for i := range next {
+			next[i] = 0.5*next[i] + 0.3*att[i] + 0.2*rec[i]
+		}
+		_ = sparse.L1Diff(next, x)
+	})
+	r.IterLegacyNS = best(reps, func() {
+		legacy.MulVec(next, x)
+		for i := range next {
+			next[i] = 0.5*next[i] + 0.3*att[i] + 0.2*rec[i]
+		}
+		_ = sparse.L1Diff(next, x)
+	})
+	r.IterFusedSerialNS = best(reps, func() {
+		fused.Step(next, x, att, rec, 0.5, 0.3, 0.2, 1)
+	})
+	r.IterFusedNS = best(reps, func() {
+		fused.Step(next, x, att, rec, 0.5, 0.3, 0.2, pool.Size())
+	})
+	r.FusedVsLegacy = float64(r.IterLegacyNS) / float64(r.IterFusedNS)
+	r.FusedVsSerial = float64(r.IterSerialNS) / float64(r.IterFusedNS)
+
+	// Full cold vs warm rank through the operator cache.
+	p := core.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.16, Workers: -1}
+	coldDur, coldRes, err := rankOnce(core.Compile(net), now, p)
+	if err != nil {
+		return err
+	}
+	r.RankColdNS = coldDur
+	r.RankColdIters = coldRes.Iterations
+
+	op := core.OperatorFor(net)
+	if _, _, err := rankOnce(op, now, p); err != nil { // prime the cache
+		return err
+	}
+	warm := p
+	warm.Start = coldRes.Scores
+	warmDur, warmRes, err := rankOnce(op, now, warm)
+	if err != nil {
+		return err
+	}
+	r.RankWarmNS = warmDur
+	r.RankWarmIters = warmRes.Iterations
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("papers=%d edges=%d dangling=%d\n", r.Papers, r.Edges, r.Dangling)
+	fmt.Printf("per-iteration: serial=%s legacy=%s fused(1)=%s fused(%d)=%s\n",
+		time.Duration(r.IterSerialNS), time.Duration(r.IterLegacyNS),
+		time.Duration(r.IterFusedSerialNS), pool.Size(), time.Duration(r.IterFusedNS))
+	fmt.Printf("fused speedup: %.2fx vs legacy parallel, %.2fx vs serial\n", r.FusedVsLegacy, r.FusedVsSerial)
+	fmt.Printf("full rank: cold=%s (%d iters) warm=%s (%d iters)\n",
+		time.Duration(r.RankColdNS), r.RankColdIters, time.Duration(r.RankWarmNS), r.RankWarmIters)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func rankOnce(op *core.Operator, now int, p core.Params) (int64, *core.Result, error) {
+	t0 := time.Now()
+	res, err := op.Rank(now, p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return time.Since(t0).Nanoseconds(), res, nil
+}
+
+// best returns the fastest of reps timed runs of fn, in nanoseconds —
+// the standard way to suppress scheduling noise in microbenchmarks.
+func best(reps int, fn func()) int64 {
+	bestNS := int64(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0).Nanoseconds(); d < bestNS {
+			bestNS = d
+		}
+	}
+	return bestNS
+}

@@ -49,14 +49,15 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input network file (.tsv, .json or .anb)")
-		addr  = flag.String("addr", ":8080", "listen address")
-		alpha = flag.Float64("alpha", 0.2, "AttRank α")
-		beta  = flag.Float64("beta", 0.5, "AttRank β")
-		gamma = flag.Float64("gamma", 0.3, "AttRank γ")
-		y     = flag.Int("y", 3, "attention window in years")
-		w     = flag.Float64("w", 0, "recency exponent (0 = fit from data)")
-		now   = flag.Int("now", 0, "current time tN (default: newest year)")
+		in      = flag.String("in", "", "input network file (.tsv, .json or .anb)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		alpha   = flag.Float64("alpha", 0.2, "AttRank α")
+		beta    = flag.Float64("beta", 0.5, "AttRank β")
+		gamma   = flag.Float64("gamma", 0.3, "AttRank γ")
+		y       = flag.Int("y", 3, "attention window in years")
+		w       = flag.Float64("w", 0, "recency exponent (0 = fit from data)")
+		now     = flag.Int("now", 0, "current time tN (default: newest year)")
+		workers = flag.Int("workers", -1, "power-iteration partitions per (re-)rank: negative = one per CPU core (default — a server should rank as fast as the machine allows), N > 0 = exactly N, 0 = the serial reference kernel; scores are bit-identical either way")
 
 		wal           = flag.String("wal", "", "live mode: durable state directory (WAL + snapshots)")
 		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
@@ -75,7 +76,7 @@ func main() {
 	)
 	if *wal != "" {
 		var ing *ingest.Ingester
-		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *rerankAfter, *rerankEvery, *snapshotEvery)
+		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery)
 		if err == nil {
 			defer func() {
 				if err := ing.Close(); err != nil {
@@ -85,7 +86,7 @@ func main() {
 			srv = service.NewLive(ing)
 		}
 	} else {
-		srv, err = build(*in, *alpha, *beta, *gamma, *y, *w, *now)
+		srv, err = build(*in, *alpha, *beta, *gamma, *y, *w, *now, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "attrank-serve:", err)
@@ -100,7 +101,7 @@ func main() {
 	log.Println("attrank-serve: shut down cleanly")
 }
 
-func build(in string, alpha, beta, gamma float64, y int, w float64, now int) (*service.Server, error) {
+func build(in string, alpha, beta, gamma float64, y int, w float64, now, workers int) (*service.Server, error) {
 	net, err := dataio.LoadFile(in)
 	if err != nil {
 		return nil, err
@@ -114,14 +115,14 @@ func build(in string, alpha, beta, gamma float64, y int, w float64, now int) (*s
 		}
 	}
 	return service.New(net, now, core.Params{
-		Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w,
+		Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w, Workers: workers,
 	})
 }
 
 // buildLive opens the ingestion subsystem over the durable state in dir.
 // The seed corpus (-in) is only consulted when dir holds no snapshot yet;
 // on restart the snapshot plus the WAL tail are authoritative.
-func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, rerankAfter int, rerankEvery time.Duration, snapshotEvery int) (*ingest.Ingester, error) {
+func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, workers, rerankAfter int, rerankEvery time.Duration, snapshotEvery int) (*ingest.Ingester, error) {
 	var seed *graph.Network
 	if in != "" {
 		var err error
@@ -150,7 +151,7 @@ func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now
 	return ingest.Open(seed, ingest.Config{
 		Dir: dir,
 		Params: core.Params{
-			Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w,
+			Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w, Workers: workers,
 		},
 		Now:           now,
 		RerankAfter:   rerankAfter,

@@ -42,6 +42,7 @@ func main() {
 		iters   = flag.Int("iters", 4, "WSDM iteration count")
 		explain = flag.Bool("explain", false, "decompose each top paper's AttRank score (AR methods only)")
 		csvOut  = flag.String("csv", "", "also write the complete ranking as CSV to this file")
+		workers = flag.Int("workers", 0, "AttRank power-iteration parallelism: 0 = serial reference kernel, N > 0 = fused kernel with N nnz-balanced partitions, negative = one per CPU core; scores are bit-identical either way")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -49,13 +50,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *method, *top, *now, *alpha, *beta, *gamma, *y, *w, *tau, *rho, *iters, *explain, *csvOut); err != nil {
+	if err := run(*in, *method, *top, *now, *alpha, *beta, *gamma, *y, *w, *tau, *rho, *iters, *workers, *explain, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "attrank:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, method string, top, now int, alpha, beta, gamma float64, y int, w, tau, rho float64, iters int, explain bool, csvOut string) error {
+func run(in, method string, top, now int, alpha, beta, gamma float64, y int, w, tau, rho float64, iters, workers int, explain bool, csvOut string) error {
 	net, err := dataio.LoadFile(in)
 	if err != nil {
 		return err
@@ -65,7 +66,7 @@ func run(in, method string, top, now int, alpha, beta, gamma float64, y int, w, 
 	}
 	fmt.Printf("loaded %s: %s\n", in, net.ComputeStats())
 
-	scores, arResult, arParams, err := computeScores(net, now, method, alpha, beta, gamma, y, w, tau, rho, iters)
+	scores, arResult, arParams, err := computeScores(net, now, method, alpha, beta, gamma, y, w, tau, rho, iters, workers)
 	if err != nil {
 		return err
 	}
@@ -143,7 +144,7 @@ func writeRankingCSV(path string, net *graph.Network, scores []float64, now int)
 	return werr
 }
 
-func computeScores(net *graph.Network, now int, method string, alpha, beta, gamma float64, y int, w, tau, rho float64, iters int) ([]float64, *core.Result, core.Params, error) {
+func computeScores(net *graph.Network, now int, method string, alpha, beta, gamma float64, y int, w, tau, rho float64, iters, workers int) ([]float64, *core.Result, core.Params, error) {
 	plain := func(scores []float64, err error) ([]float64, *core.Result, core.Params, error) {
 		return scores, nil, core.Params{}, err
 	}
@@ -157,7 +158,7 @@ func computeScores(net *graph.Network, now int, method string, alpha, beta, gamm
 			w = fitted
 			fmt.Printf("fitted w = %.4f\n", w)
 		}
-		p := core.Params{Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w}
+		p := core.Params{Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w, Workers: workers}
 		switch method {
 		case "NO-ATT":
 			p = p.NoAtt()

@@ -50,7 +50,7 @@ func TestRunAllMethods(t *testing.T) {
 			case "RAM", "ECM":
 				alpha, gamma = 0.3, 0.3
 			}
-			if err := run(path, method, 5, 0, alpha, beta, gamma, 3, 0, 2.6, -0.62, 4, false, ""); err != nil {
+			if err := run(path, method, 5, 0, alpha, beta, gamma, 3, 0, 2.6, -0.62, 4, 0, false, ""); err != nil {
 				t.Fatalf("%s: %v", method, err)
 			}
 		})
@@ -59,25 +59,25 @@ func TestRunAllMethods(t *testing.T) {
 
 func TestRunExplain(t *testing.T) {
 	path := writeTestNet(t)
-	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, true, ""); err != nil {
+	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, 0, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Explain on a non-AR method must fail cleanly.
-	if err := run(path, "CC", 3, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, true, ""); err == nil {
+	if err := run(path, "CC", 3, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, 0, true, ""); err == nil {
 		t.Error("-explain with CC accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeTestNet(t)
-	if err := run(path, "BOGUS", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, false, ""); err == nil {
+	if err := run(path, "BOGUS", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, 0, false, ""); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "absent.tsv"), "AR", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, false, ""); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "absent.tsv"), "AR", 5, 0, 0.2, 0.5, 0.3, 3, 0, 2.6, -0.62, 4, 0, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Invalid AttRank parameters surface as errors.
-	if err := run(path, "AR", 5, 0, 0.9, 0.9, 0.9, 3, -0.2, 2.6, -0.62, 4, false, ""); err == nil {
+	if err := run(path, "AR", 5, 0, 0.9, 0.9, 0.9, 3, -0.2, 2.6, -0.62, 4, 0, false, ""); err == nil {
 		t.Error("invalid params accepted")
 	}
 }
@@ -85,7 +85,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	path := writeTestNet(t)
 	out := filepath.Join(t.TempDir(), "ranking.csv")
-	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, false, out); err != nil {
+	if err := run(path, "AR", 3, 0, 0.2, 0.5, 0.3, 3, -0.2, 2.6, -0.62, 4, 0, false, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)

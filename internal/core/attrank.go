@@ -58,9 +58,12 @@ type Params struct {
 	// non-negative mass; it is normalized before use.
 	Start []float64
 	// Workers selects the power-method kernel: 0 keeps the serial CSC
-	// kernel (right for small and mid-size networks); any other value
-	// runs the row-partitioned parallel kernel with that many goroutines
-	// (negative = GOMAXPROCS). Results are bit-identical either way.
+	// reference kernel (right for small and mid-size networks); any other
+	// value runs the fused parallel kernel with that many nnz-balanced
+	// row partitions (negative = GOMAXPROCS), executed on the compiled
+	// operator's persistent worker pool. Results are bit-identical either
+	// way. The library default stays serial; attrank-serve defaults its
+	// re-ranks to one partition per core (see its -workers flag).
 	Workers int
 }
 
@@ -146,80 +149,12 @@ var ErrEmptyNetwork = errors.New("core: empty network")
 
 // Rank computes AttRank scores on the network's state at time now
 // (normally net.MaxYear() when net is already the current state C(tN)).
+// It delegates to the compiled operator for the network (see Operator and
+// OperatorFor), so repeated ranks of the same *graph.Network — a live
+// re-rank loop, a parameter sweep — reuse the normalized matrix, the CSR
+// mirror, and the worker pool instead of rebuilding them per call.
 func Rank(net *graph.Network, now int, p Params) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	n := net.N()
-	if n == 0 {
-		return nil, ErrEmptyNetwork
-	}
-	started := time.Now()
-
-	att := AttentionVector(net, now, p.AttentionYears)
-	rec := RecencyVector(net, now, p.W)
-
-	res := &Result{Attention: att, Recency: rec}
-	if p.Alpha == 0 {
-		// Limit case discussed in §4.4: a single evaluation suffices.
-		scores := make([]float64, n)
-		for i := range scores {
-			scores[i] = p.Beta*att[i] + p.Gamma*rec[i]
-		}
-		res.Scores = scores
-		res.Iterations = 1
-		res.Converged = true
-		res.Residuals = []float64{0}
-		res.Duration = time.Since(started)
-		return res, nil
-	}
-
-	s, err := net.StochasticMatrix()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	// mulVec is the power-method kernel; the parallel variant produces
-	// identical results on a row-partitioned CSR mirror.
-	mulVec := s.MulVec
-	if p.Workers != 0 {
-		mulVec = s.Parallel(p.Workers).MulVec
-	}
-
-	var x []float64
-	if p.Start != nil {
-		if len(p.Start) != n {
-			return nil, fmt.Errorf("core: warm start has %d entries for %d papers", len(p.Start), n)
-		}
-		x = make([]float64, n)
-		copy(x, p.Start)
-		for i, v := range x {
-			if v < 0 || math.IsNaN(v) {
-				return nil, fmt.Errorf("core: warm start entry %d is %v", i, v)
-			}
-		}
-		sparse.Normalize(x)
-	} else {
-		x = sparse.Uniform(n)
-	}
-	next := make([]float64, n)
-	tol := p.tol()
-	for iter := 1; iter <= p.maxIter(); iter++ {
-		mulVec(next, x)
-		for i := range next {
-			next[i] = p.Alpha*next[i] + p.Beta*att[i] + p.Gamma*rec[i]
-		}
-		resid := sparse.L1Diff(next, x)
-		res.Residuals = append(res.Residuals, resid)
-		x, next = next, x
-		res.Iterations = iter
-		if resid < tol {
-			res.Converged = true
-			break
-		}
-	}
-	res.Scores = x
-	res.Duration = time.Since(started)
-	return res, nil
+	return OperatorFor(net).Rank(now, p)
 }
 
 // AttentionVector computes A of Eq. 2 at time now: A(p) is the fraction of

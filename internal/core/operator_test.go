@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"attrank/internal/sparse"
+)
+
+func TestOperatorForCachesByIdentity(t *testing.T) {
+	a := randomNet(t, 61, 80)
+	b := randomNet(t, 62, 80)
+	opA := OperatorFor(a)
+	if opA.Network() != a {
+		t.Fatal("operator does not report its network")
+	}
+	if OperatorFor(a) != opA {
+		t.Error("same network must yield the same operator")
+	}
+	if OperatorFor(b) == opA {
+		t.Error("distinct networks must yield distinct operators")
+	}
+	// a was pushed behind b; looking it up again must still hit.
+	if OperatorFor(a) != opA {
+		t.Error("cache lost an entry while within capacity")
+	}
+}
+
+func TestOperatorCacheEviction(t *testing.T) {
+	first := randomNet(t, 70, 50)
+	op := OperatorFor(first)
+	// Fill the cache past capacity with fresh networks.
+	for i := 0; i < operatorCacheSize+1; i++ {
+		OperatorFor(randomNet(t, 71+int64(i), 50))
+	}
+	if OperatorFor(first) == op {
+		t.Error("operator survived eviction past cache capacity")
+	}
+}
+
+// TestOperatorCompilesOnce is the regression test for the old behavior
+// where every Rank call renormalized the matrix and every parallel Rank
+// call re-converted it to CSR: across many ranks of one network, exactly
+// one compilation and one conversion may happen.
+func TestOperatorCompilesOnce(t *testing.T) {
+	n := randomNet(t, 83, 300)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+
+	compiles := KernelCompiles()
+	conversions := sparse.CSRConversions()
+	for round := 0; round < 3; round++ {
+		for _, workers := range []int{0, 1, -1, 4} {
+			q := p
+			q.Workers = workers
+			if _, err := Rank(n, n.MaxYear(), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if d := KernelCompiles() - compiles; d != 1 {
+		t.Errorf("12 ranks compiled the matrix %d times, want 1", d)
+	}
+	if d := sparse.CSRConversions() - conversions; d != 1 {
+		t.Errorf("12 ranks converted to CSR %d times, want 1", d)
+	}
+}
+
+func TestOperatorCloseRecompiles(t *testing.T) {
+	n := randomNet(t, 89, 120)
+	op := Compile(n)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2, Workers: 2}
+	first, err := op.Rank(n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Close()
+	again, err := op.Rank(n.MaxYear(), p)
+	if err != nil {
+		t.Fatalf("rank after Close: %v", err)
+	}
+	for i := range first.Scores {
+		if first.Scores[i] != again.Scores[i] {
+			t.Fatalf("score %d changed across Close: %v vs %v", i, again.Scores[i], first.Scores[i])
+		}
+	}
+}
+
+func TestOperatorConcurrentRank(t *testing.T) {
+	n := randomNet(t, 97, 250)
+	op := Compile(n)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+	want, err := op.Rank(n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := p
+			q.Workers = g % 4 // mix of serial and fused ranks in flight
+			res, err := op.Rank(n.MaxYear(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range want.Scores {
+				if res.Scores[i] != want.Scores[i] {
+					errs <- errScoreMismatch{i: i, got: res.Scores[i], want: want.Scores[i]}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errScoreMismatch struct {
+	i         int
+	got, want float64
+}
+
+func (e errScoreMismatch) Error() string {
+	return "concurrent rank score mismatch"
+}
+
+// TestOperatorResultVectorsAreCopies guards the cache's copy-out
+// semantics: Result exposes the attention and recency vectors, and a
+// caller mutating them must not corrupt later ranks.
+func TestOperatorResultVectorsAreCopies(t *testing.T) {
+	n := randomNet(t, 101, 150)
+	op := Compile(n)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
+	first, err := op.Rank(n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Attention {
+		first.Attention[i] = -1
+		first.Recency[i] = -1
+	}
+	again, err := op.Rank(n.MaxYear(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Scores {
+		if first.Scores[i] != again.Scores[i] {
+			t.Fatalf("cached vectors were corrupted by caller mutation (score %d: %v vs %v)",
+				i, again.Scores[i], first.Scores[i])
+		}
+	}
+}

@@ -86,8 +86,11 @@ type AttRankCell struct {
 }
 
 // SweepAttRank evaluates the full AttRank grid on the split, in parallel,
-// returning cells in grid order.
+// returning cells in grid order. The ranking operator is compiled once
+// for the split's network; every grid cell reuses its matrix state and
+// only swaps the (α, β, γ, y, w) surface.
 func SweepAttRank(s *Split, truth []float64, grid []core.Params, m Metric) []AttRankCell {
+	op := core.OperatorFor(s.Current)
 	cells := make([]AttRankCell, len(grid))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxParallel())
@@ -98,7 +101,7 @@ func SweepAttRank(s *Split, truth []float64, grid []core.Params, m Metric) []Att
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			p := grid[i]
-			res, err := core.Rank(s.Current, s.TN, p)
+			res, err := op.Rank(s.TN, p)
 			if err != nil {
 				cells[i] = AttRankCell{Params: p, Err: err}
 				return

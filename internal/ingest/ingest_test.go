@@ -10,6 +10,7 @@ import (
 
 	"attrank/internal/core"
 	"attrank/internal/graph"
+	"attrank/internal/sparse"
 	"attrank/internal/synth"
 )
 
@@ -452,5 +453,50 @@ func TestConcurrentWritersAndReaders(t *testing.T) {
 	}
 	if r.Net.Edges() != 3+writers*perWriter {
 		t.Errorf("final corpus = %d edges, want %d", r.Net.Edges(), 3+writers*perWriter)
+	}
+}
+
+// TestRerankReusesCompiledOperator pins the compile-once contract of the
+// re-rank path: within a compaction epoch the base network pointer is
+// stable, so every debounced re-rank hits the cached ranking operator —
+// the matrix is normalized and converted to CSR at most once per epoch,
+// not once per re-rank.
+func TestRerankReusesCompiledOperator(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.Params.Workers = -1 // exercise the fused kernel's CSR mirror too
+	ing := mustOpen(t, seedNet(t), cfg)
+	if err := ing.Flush(); err != nil { // settle the initial epoch
+		t.Fatal(err)
+	}
+
+	compiles := core.KernelCompiles()
+	conversions := sparse.CSRConversions()
+	for i := 0; i < 3; i++ {
+		if err := ing.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := core.KernelCompiles() - compiles; d != 0 {
+		t.Errorf("3 re-ranks of an unchanged corpus compiled %d matrices, want 0", d)
+	}
+	if d := sparse.CSRConversions() - conversions; d != 0 {
+		t.Errorf("3 re-ranks of an unchanged corpus converted %d CSR mirrors, want 0", d)
+	}
+
+	// A mutation compacts into a fresh network: exactly one new compile
+	// and one conversion, however many re-ranks follow.
+	if _, err := ing.AddPaper(PaperMut{ID: "fresh", Year: 1997}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ing.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := core.KernelCompiles() - compiles; d != 1 {
+		t.Errorf("post-mutation re-ranks compiled %d matrices, want 1", d)
+	}
+	if d := sparse.CSRConversions() - conversions; d != 1 {
+		t.Errorf("post-mutation re-ranks converted %d CSR mirrors, want 1", d)
 	}
 }

@@ -287,3 +287,39 @@ func TestOverlapAtK(t *testing.T) {
 		t.Error("k=0 should fail")
 	}
 }
+
+// TestTopKMatchesSortedReference pins the heap-based selection to the
+// full-sort reference: for any scores (ties included) and any k,
+// TopK(scores, k) must equal the first k entries of Ordering(scores) —
+// same order, same (score desc, index asc) tie-breaking.
+func TestTopKMatchesSortedReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Few distinct values ⇒ plenty of ties to break by index.
+			scores[i] = float64(rng.Intn(8))
+		}
+		full := Ordering(scores)
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 7} {
+			got := TopK(scores, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				return false
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -51,14 +51,72 @@ func Ordering(scores []float64) []int {
 	return order
 }
 
-// TopK returns the indices of the k highest-scoring items (deterministic
-// tie-break by index). k is clamped to len(scores).
+// TopK returns the indices of the k highest-scoring items sorted by
+// (score descending, index ascending) — the same order and tie-break as
+// Ordering, without sorting the full vector. It runs in O(N log k) via
+// bounded-heap selection, which is what the top-k serving hot path
+// (/v1/top) and OverlapAtK need on large corpora. k is clamped to
+// len(scores).
 func TopK(scores []float64, k int) []int {
-	order := Ordering(scores)
-	if k > len(order) {
-		k = len(order)
+	n := len(scores)
+	if k > n {
+		k = n
 	}
-	return order[:k]
+	if k <= 0 {
+		return []int{}
+	}
+	if k == n {
+		return Ordering(scores)
+	}
+	// h is a min-heap under "worse than": h[0] is the weakest member of
+	// the running top-k, evicted whenever a better candidate appears.
+	h := make([]int, 0, k)
+	worse := func(a, b int) bool {
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
+		}
+		return a > b
+	}
+	siftDown := func(j, size int) {
+		for {
+			l := 2*j + 1
+			if l >= size {
+				return
+			}
+			m := l
+			if r := l + 1; r < size && worse(h[r], h[l]) {
+				m = r
+			}
+			if !worse(h[m], h[j]) {
+				return
+			}
+			h[j], h[m] = h[m], h[j]
+			j = m
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(h) < k {
+			h = append(h, i)
+			for j := len(h) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !worse(h[j], h[p]) {
+					break
+				}
+				h[j], h[p] = h[p], h[j]
+				j = p
+			}
+		} else if worse(h[0], i) {
+			h[0] = i
+			siftDown(0, k)
+		}
+	}
+	// Heap-sort in place: repeatedly move the current weakest to the end,
+	// leaving the slice ordered best-first.
+	for size := len(h); size > 1; size-- {
+		h[0], h[size-1] = h[size-1], h[0]
+		siftDown(0, size-1)
+	}
+	return h
 }
 
 // OverlapAtK returns |topK(a) ∩ topK(b)| / k, the fraction of agreement

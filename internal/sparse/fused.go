@@ -1,0 +1,177 @@
+package sparse
+
+import (
+	"sort"
+	"sync"
+)
+
+// FusedStochastic is the compiled form of a column-stochastic matrix for
+// the power-method hot loop: a CSR mirror plus the dangling-column list,
+// driven by a persistent worker Pool. Its Step method fuses the four
+// per-iteration passes of the naive implementation —
+//
+//  1. dst = M·x            (SpMV)
+//  2. dst += danglingMass/n
+//  3. next = α·dst + β·att + γ·rec
+//  4. resid = Σ|next − x|
+//
+// — into a single parallel sweep over the matrix: each worker owns a
+// contiguous, nnz-balanced row range and computes its rows' fused update
+// together with a partial L1 residual, so the three extra full-vector
+// sweeps (and their memory traffic) disappear.
+//
+// Results are bit-identical to Stochastic.MulVec followed by the serial
+// combine: within a row, CSR accumulates contributions in the same
+// ascending-column order as the CSC kernel, the dangling mass is gathered
+// sequentially (partial-sum grouping would change the low bits), and the
+// per-row combine uses the same expression shape. Only the residual may
+// differ from the serial Σ in its last ulp when parts > 1, because worker
+// partials are tree-reduced; the residual is a stopping criterion, not an
+// output.
+type FusedStochastic struct {
+	csr      *CSR
+	dangling []int32
+	pool     *Pool
+
+	mu    sync.Mutex
+	parts map[int][]int32 // partition count → nnz-balanced row boundaries
+}
+
+// Fused compiles the stochastic matrix for fused iteration on the given
+// pool (which the caller owns; nil restricts Step to parts ≤ 1).
+func (s *Stochastic) Fused(pool *Pool) *FusedStochastic {
+	return &FusedStochastic{
+		csr:      s.m.ToCSR(),
+		dangling: s.dangling,
+		pool:     pool,
+		parts:    make(map[int][]int32),
+	}
+}
+
+// N returns the matrix dimension.
+func (f *FusedStochastic) N() int { return f.csr.rows }
+
+// NNZ returns the number of stored entries.
+func (f *FusedStochastic) NNZ() int { return f.csr.NNZ() }
+
+// partition returns cached nnz-balanced row boundaries for the given
+// partition count.
+func (f *FusedStochastic) partition(parts int) []int32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b, ok := f.parts[parts]; ok {
+		return b
+	}
+	b := PartitionNNZ(f.csr.rowPtr, parts)
+	f.parts[parts] = b
+	return b
+}
+
+// Step computes next = α·S·x + β·att + γ·rec in one pass and returns the
+// L1 residual Σ|next[i] − x[i]|. parts selects the number of row ranges
+// (clamped to [1, rows]); with parts ≤ 1 the pass runs on the calling
+// goroutine. next must not alias x. Safe for concurrent use as long as
+// the callers' next/x buffers are distinct.
+func (f *FusedStochastic) Step(next, x, att, rec []float64, alpha, beta, gamma float64, parts int) float64 {
+	n := f.csr.rows
+	// The dangling mass is needed by every row, so it is gathered before
+	// the fused pass — sequentially, to stay bit-identical with
+	// Stochastic.DanglingMass (FP addition is not associative).
+	hasDangling := len(f.dangling) > 0
+	share := 0.0
+	if hasDangling {
+		mass := 0.0
+		for _, c := range f.dangling {
+			mass += x[c]
+		}
+		share = mass / float64(n)
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 || f.pool == nil {
+		return f.stepRange(0, n, next, x, att, rec, alpha, beta, gamma, share, hasDangling)
+	}
+	bounds := f.partition(parts)
+	partial := make([]float64, len(bounds)-1)
+	f.pool.Run(len(partial), func(i int) {
+		partial[i] = f.stepRange(int(bounds[i]), int(bounds[i+1]),
+			next, x, att, rec, alpha, beta, gamma, share, hasDangling)
+	})
+	return treeSum(partial)
+}
+
+// stepRange is the per-worker kernel: the fused update and partial L1
+// residual for rows [lo, hi). The arithmetic deliberately mirrors the
+// serial reference (CSC MulVec + combine loop) expression-for-expression
+// so scores stay bit-identical.
+func (f *FusedStochastic) stepRange(lo, hi int, next, x, att, rec []float64, alpha, beta, gamma, share float64, hasDangling bool) float64 {
+	c := f.csr
+	resid := 0.0
+	for r := lo; r < hi; r++ {
+		a, b := c.rowPtr[r], c.rowPtr[r+1]
+		s := 0.0
+		for k := a; k < b; k++ {
+			s += c.val[k] * x[c.colIdx[k]]
+		}
+		if hasDangling {
+			s += share
+		}
+		v := alpha*s + beta*att[r] + gamma*rec[r]
+		next[r] = v
+		d := v - x[r]
+		if d < 0 {
+			d = -d
+		}
+		resid += d
+	}
+	return resid
+}
+
+// treeSum reduces the worker partials by pairwise halving — deterministic
+// for a fixed partition count regardless of worker scheduling.
+func treeSum(p []float64) float64 {
+	switch len(p) {
+	case 0:
+		return 0
+	case 1:
+		return p[0]
+	}
+	mid := len(p) / 2
+	return treeSum(p[:mid]) + treeSum(p[mid:])
+}
+
+// PartitionNNZ splits the rows of a CSR matrix into parts contiguous
+// ranges of near-equal work, returning parts+1 boundary indices. Work is
+// measured as nonzeros per row plus one unit for the dense per-row combine,
+// so a power-law in-degree distribution (a few rows holding most of the
+// nonzeros, many empty dangling rows) no longer serializes one worker the
+// way an equal-row-count split does. Ranges may be empty when a single row
+// dominates the matrix.
+func PartitionNNZ(rowPtr []int32, parts int) []int32 {
+	rows := len(rowPtr) - 1
+	if parts > rows {
+		parts = rows
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int32, parts+1)
+	bounds[parts] = int32(rows)
+	total := int64(rowPtr[rows]) + int64(rows)
+	prev := 0
+	for k := 1; k < parts; k++ {
+		target := total * int64(k) / int64(parts)
+		// Cumulative work before row i is rowPtr[i] + i, nondecreasing in
+		// i, so the cut point is a binary search away.
+		b := sort.Search(rows, func(i int) bool {
+			return int64(rowPtr[i])+int64(i) >= target
+		})
+		if b < prev {
+			b = prev
+		}
+		bounds[k] = int32(b)
+		prev = b
+	}
+	return bounds
+}

@@ -1,0 +1,305 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// powerLawStochastic builds a column-stochastic matrix whose in-degree
+// distribution is heavily skewed (a few rows receive most of the entries)
+// and whose tail columns are dangling — the shape of a citation network.
+func powerLawStochastic(t testing.TB, seed int64, n, nnz int) *Stochastic {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Coord, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		// Quadratic preference: row ~ n·u² concentrates entries on low rows.
+		u := rng.Float64()
+		row := int32(float64(n) * u * u)
+		if int(row) >= n {
+			row = int32(n - 1)
+		}
+		// Only the first 2/3 of the columns cite; the rest stay dangling.
+		col := int32(rng.Intn(2*n/3 + 1))
+		entries = append(entries, Coord{Row: row, Col: col, Val: 1})
+	}
+	m, err := NewMatrix(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewColumnStochastic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// referenceStep is the serial three-sweep iteration the fused kernel must
+// reproduce bit-for-bit: CSC SpMV with uniform dangling redistribution,
+// dense combine, then a separate L1 residual pass.
+func referenceStep(s *Stochastic, next, x, att, rec []float64, alpha, beta, gamma float64) float64 {
+	s.MulVec(next, x)
+	for i := range next {
+		next[i] = alpha*next[i] + beta*att[i] + gamma*rec[i]
+	}
+	return L1Diff(next, x)
+}
+
+func randomVectors(rng *rand.Rand, n int) (x, att, rec []float64) {
+	x = make([]float64, n)
+	att = make([]float64, n)
+	rec = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64()
+		att[i] = rng.Float64()
+		rec[i] = rng.Float64()
+	}
+	Normalize(x)
+	Normalize(att)
+	Normalize(rec)
+	return x, att, rec
+}
+
+func TestFusedStepBitIdentical(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		s    *Stochastic
+	}{
+		{"random", mustStochastic(t, randomMatrix(t, 11, 120, 700))},
+		{"power-law-dangling", powerLawStochastic(t, 12, 150, 900)},
+		{"all-dangling", mustStochastic(t, emptySquare(t, 40))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.s
+			n := s.N()
+			rng := rand.New(rand.NewSource(99))
+			x, att, rec := randomVectors(rng, n)
+			want := make([]float64, n)
+			wantResid := referenceStep(s, want, x, att, rec, 0.5, 0.3, 0.2)
+
+			f := s.Fused(pool)
+			if f.N() != n {
+				t.Fatalf("fused N = %d, want %d", f.N(), n)
+			}
+			for _, parts := range []int{1, 2, 3, 7, 16, n + 5} {
+				got := make([]float64, n)
+				resid := f.Step(got, x, att, rec, 0.5, 0.3, 0.2, parts)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("parts=%d: next[%d] = %v, want %v (not bit-identical)",
+							parts, i, got[i], want[i])
+					}
+				}
+				// The residual is tree-reduced across partials, so only the
+				// single-partition sum is exactly the serial one; the rest
+				// must agree to the last few ulps.
+				if parts == 1 && resid != wantResid {
+					t.Fatalf("parts=1: resid = %v, want exactly %v", resid, wantResid)
+				}
+				if math.Abs(resid-wantResid) > 1e-12*(1+math.Abs(wantResid)) {
+					t.Fatalf("parts=%d: resid = %v, want ≈ %v", parts, resid, wantResid)
+				}
+			}
+		})
+	}
+}
+
+func mustStochastic(t testing.TB, m *Matrix) *Stochastic {
+	t.Helper()
+	s, err := NewColumnStochastic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// emptySquare returns an n×n matrix with no entries: every column dangling.
+func emptySquare(t testing.TB, n int) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(n, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFusedStepQuick(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	f := func(seed int64, rawParts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		s := mustStochastic(t, randomMatrix(t, seed, n, n*3))
+		x, att, rec := randomVectors(rng, n)
+		want := make([]float64, n)
+		referenceStep(s, want, x, att, rec, 0.4, 0.35, 0.25)
+		got := make([]float64, n)
+		s.Fused(pool).Step(got, x, att, rec, 0.4, 0.35, 0.25, 1+int(rawParts%11))
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionNNZ(t *testing.T) {
+	// Skewed CSR: row 0 holds 1000 nonzeros, the rest hold 0 or 1.
+	rows := 64
+	rowPtr := make([]int32, rows+1)
+	rowPtr[1] = 1000
+	for r := 2; r <= rows; r++ {
+		rowPtr[r] = rowPtr[r-1] + int32(r%2)
+	}
+	for _, parts := range []int{1, 2, 3, 8, 64, 200} {
+		b := PartitionNNZ(rowPtr, parts)
+		want := parts
+		if want > rows {
+			want = rows
+		}
+		if len(b) != want+1 {
+			t.Fatalf("parts=%d: got %d boundaries, want %d", parts, len(b), want+1)
+		}
+		if b[0] != 0 || b[len(b)-1] != int32(rows) {
+			t.Fatalf("parts=%d: bounds %v do not cover [0,%d]", parts, b, rows)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("parts=%d: bounds %v not monotone", parts, b)
+			}
+		}
+	}
+
+	// Balance: with uniform rows each range's work must be within one
+	// row's work of the ideal share.
+	uniform := make([]int32, 101)
+	for r := 1; r <= 100; r++ {
+		uniform[r] = uniform[r-1] + 5
+	}
+	b := PartitionNNZ(uniform, 4)
+	total := int64(uniform[100]) + 100
+	for i := 1; i < len(b); i++ {
+		work := int64(uniform[b[i]]-uniform[b[i-1]]) + int64(b[i]-b[i-1])
+		if ideal := total / 4; work > ideal+6 || work < ideal-6 {
+			t.Fatalf("range %d work %d, ideal %d (bounds %v)", i, work, ideal, b)
+		}
+	}
+
+	// parts < 1 clamps to a single range.
+	if b := PartitionNNZ(uniform, 0); len(b) != 2 || b[0] != 0 || b[1] != 100 {
+		t.Fatalf("parts=0: bounds %v, want [0 100]", b)
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	hits := make([]int32, 100)
+	p.Run(len(hits), func(i int) { hits[i]++ }) // n ≫ pool size: tasks queue
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+	p.Run(0, func(i int) { t.Error("n=0 must not run anything") })
+}
+
+func TestPoolConcurrentRun(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p.Run(25, func(i int) {
+				mu.Lock()
+				counts[g*1000+i]++
+				mu.Unlock()
+			})
+		}(g)
+	}
+	wg.Wait()
+	if len(counts) != 8*25 {
+		t.Fatalf("got %d distinct tasks, want %d", len(counts), 8*25)
+	}
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", k, c)
+		}
+	}
+}
+
+func TestPoolCloseIdempotentAndRunPanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	p.Close() // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	p.Run(1, func(int) {})
+}
+
+// The benchmarks compare one power-method iteration under the legacy
+// shape (parallel SpMV, then three more full-vector sweeps, goroutines
+// spawned per call) against the fused kernel on a persistent pool.
+
+func benchVectors(n int) (next, x, att, rec []float64) {
+	next = make([]float64, n)
+	x = Uniform(n)
+	att = Uniform(n)
+	rec = Uniform(n)
+	return
+}
+
+func BenchmarkIterationLegacyParallel(b *testing.B) {
+	s := powerLawStochastic(b, 7, 20000, 200000)
+	p := s.Parallel(0)
+	next, x, att, rec := benchVectors(s.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulVec(next, x)
+		for j := range next {
+			next[j] = 0.5*next[j] + 0.3*att[j] + 0.2*rec[j]
+		}
+		_ = L1Diff(next, x)
+	}
+}
+
+func BenchmarkIterationFused(b *testing.B) {
+	s := powerLawStochastic(b, 7, 20000, 200000)
+	pool := NewPool(0)
+	defer pool.Close()
+	f := s.Fused(pool)
+	next, x, att, rec := benchVectors(s.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Step(next, x, att, rec, 0.5, 0.3, 0.2, pool.Size())
+	}
+}
+
+func BenchmarkIterationFusedSerial(b *testing.B) {
+	s := powerLawStochastic(b, 7, 20000, 200000)
+	f := s.Fused(nil)
+	next, x, att, rec := benchVectors(s.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Step(next, x, att, rec, 0.5, 0.3, 0.2, 1)
+	}
+}

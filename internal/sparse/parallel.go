@@ -3,7 +3,18 @@ package sparse
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// csrConversions counts CSC→CSR conversions process-wide. The conversion
+// is the expensive part of compiling a parallel kernel, so the counter
+// lets tests assert that ranking the same network repeatedly compiles its
+// operator exactly once (see core's operator cache).
+var csrConversions atomic.Int64
+
+// CSRConversions reports how many CSC→CSR conversions this process has
+// performed. Diagnostic hook for the compile-once regression tests.
+func CSRConversions() int64 { return csrConversions.Load() }
 
 // CSR is a compressed sparse row matrix, the row-partitionable layout
 // used for parallel matrix–vector products on large citation networks
@@ -19,6 +30,7 @@ type CSR struct {
 
 // ToCSR converts the matrix to CSR form.
 func (m *Matrix) ToCSR() *CSR {
+	csrConversions.Add(1)
 	c := &CSR{
 		rows:   m.rows,
 		cols:   m.cols,

@@ -1,6 +1,14 @@
 #!/bin/sh
 # verify.sh — the full gate: build everything, vet everything, run all
 # tests under the race detector. Run from the repository root.
+#
+#   ./verify.sh         full gate (build + vet + race over every package)
+#   ./verify.sh quick   kernel gate: build + vet, then a short-mode race
+#                       pass over the ranking hot path only (sparse pool/
+#                       fused kernel, core operator/parallel tests) —
+#                       seconds instead of minutes, for kernel iteration
+#
+# Benchmarks are separate: see bench.sh, which regenerates BENCH_core.json.
 set -eu
 
 echo "==> go build ./..."
@@ -8,6 +16,14 @@ go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
+
+if [ "${1:-}" = "quick" ]; then
+	echo "==> go test -race -short (kernel packages)"
+	go test -race -short -run 'Parallel|Fused|Operator|Pool|Partition' \
+		./internal/sparse/ ./internal/core/
+	echo "verify.sh: quick checks passed"
+	exit 0
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...
