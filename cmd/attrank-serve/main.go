@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0]
+//	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0] [-pprof]
 //	attrank-serve -wal state/ [-in seed.tsv] [-rerank-after 256] [-rerank-every 2s] [-snapshot-every 4096]
+//
+// Every server exposes Prometheus metrics at GET /metrics; -pprof
+// additionally mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ (off by default — they expose stacks and heap data).
 //
 // Without -wal the server is read-only: it ranks the corpus once at
 // startup and serves it. With -wal it runs the live-ingestion subsystem
@@ -34,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -58,6 +64,8 @@ func main() {
 		w       = flag.Float64("w", 0, "recency exponent (0 = fit from data)")
 		now     = flag.Int("now", 0, "current time tN (default: newest year)")
 		workers = flag.Int("workers", -1, "power-iteration partitions per (re-)rank: negative = one per CPU core (default — a server should rank as fast as the machine allows), N > 0 = exactly N, 0 = the serial reference kernel; scores are bit-identical either way")
+
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 
 		wal           = flag.String("wal", "", "live mode: durable state directory (WAL + snapshots)")
 		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
@@ -94,11 +102,30 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	handler := http.Handler(srv.Handler())
+	if *pprofOn {
+		handler = withPprof(handler)
+		log.Printf("attrank-serve: pprof enabled at /debug/pprof/")
+	}
 	log.Printf("attrank-serve: listening on %s", *addr)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+	if err := service.Serve(ctx, *addr, handler); err != nil {
 		log.Fatal(err)
 	}
 	log.Println("attrank-serve: shut down cleanly")
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the service
+// handler. Profiling is opt-in (-pprof): the endpoints expose stacks and
+// heap contents, which a public ranking API should not serve by default.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }
 
 func build(in string, alpha, beta, gamma float64, y int, w float64, now, workers int) (*service.Server, error) {

@@ -170,6 +170,7 @@ func computeScores(net *graph.Network, now int, method string, alpha, beta, gamm
 			return nil, nil, core.Params{}, err
 		}
 		fmt.Printf("%s converged in %d iterations\n", method, res.Iterations)
+		fmt.Println(core.TelemetryLine())
 		return res.Scores, res, p, nil
 	case "PR":
 		return plain(baselines.PageRank{Alpha: alpha}.Scores(net, now))

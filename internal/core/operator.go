@@ -33,8 +33,15 @@ type Operator struct {
 	stoch *sparse.Stochastic
 	fused *sparse.FusedStochastic
 	pool  *sparse.Pool
-	att   map[attKey][]float64
-	rec   map[recKey][]float64
+	att   vecCache[attKey]
+	rec   vecCache[recKey]
+
+	// inflight counts parallel Ranks currently stepping on the pool;
+	// evicted marks an operator dropped from the OperatorFor cache. The
+	// pair lets eviction close the pool deterministically the moment it
+	// goes idle, instead of waiting for the finalizer.
+	inflight int
+	evicted  bool
 }
 
 type attKey struct{ now, years int }
@@ -49,9 +56,64 @@ type recKey struct {
 // and keeps a long-lived operator from accumulating vectors.
 const vectorCacheCap = 16
 
+// vecCache is a tiny LRU of computed vectors. Capacity overflow evicts
+// exactly one entry — the least recently used — so the vector a caller
+// is hammering always survives a sweep over many one-off keys. (The old
+// policy cleared the whole map, which made an alternating hot-key/sweep
+// pattern recompute the hot vector on every call.) Callers synchronize
+// through the operator's mutex.
+type vecCache[K comparable] struct {
+	entries map[K]*vecEntry
+	clock   int64
+}
+
+type vecEntry struct {
+	v    []float64
+	used int64
+}
+
+// get returns the cached vector and bumps its recency.
+func (c *vecCache[K]) get(k K) ([]float64, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.used = c.clock
+	return e.v, true
+}
+
+// put inserts a vector, evicting the single least-recently-used entry
+// if the cache is full. The O(cap) scan is irrelevant next to the
+// O(N) vector computation that preceded every put.
+func (c *vecCache[K]) put(k K, v []float64) {
+	if c.entries == nil {
+		c.entries = make(map[K]*vecEntry)
+	}
+	if len(c.entries) >= vectorCacheCap {
+		var (
+			lruKey K
+			lru    *vecEntry
+		)
+		for key, e := range c.entries {
+			if lru == nil || e.used < lru.used {
+				lruKey, lru = key, e
+			}
+		}
+		delete(c.entries, lruKey)
+		mVectorEvictions.Inc()
+	}
+	c.clock++
+	c.entries[k] = &vecEntry{v: v, used: c.clock}
+}
+
 // kernelCompiles counts stochastic-matrix compilations process-wide; with
 // sparse.CSRConversions it backs the compile-once regression tests.
 var kernelCompiles atomic.Int64
+
+// vectorComputes counts attention/recency vector computations (cache
+// misses) process-wide. Diagnostic hook for the cache-eviction tests.
+var vectorComputes atomic.Int64
 
 // KernelCompiles reports how many times this process normalized a
 // citation matrix into ranking-operator form. Diagnostic hook for tests.
@@ -61,11 +123,7 @@ func KernelCompiles() int64 { return kernelCompiles.Load() }
 // lazily, so this is cheap; use OperatorFor to share compiled operators
 // across Rank calls.
 func Compile(net *graph.Network) *Operator {
-	return &Operator{
-		net: net,
-		att: make(map[attKey][]float64),
-		rec: make(map[recKey][]float64),
-	}
+	return &Operator{net: net}
 }
 
 // operatorCacheSize bounds the process-wide operator cache. Each entry
@@ -84,26 +142,35 @@ var (
 // on first sight. Networks are immutable and compared by identity, so a
 // re-rank of the same *graph.Network — the ingest debounce loop between
 // compactions, every cell of a parameter sweep, repeated API calls —
-// reuses the compiled matrix state instead of rebuilding it. Evicted
-// operators release their worker pools through a finalizer.
+// reuses the compiled matrix state instead of rebuilding it. An evicted
+// operator closes its worker pool as soon as no rank is using it (the
+// pool finalizer remains as the backstop for operators dropped without
+// ever entering the cache).
 func OperatorFor(net *graph.Network) *Operator {
 	opCacheMu.Lock()
-	defer opCacheMu.Unlock()
 	for i, op := range opCache {
 		if op.net == net {
 			if i > 0 {
 				copy(opCache[1:i+1], opCache[:i])
 				opCache[0] = op
 			}
+			opCacheMu.Unlock()
 			return op
 		}
 	}
 	op := Compile(net)
+	var dropped *Operator
 	if len(opCache) < operatorCacheSize {
 		opCache = append(opCache, nil)
+	} else {
+		dropped = opCache[len(opCache)-1]
 	}
 	copy(opCache[1:], opCache)
 	opCache[0] = op
+	opCacheMu.Unlock()
+	if dropped != nil {
+		dropped.markEvicted()
+	}
 	return op
 }
 
@@ -116,11 +183,31 @@ func (op *Operator) Network() *graph.Network { return op.net }
 func (op *Operator) Close() {
 	op.mu.Lock()
 	defer op.mu.Unlock()
+	op.closePoolLocked()
+}
+
+// closePoolLocked requires op.mu.
+func (op *Operator) closePoolLocked() {
 	if op.pool != nil {
 		op.pool.Close()
 		op.pool = nil
 		op.fused = nil
 	}
+}
+
+// markEvicted is called by the operator cache when this entry falls out:
+// the pool is closed the moment no parallel rank is stepping on it
+// (immediately if idle, else by the last release). A caller that kept
+// the *Operator may still Rank afterwards — the pool is then recompiled
+// exactly as after Close, and only that recompiled pool falls back to
+// finalizer cleanup.
+func (op *Operator) markEvicted() {
+	op.mu.Lock()
+	op.evicted = true
+	if op.inflight == 0 {
+		op.closePoolLocked()
+	}
+	op.mu.Unlock()
 }
 
 // stochastic returns the column-stochastic matrix, compiling it on first
@@ -139,26 +226,39 @@ func (op *Operator) stochasticLocked() (*sparse.Stochastic, error) {
 		}
 		op.stoch = s
 		kernelCompiles.Add(1)
+		mKernelCompiles.Inc()
 	}
 	return op.stoch, nil
 }
 
-// fusedKernel returns the fused CSR kernel and its pool, compiling both on
-// first use.
-func (op *Operator) fusedKernel() (*sparse.FusedStochastic, error) {
+// acquireFused returns the fused CSR kernel, compiling it and the pool on
+// first use, and registers the caller as an in-flight pool user. The
+// returned release must be called once stepping is done; it lets an
+// operator evicted mid-rank close its pool as soon as it goes idle.
+func (op *Operator) acquireFused() (*sparse.FusedStochastic, func(), error) {
 	op.mu.Lock()
 	defer op.mu.Unlock()
 	if op.fused == nil {
 		s, err := op.stochasticLocked()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if op.pool == nil {
 			op.pool = sparse.NewPool(0)
 		}
 		op.fused = s.Fused(op.pool)
 	}
-	return op.fused, nil
+	op.inflight++
+	return op.fused, op.releaseFused, nil
+}
+
+func (op *Operator) releaseFused() {
+	op.mu.Lock()
+	op.inflight--
+	if op.evicted && op.inflight == 0 {
+		op.closePoolLocked()
+	}
+	op.mu.Unlock()
 }
 
 // attention returns a private copy of the attention vector A(now, y),
@@ -167,13 +267,11 @@ func (op *Operator) fusedKernel() (*sparse.FusedStochastic, error) {
 func (op *Operator) attention(now, years int) []float64 {
 	key := attKey{now: now, years: years}
 	op.mu.Lock()
-	v, ok := op.att[key]
+	v, ok := op.att.get(key)
 	if !ok {
 		v = AttentionVector(op.net, now, years)
-		if len(op.att) >= vectorCacheCap {
-			clear(op.att)
-		}
-		op.att[key] = v
+		vectorComputes.Add(1)
+		op.att.put(key, v)
 	}
 	op.mu.Unlock()
 	out := make([]float64, len(v))
@@ -186,13 +284,11 @@ func (op *Operator) attention(now, years int) []float64 {
 func (op *Operator) recency(now int, w float64) []float64 {
 	key := recKey{now: now, w: w}
 	op.mu.Lock()
-	v, ok := op.rec[key]
+	v, ok := op.rec.get(key)
 	if !ok {
 		v = RecencyVector(op.net, now, w)
-		if len(op.rec) >= vectorCacheCap {
-			clear(op.rec)
-		}
-		op.rec[key] = v
+		vectorComputes.Add(1)
+		op.rec.put(key, v)
 	}
 	op.mu.Unlock()
 	out := make([]float64, len(v))
@@ -229,6 +325,7 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 		res.Converged = true
 		res.Residuals = []float64{0}
 		res.Duration = time.Since(started)
+		op.observeRank(res, p)
 		return res, nil
 	}
 
@@ -265,6 +362,7 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 			}
 			resid := sparse.L1Diff(next, x)
 			res.Residuals = append(res.Residuals, resid)
+			mIterationResidual.Observe(resid)
 			x, next = next, x
 			res.Iterations = iter
 			if resid < tol {
@@ -273,7 +371,7 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 			}
 		}
 	} else {
-		f, err := op.fusedKernel()
+		f, release, err := op.acquireFused()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -284,6 +382,7 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 		for iter := 1; iter <= p.maxIter(); iter++ {
 			resid := f.Step(next, x, att, rec, p.Alpha, p.Beta, p.Gamma, parts)
 			res.Residuals = append(res.Residuals, resid)
+			mIterationResidual.Observe(resid)
 			x, next = next, x
 			res.Iterations = iter
 			if resid < tol {
@@ -291,8 +390,22 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 				break
 			}
 		}
+		release()
 	}
 	res.Scores = x
 	res.Duration = time.Since(started)
+	op.observeRank(res, p)
 	return res, nil
+}
+
+// observeRank records the per-rank telemetry: iteration count, final
+// residual, duration split by warm/cold start, and the convergence
+// outcome.
+func (op *Operator) observeRank(res *Result, p Params) {
+	mRankIterations.Observe(float64(res.Iterations))
+	if len(res.Residuals) > 0 {
+		mFinalResidual.Set(res.Residuals[len(res.Residuals)-1])
+	}
+	mRankSeconds.With(startLabel(p.Start != nil)).Observe(res.Duration.Seconds())
+	mRanksTotal.With(convergedLabel(res.Converged)).Inc()
 }

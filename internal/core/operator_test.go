@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"attrank/internal/sparse"
 )
@@ -128,6 +130,92 @@ type errScoreMismatch struct {
 
 func (e errScoreMismatch) Error() string {
 	return "concurrent rank score mismatch"
+}
+
+// TestVectorCacheKeepsHotEntry is the regression test for the cache
+// thrash bug: reaching vectorCacheCap used to clear the whole map, so an
+// alternating hot-key/sweep access pattern over more than cap distinct
+// keys recomputed the hot vector on every pass. LRU eviction of a single
+// entry must keep the hot vector cached throughout.
+func TestVectorCacheKeepsHotEntry(t *testing.T) {
+	net := randomNet(t, 211, 200)
+	op := Compile(net)
+	now := net.MaxYear()
+
+	const rounds = 3
+	base := vectorComputes.Load()
+	for round := 0; round < rounds; round++ {
+		// 17 distinct keys (hot + 16 sweep keys) against a cap of 16,
+		// with the hot key touched between every sweep key.
+		for y := 2; y <= vectorCacheCap+1; y++ {
+			op.attention(now, 1)
+			op.attention(now, y)
+		}
+	}
+	// Round 1 computes all 17 vectors; later rounds recompute only the
+	// sweep keys (each is the LRU when the next one is inserted) — the
+	// hot vector must never be recomputed after its first computation.
+	want := int64(vectorCacheCap + 1 + vectorCacheCap*(rounds-1))
+	if got := vectorComputes.Load() - base; got != want {
+		t.Errorf("sweep recomputed %d vectors, want %d (hot entry evicted?)", got, want)
+	}
+	pre := vectorComputes.Load()
+	op.attention(now, 1)
+	if d := vectorComputes.Load() - pre; d != 0 {
+		t.Errorf("hot vector recomputed after %d-key sweep", vectorCacheCap+1)
+	}
+}
+
+// TestOperatorEvictionStopsPoolWorkers is the resource-lifecycle
+// regression test: evicting an operator from the OperatorFor cache must
+// stop its pool's worker goroutines (deterministically when idle, with
+// the finalizer as backstop), verified through the sparse.LiveWorkers
+// hook.
+func TestOperatorEvictionStopsPoolWorkers(t *testing.T) {
+	// Flush operators cached by earlier tests so our churn below is the
+	// only thing evicting pools, then let their workers settle.
+	for i := 0; i < operatorCacheSize; i++ {
+		OperatorFor(randomNet(t, 900+int64(i), 20))
+	}
+	settle := func() int64 {
+		prev := sparse.LiveWorkers()
+		for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+			runtime.GC()
+			time.Sleep(10 * time.Millisecond)
+			if cur := sparse.LiveWorkers(); cur == prev {
+				return cur
+			} else {
+				prev = cur
+			}
+		}
+		return prev
+	}
+	base := settle()
+
+	net := randomNet(t, 950, 150)
+	op := OperatorFor(net)
+	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2, Workers: 2}
+	if _, err := op.Rank(net.MaxYear(), p); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.LiveWorkers() <= base {
+		t.Fatal("parallel rank did not start pool workers")
+	}
+
+	// Evict op by churning fresh (never-ranked, poolless) networks
+	// through the cache.
+	for i := 0; i < operatorCacheSize; i++ {
+		OperatorFor(randomNet(t, 960+int64(i), 20))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sparse.LiveWorkers() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("evicted operator leaked pool workers: %d live, want ≤ %d",
+				sparse.LiveWorkers(), base)
+		}
+		runtime.GC() // also exercises the finalizer backstop
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // TestOperatorResultVectorsAreCopies guards the cache's copy-out

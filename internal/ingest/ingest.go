@@ -111,7 +111,8 @@ type Ingester struct {
 	delta         []Mutation          // accepted mutations not yet compacted
 	deltaIDs      map[string]struct{} // paper IDs in delta
 	deltaEdges    map[[2]string]struct{}
-	sinceSnapshot int // mutations compacted since the last snapshot
+	sinceSnapshot int       // mutations compacted since the last snapshot
+	firstPending  time.Time // when the oldest uncompacted mutation arrived (zero: none)
 	closed        bool
 
 	ranking atomic.Pointer[Ranking]
@@ -212,6 +213,7 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 		return nil, err
 	}
 	ing.wal = wal
+	mWALReplayedTotal.Add(int64(replayed))
 	if replayed > 0 || skipped > 0 {
 		ing.logf("ingest: recovered %d mutations from WAL (%d invalid skipped)", replayed, skipped)
 	}
@@ -334,7 +336,12 @@ func (ing *Ingester) ApplyBatch(muts []Mutation) (BatchResult, error) {
 		}
 		return BatchResult{}, err
 	}
+	if len(ing.delta) == 0 {
+		ing.firstPending = time.Now()
+	}
 	ing.delta = append(ing.delta, accepted...)
+	mMutationsTotal.Add(int64(len(accepted)))
+	mPending.Set(float64(len(ing.delta)))
 	res.Accepted = len(accepted)
 	select {
 	case ing.kick <- struct{}{}:
@@ -511,6 +518,11 @@ func (ing *Ingester) rerank() error {
 	base := ing.base
 	upTo := len(ing.delta)
 	deltaPrefix := ing.delta[:upTo:upTo]
+	if upTo > 0 && !ing.firstPending.IsZero() {
+		// Debounce lag: how long the oldest mutation of this batch sat
+		// pending before a re-rank picked it up.
+		mDebounceSeconds.ObserveSince(ing.firstPending)
+	}
 	ing.mu.Unlock()
 
 	net := base
@@ -570,9 +582,23 @@ func (ing *Ingester) rerank() error {
 			ing.deltaEdges[[2]string{m.Citation.Citing, m.Citation.Cited}] = struct{}{}
 		}
 	}
+	// Mutations that arrived while this re-rank ran start their pending
+	// clock now: their true arrival is unrecorded, and "since the last
+	// compaction" is the tight upper bound on their lag.
+	if len(ing.delta) > 0 {
+		ing.firstPending = time.Now()
+	} else {
+		ing.firstPending = time.Time{}
+	}
+	mPending.Set(float64(len(ing.delta)))
 	ing.sinceSnapshot += upTo
 	ing.mu.Unlock()
 
+	if upTo > 0 {
+		mCompactionsTotal.Inc()
+	}
+	mRerankSeconds.ObserveSince(started)
+	mEpoch.Set(float64(r.Epoch))
 	ing.lastDur.Store(int64(time.Since(started)))
 	ing.lastIt.Store(int64(res.Iterations))
 	ing.ranking.Store(r)
@@ -624,6 +650,7 @@ func (ing *Ingester) snapshotLocked() error {
 	}
 	ing.sinceSnapshot = 0
 	ing.snaps.Add(1)
+	mSnapshotsTotal.Inc()
 	ing.logf("ingest: snapshot of %d papers written in %s", ing.base.N(), time.Since(started).Round(time.Millisecond))
 	return nil
 }

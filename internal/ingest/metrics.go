@@ -1,0 +1,41 @@
+package ingest
+
+import "attrank/internal/obs"
+
+// The ingest metric catalogue (see DESIGN.md §9). Everything is
+// registered once, process-wide: a process runs at most one production
+// ingester, and the test suite's many short-lived ingesters simply share
+// the counters.
+var (
+	mWALAppendSeconds = obs.NewHistogram("attrank_ingest_wal_append_seconds",
+		"Full WAL append latency (encode + write + fsync) per acknowledged batch.",
+		obs.LatencyBuckets)
+	mWALFsyncSeconds = obs.NewHistogram("attrank_ingest_wal_fsync_seconds",
+		"WAL fsync latency per acknowledged batch.",
+		obs.LatencyBuckets)
+	mWALBatchRecords = obs.NewHistogram("attrank_ingest_wal_batch_records",
+		"Records per WAL append batch.",
+		obs.ExpBuckets(1, 2, 12))
+	mWALSizeBytes = obs.NewGauge("attrank_ingest_wal_size_bytes",
+		"Current WAL size in bytes, header included.")
+	mWALReplayedTotal = obs.NewCounter("attrank_ingest_wal_replayed_records_total",
+		"Durable WAL records replayed at open (crash/restart recovery).")
+	mWALFailuresTotal = obs.NewCounter("attrank_ingest_wal_failures_total",
+		"Failed WAL appends (write or fsync error); no record from a failed append is ever acknowledged.")
+	mRerankSeconds = obs.NewHistogram("attrank_ingest_rerank_seconds",
+		"Wall time of one re-rank (compaction + power iteration + publish).",
+		obs.ExpBuckets(1e-3, 2, 16))
+	mDebounceSeconds = obs.NewHistogram("attrank_ingest_rerank_debounce_seconds",
+		"Lag between the first pending mutation and the re-rank that picked it up.",
+		obs.ExpBuckets(1e-3, 2, 16))
+	mCompactionsTotal = obs.NewCounter("attrank_ingest_compactions_total",
+		"Re-ranks that compacted at least one pending mutation into the base network.")
+	mMutationsTotal = obs.NewCounter("attrank_ingest_mutations_total",
+		"Mutations accepted and made durable (live writes; WAL replay not included).")
+	mSnapshotsTotal = obs.NewCounter("attrank_ingest_snapshots_total",
+		"Snapshots written (WAL compactions to snapshot.anb).")
+	mEpoch = obs.NewGauge("attrank_ingest_epoch",
+		"Most recently published ranking epoch.")
+	mPending = obs.NewGauge("attrank_ingest_pending_mutations",
+		"Mutations accepted but not yet compacted into a published ranking.")
+)

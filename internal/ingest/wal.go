@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // WAL record layout, after an 8-byte file header ("AWAL1\n" + 2 reserved
@@ -24,12 +25,32 @@ const (
 	walRecordMax = 1 << 24 // 16 MiB: far above any sane mutation
 )
 
+// walFile is the slice of *os.File the WAL needs. The indirection
+// exists for the fault-injection tests: durability claims ("no
+// acknowledged record is ever lost") are only testable with a file that
+// can be made to fail mid-append.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Name() string
+}
+
 // WAL is an append-only, CRC-checked mutation log. It is not safe for
 // concurrent use; the Ingester serializes access.
 type WAL struct {
-	f    *os.File
+	f    walFile
 	size int64 // current valid size in bytes
 	buf  []byte
+	// failed is set when a failed append could not be repaired (the file
+	// could not be wound back to the last durable boundary). A failed
+	// WAL refuses every further append: the alternative — writing after
+	// torn bytes — would make replay silently truncate records that were
+	// already acknowledged.
+	failed error
 }
 
 // OpenWAL opens (or creates) the log at path, replays every valid record
@@ -55,6 +76,7 @@ func OpenWAL(path string, fn func(Mutation) error) (*WAL, error) {
 		f.Close()
 		return nil, fmt.Errorf("ingest: wal seek: %w", err)
 	}
+	mWALSizeBytes.Set(float64(valid))
 	return &WAL{f: f, size: valid}, nil
 }
 
@@ -62,7 +84,7 @@ func OpenWAL(path string, fn func(Mutation) error) (*WAL, error) {
 // returns the offset of the last valid record boundary. A missing or
 // short header on an otherwise empty file is repaired by rewriting the
 // header (valid = header length).
-func replay(f *os.File, fn func(Mutation) error) (int64, error) {
+func replay(f walFile, fn func(Mutation) error) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("ingest: wal seek: %w", err)
 	}
@@ -125,9 +147,19 @@ func replay(f *os.File, fn func(Mutation) error) (int64, error) {
 // Append encodes, writes and fsyncs the mutations as consecutive records
 // with one sync for the whole group (the batch-ingest fast path). Nothing
 // is acknowledged to callers until the sync returns.
+//
+// A failed write or sync leaves no acknowledged record behind: the file
+// is wound back (truncate + seek) to the last durable boundary before
+// the error is returned, so a later Append writes at a clean record
+// boundary. If that repair itself fails the WAL becomes sticky-failed
+// and refuses all further appends — recovery is reopening the log,
+// whose replay truncates the torn tail.
 func (w *WAL) Append(muts ...Mutation) error {
 	if len(muts) == 0 {
 		return nil
+	}
+	if w.failed != nil {
+		return fmt.Errorf("ingest: wal unusable after earlier failure: %w", w.failed)
 	}
 	w.buf = w.buf[:0]
 	for _, m := range muts {
@@ -145,14 +177,39 @@ func (w *WAL) Append(muts ...Mutation) error {
 		binary.LittleEndian.PutUint32(w.buf[payloadStart-8:], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(w.buf[payloadStart-4:], crc32.ChecksumIEEE(payload))
 	}
+	started := time.Now()
 	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("ingest: wal append: %w", err)
+		return w.appendFailed(fmt.Errorf("ingest: wal append: %w", err))
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("ingest: wal sync: %w", err)
+		return w.appendFailed(fmt.Errorf("ingest: wal sync: %w", err))
 	}
+	mWALFsyncSeconds.ObserveSince(syncStart)
+	mWALAppendSeconds.ObserveSince(started)
+	mWALBatchRecords.Observe(float64(len(muts)))
 	w.size += int64(len(w.buf))
+	mWALSizeBytes.Set(float64(w.size))
 	return nil
+}
+
+// appendFailed handles a failed append. The file may now hold torn
+// bytes past w.size (a partial write, or a full write whose sync never
+// confirmed durability), so wind it back to the last durable boundary;
+// only if that repair fails too does the WAL enter the sticky failed
+// state. Either way err — the original failure — is what the caller
+// sees, and nothing from this append was acknowledged.
+func (w *WAL) appendFailed(err error) error {
+	mWALFailuresTotal.Inc()
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.failed = err
+		return err
+	}
+	if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		w.failed = err
+		return err
+	}
+	return err
 }
 
 // Size returns the current log size in bytes (header included).
@@ -171,6 +228,7 @@ func (w *WAL) Reset() error {
 		return fmt.Errorf("ingest: wal reset sync: %w", err)
 	}
 	w.size = int64(len(walMagic))
+	mWALSizeBytes.Set(float64(w.size))
 	return nil
 }
 

@@ -1,0 +1,170 @@
+package ingest
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// flakyFile wraps the WAL's real file and injects failures: torn
+// writes (some bytes reach the file, then an error), sync failures, and
+// truncate failures. It is the instrument behind the durability
+// regression tests: with a real *os.File alone the torn-bytes window
+// between a failed append and the next one cannot be exercised.
+type flakyFile struct {
+	walFile
+	failWrites   int // fail this many upcoming writes...
+	tornTo       int // ...after letting this many bytes through
+	failSyncs    int
+	failTruncate bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.failWrites > 0 {
+		f.failWrites--
+		n := f.tornTo
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if _, err := f.walFile.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, errInjected
+	}
+	return f.walFile.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return errInjected
+	}
+	return f.walFile.Sync()
+}
+
+func (f *flakyFile) Truncate(size int64) error {
+	if f.failTruncate {
+		return errInjected
+	}
+	return f.walFile.Truncate(size)
+}
+
+// flakyWAL opens a real WAL at path and splices the fault injector
+// between it and its file.
+func flakyWAL(t *testing.T, path string) (*WAL, *flakyFile) {
+	t.Helper()
+	_, w := collect(t, path)
+	ff := &flakyFile{walFile: w.f}
+	w.f = ff
+	return w, ff
+}
+
+// replayIDs reopens the log and returns the paper IDs it replays.
+func replayIDs(t *testing.T, path string) []string {
+	t.Helper()
+	got, w := collect(t, path)
+	w.Close()
+	ids := make([]string, len(got))
+	for i, m := range got {
+		ids[i] = m.Paper.ID
+	}
+	return ids
+}
+
+// TestWALTornWriteDoesNotLoseLaterRecords is the regression test for
+// the durability bug: a failed Append used to leave its torn bytes in
+// the file and the next Append wrote after them, so replay — which
+// stops at the first torn record — silently discarded every later
+// *acknowledged* record. The WAL must wind the file back to the last
+// durable boundary instead.
+func TestWALTornWriteDoesNotLoseLaterRecords(t *testing.T) {
+	for _, torn := range []int{0, 1, 5, 11} { // nothing, mid-header, mid-payload
+		path := filepath.Join(t.TempDir(), "wal.log")
+		w, ff := flakyWAL(t, path)
+		if err := w.Append(paperMut("a", 2020, nil, "")); err != nil {
+			t.Fatal(err)
+		}
+		ff.failWrites, ff.tornTo = 1, torn
+		if err := w.Append(paperMut("torn", 2021, nil, "")); !errors.Is(err, errInjected) {
+			t.Fatalf("torn=%d: injected append error = %v", torn, err)
+		}
+		// The failed record was never acknowledged; the WAL must keep
+		// accepting and durably storing new records.
+		if err := w.Append(paperMut("c", 2022, nil, "")); err != nil {
+			t.Fatalf("torn=%d: append after failure: %v", torn, err)
+		}
+		if err := w.Append(paperMut("d", 2023, nil, "")); err != nil {
+			t.Fatalf("torn=%d: second append after failure: %v", torn, err)
+		}
+		w.Close()
+		if got, want := replayIDs(t, path), []string{"a", "c", "d"}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("torn=%d: replayed %v, want %v (acknowledged records lost)", torn, got, want)
+		}
+	}
+}
+
+// TestWALSyncFailureDoesNotLoseLaterRecords covers the fsync leg: the
+// bytes reached the file but durability was never confirmed, so the
+// record must be discarded rather than left in front of later appends.
+func TestWALSyncFailureDoesNotLoseLaterRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, ff := flakyWAL(t, path)
+	if err := w.Append(paperMut("a", 2020, nil, "")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failSyncs = 1
+	if err := w.Append(paperMut("unsynced", 2021, nil, "")); !errors.Is(err, errInjected) {
+		t.Fatalf("injected sync error = %v", err)
+	}
+	if err := w.Append(paperMut("b", 2022, nil, "")); err != nil {
+		t.Fatalf("append after sync failure: %v", err)
+	}
+	w.Close()
+	if got, want := replayIDs(t, path), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}
+
+// TestWALStickyFailure: when even the wind-back repair fails, the WAL
+// must refuse all further appends instead of writing after garbage —
+// and everything acknowledged before the failure must still replay.
+func TestWALStickyFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, ff := flakyWAL(t, path)
+	if err := w.Append(paperMut("a", 2020, nil, "")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failWrites, ff.tornTo, ff.failTruncate = 1, 3, true
+	if err := w.Append(paperMut("torn", 2021, nil, "")); !errors.Is(err, errInjected) {
+		t.Fatalf("injected append error = %v", err)
+	}
+	// Repair was impossible; the WAL is sticky-failed now.
+	ff.failTruncate = false
+	err := w.Append(paperMut("b", 2022, nil, ""))
+	if err == nil {
+		t.Fatal("append accepted on a failed WAL")
+	}
+	if !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("sticky failure error = %v", err)
+	}
+	w.Close()
+	// Reopen recovers: the torn tail is truncated, acknowledged records
+	// survive, and the log accepts appends again.
+	got, w2 := collect(t, path)
+	if len(got) != 1 || got[0].Paper.ID != "a" {
+		t.Fatalf("replayed %+v, want just a", got)
+	}
+	if err := w2.Append(paperMut("b", 2022, nil, "")); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	w2.Close()
+	if got, want := replayIDs(t, path), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}

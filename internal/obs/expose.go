@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format version this
+// package emits.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expose renders every registered family in the Prometheus text
+// format, sorted by name: a # HELP and # TYPE line per family followed
+// by its samples.
+func (r *Registry) Expose(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sorted() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		f.s.samples(func(suffix, labels string, v float64) {
+			bw.WriteString(f.name)
+			bw.WriteString(suffix)
+			bw.WriteString(labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(v))
+			bw.WriteByte('\n')
+		})
+	}
+	return bw.Flush()
+}
+
+// Handler returns the /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		r.Expose(w) // errors here are client disconnects; nothing to do
+	})
+}
+
+// Handler returns the /metrics endpoint for the Default registry.
+func Handler() http.Handler { return Default.Handler() }
+
+// formatFloat renders a sample value: integral values without an
+// exponent (bucket counts read naturally), everything else in Go's
+// shortest round-trip form, and +Inf in the spelling the exposition
+// format requires.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// joinLabels renders "{extra,pair}" or "{pair}" when extra is empty.
+func joinLabels(extra, pair string) string {
+	if extra == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + extra + "," + pair + "}"
+}
+
+// wrapLabels renders "{extra}" or "" when extra is empty.
+func wrapLabels(extra string) string {
+	if extra == "" {
+		return ""
+	}
+	return "{" + extra + "}"
+}
+
+// addBits adds v to the float64 stored in bits, returning the new bits
+// (the CAS-loop body of histogram sum accumulation).
+func addBits(bits uint64, v float64) uint64 {
+	return math.Float64bits(math.Float64frombits(bits) + v)
+}
+
+// bitsToFloat is the inverse of math.Float64bits, named for symmetry at
+// the call sites.
+func bitsToFloat(bits uint64) float64 { return math.Float64frombits(bits) }

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// vec is the shared machinery of the labeled families: a fixed set of
+// label names and a lazily grown map of children keyed by the rendered
+// label set. Children are created once and then hit lock-free on their
+// own atomics; the vec lock only guards the child map.
+type vec[T any] struct {
+	labels []string
+	mu     sync.RWMutex
+	kids   map[string]T
+	mk     func() T
+}
+
+func newVec[T any](labels []string, mk func() T) *vec[T] {
+	return &vec[T]{labels: labels, kids: make(map[string]T), mk: mk}
+}
+
+// child returns the child for the label values, creating it on first
+// sight. The key is the rendered label pairs (`route="/v1/top"`), so it
+// doubles as the exposition fragment.
+func (v *vec[T]) child(values []string) T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: got %d label values for %d labels %v", len(values), len(v.labels), v.labels))
+	}
+	var b strings.Builder
+	for i, name := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	key := b.String()
+	v.mu.RLock()
+	kid, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return kid
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if kid, ok = v.kids[key]; ok {
+		return kid
+	}
+	kid = v.mk()
+	v.kids[key] = kid
+	return kid
+}
+
+// sortedKeys returns the child keys in deterministic order.
+func (v *vec[T]) sortedKeys() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a family of counters sharing one name, keyed by label
+// values (e.g. requests by route and status code).
+type CounterVec struct {
+	*vec[*Counter]
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{newVec(labels, func() *Counter { return &Counter{} })}
+	r.register(name, help, "counter", cv)
+	return cv
+}
+
+// With returns the counter for the given label values (one per label
+// name, in registration order), creating it on first use.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.child(values) }
+
+func (cv *CounterVec) samples(add func(string, string, float64)) {
+	v := cv.vec
+	for _, key := range v.sortedKeys() {
+		v.mu.RLock()
+		kid := v.kids[key]
+		v.mu.RUnlock()
+		add("", "{"+key+"}", float64(kid.Value()))
+	}
+}
+
+// HistogramVec is a family of histograms sharing one name and bucket
+// layout, keyed by label values (e.g. request latency by route).
+type HistogramVec struct {
+	*vec[*Histogram]
+	buckets []float64
+}
+
+// NewHistogramVec registers and returns a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	hv := &HistogramVec{buckets: append([]float64(nil), buckets...)}
+	hv.vec = newVec(labels, func() *Histogram { return newHistogram(hv.buckets) })
+	r.register(name, help, "histogram", hv)
+	return hv
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.child(values) }
+
+func (hv *HistogramVec) samples(add func(string, string, float64)) {
+	v := hv.vec
+	for _, key := range v.sortedKeys() {
+		v.mu.RLock()
+		kid := v.kids[key]
+		v.mu.RUnlock()
+		kid.sampleAs(key, add)
+	}
+}

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"strings"
+
+	"attrank/internal/obs"
+)
+
+// The service metric catalogue (see DESIGN.md §9): per-route request
+// counts by status code and per-route latency histograms. Routes are
+// normalized through routeLabel so path parameters (/v1/paper/{id})
+// cannot explode the label cardinality.
+var (
+	mRequestsTotal = obs.NewCounterVec("attrank_http_requests_total",
+		"HTTP requests served, by normalized route and status code.",
+		"route", "code")
+	mRequestSeconds = obs.NewHistogramVec("attrank_http_request_seconds",
+		"HTTP request latency by normalized route.",
+		obs.LatencyBuckets, "route")
+	mInFlight = obs.NewGauge("attrank_http_in_flight_requests",
+		"Requests currently being served.")
+)
+
+// routeLabel maps a request path to its route label: parameterized
+// routes collapse to one label, unknown paths collapse to "other" so
+// scanners cannot mint unbounded label values.
+func routeLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/paper/"):
+		return "/v1/paper/{id}"
+	case strings.HasPrefix(path, "/v1/related/"):
+		return "/v1/related/{id}"
+	}
+	switch path {
+	case "/v1/stats", "/v1/top", "/v1/compare", "/v1/refresh", "/v1/authors",
+		"/v1/papers", "/v1/citations", "/v1/batch", "/v1/epoch",
+		"/healthz", "/readyz", "/metrics":
+		return path
+	}
+	return "other"
+}

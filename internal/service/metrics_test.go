@@ -1,0 +1,171 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"attrank/internal/ingest"
+)
+
+// expositionLine matches one sample line of the Prometheus text format
+// 0.0.4 — the contract /metrics promises scrapers.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+// scrapeMetrics GETs /metrics and fails the test on anything that is
+// not valid exposition format.
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	return body
+}
+
+// TestMetricsEndpoint asserts the /metrics scrape parses as Prometheus
+// text format and covers all three instrumented layers: core
+// (convergence), ingest (WAL + epochs, exercised via the live server)
+// and service (per-route histograms).
+func TestMetricsEndpoint(t *testing.T) {
+	s, ing := liveServer(t, liveSeed(t), ingest.Config{})
+	h := s.Handler()
+
+	// Drive every layer: a durable write (WAL append), a re-rank
+	// (power-method iterations), and a few reads (route metrics).
+	if _, err := ing.AddPaper(ingest.PaperMut{ID: "m1", Year: 1999}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/stats", "/v1/top", "/v1/paper/hot"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rec.Code)
+		}
+	}
+
+	body := scrapeMetrics(t, h)
+	for _, want := range []string{
+		// core: convergence and compilation telemetry
+		"attrank_core_rank_iterations_bucket",
+		"attrank_core_rank_final_residual",
+		"attrank_core_kernel_compiles_total",
+		"attrank_core_rank_seconds_bucket",
+		"attrank_ingest_wal_append_seconds_bucket",
+		"attrank_ingest_wal_fsync_seconds_bucket",
+		"attrank_ingest_wal_size_bytes",
+		"attrank_ingest_epoch",
+		"attrank_ingest_rerank_debounce_seconds",
+		`attrank_http_requests_total{route="/v1/stats",code="200"}`,
+		`attrank_http_request_seconds_bucket{route="/v1/top",le=`,
+		`route="/v1/paper/{id}"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRouteMetricsConcurrent hammers several routes from many
+// goroutines (the -race gate for the metrics hot path) and asserts no
+// increment is lost.
+func TestRouteMetricsConcurrent(t *testing.T) {
+	h := testServer(t).Handler()
+	const workers, each = 8, 25
+	before := mRequestsTotal.With("/v1/top", "200").Value()
+	beforeHist := mRequestSeconds.With("/v1/top").Count()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top?n=3", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d := mRequestsTotal.With("/v1/top", "200").Value() - before; d != workers*each {
+		t.Errorf("request counter moved by %d, want %d", d, workers*each)
+	}
+	if d := mRequestSeconds.With("/v1/top").Count() - beforeHist; d != workers*each {
+		t.Errorf("latency histogram moved by %d, want %d", d, workers*each)
+	}
+}
+
+// TestMetricsExcludedFromRequestLog: scraping /metrics every few
+// seconds must not flood the request log; every other route still logs.
+func TestMetricsExcludedFromRequestLog(t *testing.T) {
+	s := testServer(t)
+	var mu sync.Mutex
+	var lines []string
+	s.SetLogf(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	mu.Lock()
+	defer mu.Unlock()
+	for _, l := range lines {
+		if strings.Contains(l, "/metrics") {
+			t.Errorf("request log contains /metrics scrape: %q", l)
+		}
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "/v1/stats") {
+		t.Errorf("request log = %q, want exactly the /v1/stats line", lines)
+	}
+}
+
+// TestRouteLabelCardinality: arbitrary paths must not mint new label
+// values.
+func TestRouteLabelCardinality(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/paper/some-long-id":   "/v1/paper/{id}",
+		"/v1/related/another":      "/v1/related/{id}",
+		"/v1/top":                  "/v1/top",
+		"/metrics":                 "/metrics",
+		"/../../etc/passwd":        "other",
+		"/v1/unknown":              "other",
+		"/v2/anything/at/all":      "other",
+		"/favicon.ico":             "other",
+		"/v1/papersXX/not-a-route": "other",
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	GET /v1/authors?n=20     top authors by aggregated impact
 //	GET /v1/related/{id}     related papers (co-citation + coupling)
 //	GET /v1/epoch            ranking epoch, WAL size, pending mutations, last re-rank cost
+//	GET /metrics             Prometheus text-format metrics (internal/obs registry)
 //	GET /healthz             process liveness (always 200)
 //	GET /readyz              200 once an initial ranking is published
 //	POST /v1/refresh         re-rank (warm-started) and report iterations
@@ -42,6 +43,7 @@ import (
 	"attrank/internal/graph"
 	"attrank/internal/ingest"
 	"attrank/internal/metrics"
+	"attrank/internal/obs"
 )
 
 // Server serves a ranked view of a citation corpus. It is safe for
@@ -157,7 +159,16 @@ func (s *Server) refreshStatic() error {
 // cancelled, then shuts down gracefully (draining in-flight requests for
 // up to 5 seconds). It returns nil on a clean shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	return Serve(ctx, addr, s.Handler())
+}
+
+// Serve runs handler on addr until the context is cancelled, then shuts
+// down gracefully (draining in-flight requests for up to 5 seconds). It
+// exists separately from Server.ListenAndServe so attrank-serve can
+// mount extras — the pprof handlers behind its -pprof flag — around the
+// service handler while keeping the same lifecycle.
+func Serve(ctx context.Context, addr string, handler http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -171,7 +182,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 }
 
 // Handler returns the HTTP handler for the service, wrapped in the
-// request-logging middleware.
+// telemetry middleware (per-route metrics + request logging).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -185,9 +196,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/citations", s.handleAddCitation)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.Handle("/metrics", obs.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return s.withRequestLog(mux)
+	return s.withTelemetry(mux)
 }
 
 // requireView fetches the current epoch view, answering 503 when no

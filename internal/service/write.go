@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"attrank/internal/ingest"
@@ -43,14 +44,23 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
-// withRequestLog is the request-logging middleware: one line per request
-// with method, path, status and latency.
-func (s *Server) withRequestLog(next http.Handler) http.Handler {
+// withTelemetry is the request middleware: every request lands in the
+// per-route count and latency metrics, and every request except the
+// Prometheus scrape itself gets a request-log line (a 15-second scrape
+// interval would otherwise bury real traffic in /metrics noise).
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
+		mInFlight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		s.logf("service: %s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(started).Round(time.Microsecond))
+		mInFlight.Add(-1)
+		route := routeLabel(r.URL.Path)
+		mRequestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
+		mRequestSeconds.With(route).ObserveSince(started)
+		if r.URL.Path != "/metrics" {
+			s.logf("service: %s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(started).Round(time.Microsecond))
+		}
 	})
 }
 

@@ -3,7 +3,18 @@ package sparse
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// liveWorkers counts running pool worker goroutines process-wide. It is
+// the hook behind the goroutine-leak regression tests: closing a pool —
+// deterministically or through the finalizer — must bring this count
+// back down.
+var liveWorkers atomic.Int64
+
+// LiveWorkers reports how many pool worker goroutines are currently
+// running in this process. Diagnostic hook for tests.
+func LiveWorkers() int64 { return liveWorkers.Load() }
 
 // Pool is a persistent set of worker goroutines that execute the row-range
 // tasks of the fused power-method kernel. A compiled ranking operator
@@ -44,6 +55,8 @@ func NewPool(size int) *Pool {
 }
 
 func poolWorker(tasks <-chan poolTask, stop <-chan struct{}) {
+	liveWorkers.Add(1)
+	defer liveWorkers.Add(-1)
 	for {
 		select {
 		case t := <-tasks:

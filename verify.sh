@@ -2,14 +2,24 @@
 # verify.sh — the full gate: build everything, vet everything, run all
 # tests under the race detector. Run from the repository root.
 #
-#   ./verify.sh         full gate (build + vet + race over every package)
-#   ./verify.sh quick   kernel gate: build + vet, then a short-mode race
-#                       pass over the ranking hot path only (sparse pool/
-#                       fused kernel, core operator/parallel tests) —
-#                       seconds instead of minutes, for kernel iteration
+#   ./verify.sh         full gate (gofmt + build + vet + race over every
+#                       package)
+#   ./verify.sh quick   kernel + durability gate: gofmt + build + vet,
+#                       then a short-mode race pass over the ranking hot
+#                       path (sparse pool/fused kernel, core operator/
+#                       parallel tests) and the ingest WAL tests —
+#                       seconds instead of minutes, for tight iteration
 #
 # Benchmarks are separate: see bench.sh, which regenerates BENCH_core.json.
 set -eu
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "verify.sh: gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -21,6 +31,8 @@ if [ "${1:-}" = "quick" ]; then
 	echo "==> go test -race -short (kernel packages)"
 	go test -race -short -run 'Parallel|Fused|Operator|Pool|Partition' \
 		./internal/sparse/ ./internal/core/
+	echo "==> go test -race -run WAL (ingest durability)"
+	go test -race -run 'WAL' ./internal/ingest/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
