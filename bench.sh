@@ -1,14 +1,19 @@
 #!/bin/sh
-# bench.sh — regenerate the ranking-kernel benchmark numbers. Run from
-# the repository root.
+# bench.sh — regenerate the committed benchmark numbers. Run from the
+# repository root.
 #
-# Writes BENCH_core.json (the committed snapshot of the compiled-operator
-# harness on a 100k-paper synthetic power-law network) and then runs the
-# go-test microbenchmarks for the per-iteration kernels.
+# Writes BENCH_core.json (the compiled-operator harness on a 100k-paper
+# synthetic power-law network), BENCH_service.json (the serving path
+# under closed-loop overload: sustained RPS, accepted-latency quantiles
+# and shed rates at 1x/2x/4x saturation, graceful-shutdown drain), and
+# then runs the go-test microbenchmarks for the per-iteration kernels.
 set -eu
 
 echo "==> attrank-bench (100k-paper synthetic network -> BENCH_core.json)"
 go run ./cmd/attrank-bench -out BENCH_core.json "$@"
+
+echo "==> attrank-bench -serve (overload harness -> BENCH_service.json)"
+go run ./cmd/attrank-bench -serve -serve-out BENCH_service.json
 
 echo "==> go test -bench (sparse + core kernels)"
 go test -run XXX -bench 'Iteration|Rank100k' -benchtime 10x \

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	attrank-bench [-papers 100000] [-profile dblp] [-out BENCH_core.json] [-reps 20]
+//	attrank-bench -serve [-serve-papers 20000] [-serve-dur 3s] [-serve-out BENCH_service.json]
+//
+// With -serve it instead benchmarks the HTTP serving path: it starts an
+// in-process live server (internal/service + internal/ingest) over a
+// seeded synthetic corpus and drives the closed-loop load harness
+// (internal/load) against it at 1×/2×/4× of the admission limit,
+// reporting sustained RPS, accepted-request latency quantiles and shed
+// rates, then verifies graceful shutdown drains every in-flight request
+// (BENCH_service.json).
 //
 // It times, per power-method iteration: the serial CSC reference kernel
 // (three sweeps), the legacy parallel path (goroutine-spawning SpMV plus
@@ -70,9 +79,20 @@ func main() {
 		profile = flag.String("profile", "dblp", "synthetic profile: hep-th, aps, pmc, dblp")
 		out     = flag.String("out", "BENCH_core.json", "output JSON path")
 		reps    = flag.Int("reps", 20, "timing repetitions per kernel (best-of)")
+
+		serve       = flag.Bool("serve", false, "benchmark the HTTP serving path under closed-loop load instead of the ranking kernels")
+		serveOut    = flag.String("serve-out", "BENCH_service.json", "output JSON path for -serve")
+		serveDur    = flag.Duration("serve-dur", 3*time.Second, "duration of each -serve load level")
+		servePapers = flag.Int("serve-papers", 20000, "corpus size for -serve")
 	)
 	flag.Parse()
-	if err := run(*papers, *profile, *out, *reps); err != nil {
+	var err error
+	if *serve {
+		err = runServe(*servePapers, *serveOut, *serveDur)
+	} else {
+		err = run(*papers, *profile, *out, *reps)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "attrank-bench:", err)
 		os.Exit(1)
 	}

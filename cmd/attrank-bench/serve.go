@@ -1,0 +1,307 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"attrank/internal/core"
+	"attrank/internal/graph"
+	"attrank/internal/ingest"
+	"attrank/internal/load"
+	"attrank/internal/service"
+	"attrank/internal/synth"
+)
+
+// serveReport is the schema of BENCH_service.json: the serving path
+// under closed-loop load at 1×/2×/4× saturation (one saturation unit =
+// workers equal to the full admitted capacity, executing + queued),
+// plus a graceful-shutdown drain check.
+type serveReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Papers      int    `json:"papers"`
+	Edges       int    `json:"edges"`
+
+	MaxInFlight int   `json:"max_inflight"`
+	MaxQueue    int   `json:"max_queue"`
+	DeadlineMS  int64 `json:"deadline_ms"`
+
+	Levels []levelReport `json:"levels"`
+	// DegradationP99 is accepted-p99(4×) / accepted-p99(1×) — the
+	// overload layer's promise is that this stays ≤ 2 because excess
+	// load is shed instead of queued without bound.
+	DegradationP99 float64        `json:"degradation_p99"`
+	Shutdown       shutdownReport `json:"shutdown"`
+}
+
+// levelReport is one sustained load level.
+type levelReport struct {
+	Multiplier int   `json:"multiplier"` // workers = multiplier × max_inflight
+	Workers    int   `json:"workers"`
+	DurationMS int64 `json:"duration_ms"`
+
+	Total     int64 `json:"total"`
+	OK        int64 `json:"ok"`
+	Shed      int64 `json:"shed"`
+	ClientErr int64 `json:"client_err"`
+	ServerErr int64 `json:"server_err"`
+	Transport int64 `json:"transport_err"`
+
+	ByStatus map[int]int64 `json:"by_status"`
+
+	AcceptedRPS float64 `json:"accepted_rps"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	ShedRate    float64 `json:"shed_rate"`
+
+	// Accepted-request latency (2xx only), microseconds.
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+	MeanUS int64 `json:"mean_us"`
+	// Shed-response latency p99 — rejections must stay cheap.
+	RejectP99US int64 `json:"reject_p99_us"`
+}
+
+// shutdownReport is the graceful-drain phase: load keeps running while
+// the server shuts down; requests in flight at the shutdown instant
+// must complete, not drop.
+type shutdownReport struct {
+	Workers int   `json:"workers"`
+	DrainMS int64 `json:"drain_ms"`
+	// Dropped counts requests that were in flight well before shutdown
+	// began (≥10ms) yet failed at the transport level. Must be zero.
+	Dropped int64 `json:"dropped_in_flight"`
+	// Spanning counts 2xx responses whose request straddled the
+	// shutdown instant — proof the drain actually completed work.
+	Spanning int64 `json:"completed_spanning_shutdown"`
+	// LateErrors counts transport failures from requests issued at or
+	// after shutdown; those are expected (the listener is closed).
+	LateErrors int64 `json:"late_errors"`
+}
+
+// runServe builds a live in-process server over a seeded synthetic
+// corpus and drives the closed-loop load harness against it.
+func runServe(papers int, out string, levelDur time.Duration) error {
+	prof, err := synth.ProfileByName("dblp")
+	if err != nil {
+		return err
+	}
+	prof = prof.Scale(float64(papers) / float64(prof.Papers))
+	fmt.Printf("generating %s network with %d papers…\n", prof.Name, prof.Papers)
+	corpus, err := synth.GenerateSeeded(prof, 1)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "attrank-bench-serve-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ing, err := ingest.Open(corpus, ingest.Config{
+		Dir:           dir,
+		Params:        core.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.16, Workers: 1},
+		RerankAfter:   2048,
+		RerankEvery:   time.Second,
+		SnapshotEvery: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer ing.Close()
+
+	// Load generator and server share this process. At GOMAXPROCS=1 that
+	// serializes them: a computing handler starves the connection
+	// goroutines of the CPU slice they need to even reach the admission
+	// gate, so no queue ever forms and admission control measures
+	// nothing. A few scheduler threads restore concurrent arrivals (on a
+	// multi-core host this is already the case).
+	if runtime.GOMAXPROCS(0) < 8 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	}
+
+	srv := service.NewLive(ing)
+	srv.SetLogf(nil) // the per-request log would dominate a load test
+	// Admission sized to the physical cores, not the (possibly inflated)
+	// GOMAXPROCS: in-flight requests beyond the hardware's parallelism
+	// wait in the run queue, where admission cannot bound their latency.
+	// Half-depth queue: waiting costs ~half a mean service time, which
+	// keeps the accepted tail flat under overload (DESIGN.md §10).
+	maxInFlight := 4 * runtime.NumCPU()
+	adm := service.AdmissionConfig{MaxInFlight: maxInFlight, MaxQueue: maxInFlight / 2, Deadline: 2 * time.Second}
+	srv.ConfigureAdmission(adm)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- service.ServeListener(srvCtx, ln, srv.Handler(), service.ServeOptions{})
+	}()
+	base := "http://" + ln.Addr().String()
+	ids := sampleIDs(corpus, 256)
+
+	r := serveReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Papers:      corpus.N(),
+		Edges:       corpus.Edges(),
+		MaxInFlight: maxInFlight,
+		MaxQueue:    maxInFlight / 2,
+		DeadlineMS:  (2 * time.Second).Milliseconds(),
+	}
+
+	// Warm-up: prime the operator cache, the connection pool paths and
+	// the first re-rank before anything is measured.
+	fmt.Printf("warming up…\n")
+	if _, err := load.Run(context.Background(), load.Config{
+		BaseURL: base, Workers: maxInFlight, Duration: levelDur / 2,
+		Seed: 7, WriteRatio: 0.1, BatchSize: 8, PaperIDs: ids, IDPrefix: "warm",
+	}); err != nil {
+		return err
+	}
+
+	// Saturation unit: the full admitted capacity (executing + queued).
+	// 1× fills the system exactly (near-zero shed, honest baseline tail);
+	// 2× and 4× push past it, so the delta is pure overload response.
+	capacity := maxInFlight + maxInFlight/2
+	for _, mult := range []int{1, 2, 4} {
+		workers := mult * capacity
+		fmt.Printf("level %d× saturation: %d workers for %s…\n", mult, workers, levelDur)
+		res, err := load.Run(context.Background(), load.Config{
+			BaseURL: base, Workers: workers, Duration: levelDur,
+			Seed: int64(100 + mult), WriteRatio: 0.1, BatchSize: 8,
+			PaperIDs: ids, IDPrefix: fmt.Sprintf("l%d", mult),
+			ShedBackoff: 10 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		lv := levelReport{
+			Multiplier: mult,
+			Workers:    workers,
+			DurationMS: res.Elapsed.Milliseconds(),
+			Total:      res.Total,
+			OK:         res.OK,
+			Shed:       res.Shed,
+			ClientErr:  res.ClientErr,
+			ServerErr:  res.ServerErr,
+			Transport:  res.Transport,
+			ByStatus:   res.ByStatus,
+
+			AcceptedRPS: float64(res.OK) / res.Elapsed.Seconds(),
+			OfferedRPS:  float64(res.Total) / res.Elapsed.Seconds(),
+			ShedRate:    float64(res.Shed) / float64(res.Total),
+
+			P50US:       res.Accepted.Quantile(0.50).Microseconds(),
+			P95US:       res.Accepted.Quantile(0.95).Microseconds(),
+			P99US:       res.Accepted.Quantile(0.99).Microseconds(),
+			MaxUS:       res.Accepted.Max().Microseconds(),
+			MeanUS:      res.Accepted.Mean().Microseconds(),
+			RejectP99US: res.Rejected.Quantile(0.99).Microseconds(),
+		}
+		r.Levels = append(r.Levels, lv)
+		fmt.Printf("  accepted %.0f rps (offered %.0f), shed %.1f%%, p50=%dµs p95=%dµs p99=%dµs\n",
+			lv.AcceptedRPS, lv.OfferedRPS, 100*lv.ShedRate, lv.P50US, lv.P95US, lv.P99US)
+	}
+	if p1 := r.Levels[0].P99US; p1 > 0 {
+		r.DegradationP99 = float64(r.Levels[len(r.Levels)-1].P99US) / float64(p1)
+	}
+
+	// Graceful-shutdown phase: keep the loop closed while the server
+	// drains. A request counts as dropped only if it was in flight
+	// comfortably before the shutdown instant (10ms guard against the
+	// inherent race of a request hitting the listener as it closes) and
+	// still failed at the transport level.
+	fmt.Printf("graceful shutdown under load…\n")
+	var shutdownAt, dropped, spanning, lateErrs atomic.Int64
+	shutCtx, shutCancel := context.WithCancel(context.Background())
+	defer shutCancel()
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		load.Run(shutCtx, load.Config{
+			BaseURL: base, Workers: maxInFlight, Seed: 99,
+			WriteRatio: 0.1, BatchSize: 8, PaperIDs: ids, IDPrefix: "shut",
+			OnSample: func(s load.Sample) {
+				at := shutdownAt.Load()
+				if at == 0 {
+					return
+				}
+				if s.Err != nil {
+					if s.Start.UnixNano() < at-(10*time.Millisecond).Nanoseconds() {
+						dropped.Add(1)
+					} else {
+						lateErrs.Add(1)
+					}
+					return
+				}
+				if s.Status < 300 && s.Start.UnixNano() < at && s.Start.Add(s.Latency).UnixNano() > at {
+					spanning.Add(1)
+				}
+			},
+		})
+	}()
+	time.Sleep(levelDur / 4) // ensure requests are genuinely in flight
+	shutdownAt.Store(time.Now().UnixNano())
+	drainStart := time.Now()
+	srvCancel()
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("server exited with error: %w", err)
+	}
+	drain := time.Since(drainStart)
+	shutCancel()
+	<-loadDone
+	r.Shutdown = shutdownReport{
+		Workers:    maxInFlight,
+		DrainMS:    drain.Milliseconds(),
+		Dropped:    dropped.Load(),
+		Spanning:   spanning.Load(),
+		LateErrors: lateErrs.Load(),
+	}
+	fmt.Printf("  drained in %s: %d in-flight dropped, %d completed spanning shutdown\n",
+		drain, r.Shutdown.Dropped, r.Shutdown.Spanning)
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("p99 degradation at 4×: %.2fx\n", r.DegradationP99)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// sampleIDs picks up to k evenly spaced paper IDs from the corpus for
+// the read mix and as citation targets.
+func sampleIDs(n *graph.Network, k int) []string {
+	total := n.N()
+	if total == 0 {
+		return nil
+	}
+	if k > total {
+		k = total
+	}
+	ids := make([]string, 0, k)
+	step := total / k
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < total && len(ids) < k; i += step {
+		ids = append(ids, n.Paper(int32(i)).ID)
+	}
+	return ids
+}

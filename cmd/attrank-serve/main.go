@@ -5,6 +5,17 @@
 //
 //	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0] [-pprof]
 //	attrank-serve -wal state/ [-in seed.tsv] [-rerank-after 256] [-rerank-every 2s] [-snapshot-every 4096]
+//	attrank-serve ... [-deadline 2s] [-max-inflight 0] [-queue 0] [-max-pending 4096]
+//
+// Every server runs behind the overload-protection layer (see
+// internal/service and DESIGN.md §10): at most -max-inflight requests
+// execute concurrently (0 = 4 per core), up to -queue more wait in a
+// FIFO queue (0 = same as -max-inflight), excess load is shed with
+// 503 + Retry-After, writes are shed with 429 while more than
+// -max-pending mutations await compaction (negative disables), and every
+// admitted request carries a -deadline context deadline. /healthz,
+// /readyz and /metrics bypass admission so probes keep answering under
+// overload.
 //
 // Every server exposes Prometheus metrics at GET /metrics; -pprof
 // additionally mounts the net/http/pprof profiling handlers under
@@ -67,6 +78,11 @@ func main() {
 
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 
+		deadline    = flag.Duration("deadline", 2*time.Second, "per-request deadline propagated to handlers")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = 4 per core)")
+		queue       = flag.Int("queue", 0, "admission FIFO queue length before shedding (0 = same as -max-inflight)")
+		maxPending  = flag.Int("max-pending", service.DefaultMaxPending, "shed writes while this many mutations await compaction (negative disables)")
+
 		wal           = flag.String("wal", "", "live mode: durable state directory (WAL + snapshots)")
 		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
 		rerankEvery   = flag.Duration("rerank-every", ingest.DefaultRerankEvery, "live mode: re-rank at most this long after a mutation")
@@ -80,10 +96,10 @@ func main() {
 	}
 	var (
 		srv *service.Server
+		ing *ingest.Ingester
 		err error
 	)
 	if *wal != "" {
-		var ing *ingest.Ingester
 		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery)
 		if err == nil {
 			defer func() {
@@ -100,6 +116,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attrank-serve:", err)
 		os.Exit(1)
 	}
+	adm := service.AdmissionConfig{
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *queue,
+		Deadline:    *deadline,
+		MaxPending:  *maxPending,
+	}
+	srv.ConfigureAdmission(adm)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	handler := http.Handler(srv.Handler())
@@ -107,9 +130,22 @@ func main() {
 		handler = withPprof(handler)
 		log.Printf("attrank-serve: pprof enabled at /debug/pprof/")
 	}
+	// The write timeout must outlast the worst admitted request: queue
+	// wait plus deadline, with slack for the response itself.
+	opts := service.ServeOptions{WriteTimeout: 2**deadline + 30*time.Second}
 	log.Printf("attrank-serve: listening on %s", *addr)
-	if err := service.Serve(ctx, *addr, handler); err != nil {
+	if err := service.ServeWith(ctx, *addr, handler, opts); err != nil {
 		log.Fatal(err)
+	}
+	// Graceful shutdown order: the drain above already completed every
+	// in-flight request; now make the corpus durable in one piece so the
+	// next start recovers from a snapshot instead of a long WAL replay.
+	if ing != nil {
+		if err := ing.Flush(); err != nil {
+			log.Printf("attrank-serve: final flush: %v", err)
+		} else if err := ing.Snapshot(); err != nil {
+			log.Printf("attrank-serve: final snapshot: %v", err)
+		}
 	}
 	log.Println("attrank-serve: shut down cleanly")
 }

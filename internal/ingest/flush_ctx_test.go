@@ -1,0 +1,39 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFlushContextCancelled: a cancelled context must unhook the caller
+// from the flush — this is the path the HTTP flush endpoint relies on
+// when its per-request deadline fires mid-re-rank.
+func TestFlushContextCancelled(t *testing.T) {
+	ing := mustOpen(t, seedNet(t), testConfig(t.TempDir()))
+	if _, err := ing.AddPaper(PaperMut{ID: "p", Year: 1995}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := ing.FlushContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FlushContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled FlushContext blocked for %v", d)
+	}
+
+	// The abandoned flush may still complete in the background; an
+	// unbounded call afterwards must succeed and leave a live ranking.
+	if err := ing.FlushContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r := ing.Ranking(); r == nil {
+		t.Fatal("no ranking after flush")
+	} else if _, ok := r.Net.Lookup("p"); !ok {
+		t.Fatal("flushed paper missing from ranking")
+	}
+}

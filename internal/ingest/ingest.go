@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -425,15 +426,40 @@ func (ing *Ingester) applyToDelta(m Mutation) {
 	}
 }
 
+// Pending returns the number of mutations accepted but not yet
+// compacted into a published ranking — the signal the service layer's
+// write backpressure keys off.
+func (ing *Ingester) Pending() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return len(ing.delta)
+}
+
 // Flush forces a synchronous compaction + re-rank and returns once the
 // new epoch is published (the /v1/refresh path, and handy in tests).
 func (ing *Ingester) Flush() error {
+	return ing.FlushContext(context.Background())
+}
+
+// FlushContext is Flush bounded by a context: when the context expires
+// the wait is abandoned and ctx.Err() returned, but the re-rank itself —
+// once enqueued — still runs to completion and publishes its epoch in
+// the background. This is how a per-request deadline covers /v1/refresh
+// without ever cancelling a re-rank other requests may be waiting on.
+func (ing *Ingester) FlushContext(ctx context.Context) error {
 	done := make(chan error, 1)
 	select {
 	case ing.flushCh <- done:
-		return <-done
 	case <-ing.stopCh:
 		return fmt.Errorf("ingest: closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

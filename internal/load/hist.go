@@ -1,0 +1,125 @@
+// Package load is the closed-loop load-generation harness for the
+// ranking service: a deterministic, seeded, multi-worker workload of
+// mixed reads (/v1/top, /v1/paper/{id}) and write batches, with
+// HDR-style latency capture. attrank-bench -serve drives it against an
+// in-process server at 1×/2×/4× saturation to measure sustained
+// throughput, tail latency of accepted requests, and shed behaviour
+// under overload (BENCH_service.json).
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist layout: durations in nanoseconds are bucketed HDR-style — each
+// power-of-two octave splits into histSub linear sub-buckets, giving a
+// constant ~3% relative resolution across the whole range (1ns…~9s per
+// int64 octaves used here) with a fixed, allocation-free table.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histOctaves = 33               // values < histSub ns, plus octaves up to ~2^37 ns ≈ 137s
+	histBuckets = histSub * histOctaves
+)
+
+// Hist is a fixed-resolution HDR-style latency histogram. Recording is
+// a few atomic adds, so workers share one Hist without locking.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// bucketIndex maps a nanosecond value to its bucket. Values below
+// histSub are exact; above, the top histSubBits bits after the leading
+// one select the linear sub-bucket within the octave.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	if ns < histSub {
+		return int(ns)
+	}
+	octave := bits.Len64(uint64(ns)) - 1 // ≥ histSubBits
+	sub := int((ns >> (uint(octave) - histSubBits)) & (histSub - 1))
+	idx := (octave-histSubBits+1)<<histSubBits | sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns a representative (midpoint) value for a bucket.
+func bucketValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	octave := idx>>histSubBits + histSubBits - 1
+	sub := int64(idx & (histSub - 1))
+	lo := int64(1)<<uint(octave) + sub<<(uint(octave)-histSubBits)
+	width := int64(1) << (uint(octave) - histSubBits)
+	return lo + width/2
+}
+
+// Record adds one sample.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded sample (bucket-exact).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the representative
+// value of the bucket containing it, accurate to the bucket resolution
+// (~3%). Quantile(1) returns the exact maximum.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return h.Max()
+}

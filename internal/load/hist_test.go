@@ -1,0 +1,103 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(0); ns < 1<<20; ns += 1 + ns/64 {
+		idx := bucketIndex(ns)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone: ns=%d idx=%d prev=%d", ns, idx, prev)
+		}
+		prev = idx
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value bucket = %d, want 0", got)
+	}
+	if got := bucketIndex(1 << 62); got != histBuckets-1 {
+		t.Fatalf("huge value bucket = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestBucketValueRoundTrip(t *testing.T) {
+	// The representative value of every bucket must map back to that
+	// bucket — otherwise quantiles drift between octaves.
+	for idx := 0; idx < histBuckets-1; idx++ {
+		v := bucketValue(idx)
+		if back := bucketIndex(v); back != idx {
+			t.Fatalf("bucketValue(%d)=%d maps back to bucket %d", idx, v, back)
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHist()
+	samples := make([]int64, 20000)
+	for i := range samples {
+		// Log-uniform over ~1µs…100ms, the range real latencies live in.
+		ns := int64(1000 * float64(uint64(1)<<uint(rng.Intn(17))) * (1 + rng.Float64()))
+		samples[i] = ns
+		h.Record(time.Duration(ns))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != int64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(samples))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q).Nanoseconds()
+		// Bucket resolution is 1/histSub per octave ≈ 3.1%; allow 5%.
+		if diff := float64(got-exact) / float64(exact); diff > 0.05 || diff < -0.05 {
+			t.Errorf("Quantile(%.2f) = %d, exact %d (%.1f%% off)", q, got, exact, 100*diff)
+		}
+	}
+	if got, want := h.Quantile(1), time.Duration(samples[len(samples)-1]); got != want {
+		t.Errorf("Quantile(1) = %v, want exact max %v", got, want)
+	}
+	if h.Max() != h.Quantile(1) {
+		t.Errorf("Max() = %v != Quantile(1) = %v", h.Max(), h.Quantile(1))
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty hist not all-zero: count=%d mean=%v max=%v q99=%v",
+			h.Count(), h.Mean(), h.Max(), h.Quantile(0.99))
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	h := NewHist()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	// Sum of bucket counts must match the sample count.
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}

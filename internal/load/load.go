@@ -1,0 +1,321 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Kind classifies one generated operation.
+type Kind int
+
+const (
+	KindTop   Kind = iota // GET /v1/top
+	KindPaper             // GET /v1/paper/{id}
+	KindWrite             // POST /v1/batch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTop:
+		return "top"
+	case KindPaper:
+		return "paper"
+	case KindWrite:
+		return "write"
+	}
+	return "unknown"
+}
+
+// Config describes a closed-loop workload: Workers goroutines each issue
+// their next request the moment the previous response arrives, for
+// Duration (or until the context is cancelled). The operation stream is
+// fully deterministic given (Seed, worker index): latencies and statuses
+// vary run to run, the requests themselves do not.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the closed-loop concurrency. Default 1.
+	Workers int
+	// Duration bounds the run; 0 means until ctx is cancelled.
+	Duration time.Duration
+	// Seed makes the workload reproducible.
+	Seed int64
+	// WriteRatio is the probability of a write-batch op (0…1).
+	WriteRatio float64
+	// BatchSize is the number of new papers per write batch. Default 8.
+	BatchSize int
+	// PaperIDs are known corpus IDs used for GET /v1/paper and as
+	// citation targets in write batches. With none, every read is a
+	// /v1/top and batches carry only intra-batch citations.
+	PaperIDs []string
+	// IDPrefix namespaces the IDs minted by write batches, so separate
+	// load phases against one server do not collide into duplicates.
+	IDPrefix string
+	// ShedBackoff pauses a worker after a shed (429/503) response,
+	// modeling a client that honors Retry-After (at harness rather than
+	// wall-clock scale). Zero hammers back immediately — the adversarial
+	// client the server must also survive.
+	ShedBackoff time.Duration
+	// Client overrides the HTTP client (nil builds a keep-alive client
+	// sized for Workers).
+	Client *http.Client
+	// OnSample, when set, receives every completed operation. It is
+	// called from worker goroutines and must be safe for concurrent use.
+	OnSample func(Sample)
+}
+
+// Sample is one completed operation.
+type Sample struct {
+	Kind    Kind
+	Worker  int
+	Start   time.Time
+	Latency time.Duration
+	Status  int   // 0 when the request failed below HTTP
+	Err     error // transport error, nil otherwise
+}
+
+// Result aggregates a run. Statuses: OK counts 2xx, Shed counts 429 and
+// 503 (the admission controller's rejections), ClientErr the remaining
+// 4xx, ServerErr the remaining 5xx, Transport failures below HTTP.
+type Result struct {
+	Elapsed   time.Duration
+	Total     int64
+	OK        int64
+	Shed      int64
+	ClientErr int64
+	ServerErr int64
+	Transport int64
+	ByStatus  map[int]int64
+	// Accepted holds the latency distribution of 2xx responses only:
+	// under overload the interesting tail is the latency of requests the
+	// server chose to serve, not of the cheap rejections.
+	Accepted *Hist
+	// Rejected holds the latency distribution of shed (429/503)
+	// responses — shedding is only "cheap" if this stays tiny.
+	Rejected *Hist
+}
+
+// op is one generated request, pre-rendered so issuing it is cheap.
+type op struct {
+	kind Kind
+	path string // includes query
+	body string // POST body for KindWrite, "" otherwise
+}
+
+// opGen deterministically generates one worker's operation stream.
+type opGen struct {
+	cfg    Config
+	rng    *rand.Rand
+	worker int
+	seq    int
+}
+
+func newOpGen(cfg Config, worker int) *opGen {
+	// Distinct, worker-dependent seeds: the golden-ratio odd constant
+	// decorrelates neighbouring worker streams.
+	return &opGen{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(worker+1)*0x9E3779B97F4A7C15))),
+		worker: worker,
+	}
+}
+
+func (g *opGen) next() op {
+	g.seq++
+	if g.cfg.WriteRatio > 0 && g.rng.Float64() < g.cfg.WriteRatio {
+		return g.writeOp()
+	}
+	// Read mix: mostly ranking pages, some paper lookups.
+	if len(g.cfg.PaperIDs) > 0 && g.rng.Intn(10) < 3 {
+		return op{kind: KindPaper, path: "/v1/paper/" + g.cfg.PaperIDs[g.rng.Intn(len(g.cfg.PaperIDs))]}
+	}
+	n := 5 + g.rng.Intn(45)
+	path := fmt.Sprintf("/v1/top?n=%d", n)
+	if g.rng.Intn(4) == 0 {
+		path += fmt.Sprintf("&offset=%d", g.rng.Intn(200))
+	}
+	return op{kind: KindTop, path: path}
+}
+
+func (g *opGen) writeOp() op {
+	size := g.cfg.BatchSize
+	if size <= 0 {
+		size = 8
+	}
+	var b strings.Builder
+	b.WriteString(`{"papers":[`)
+	ids := make([]string, size)
+	for i := 0; i < size; i++ {
+		ids[i] = fmt.Sprintf("%s-w%d-%d-%d", g.cfg.IDPrefix, g.worker, g.seq, i)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":%q,"year":%d,"authors":["a%d"],"venue":"v%d"}`,
+			ids[i], 2000+g.rng.Intn(20), g.rng.Intn(97), g.rng.Intn(13))
+	}
+	b.WriteString(`],"citations":[`)
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Each new paper cites a known corpus paper when available,
+		// otherwise the first paper of its own batch (papers apply
+		// before citations, so intra-batch references are valid).
+		cited := ids[0]
+		if len(g.cfg.PaperIDs) > 0 {
+			cited = g.cfg.PaperIDs[g.rng.Intn(len(g.cfg.PaperIDs))]
+		}
+		if cited == id {
+			cited = ids[0]
+		}
+		if cited == id { // the batch's first paper citing itself
+			cited = fmt.Sprintf("%s-w%d-%d-%d", g.cfg.IDPrefix, g.worker, g.seq, 1%size)
+		}
+		fmt.Fprintf(&b, `{"citing":%q,"cited":%q}`, id, cited)
+	}
+	b.WriteString(`]}`)
+	return op{kind: KindWrite, path: "/v1/batch", body: b.String()}
+}
+
+// tally is one worker's private counters, merged after the run so the
+// hot loop touches no shared state beyond the histograms.
+type tally struct {
+	total, ok, shed, clientErr, serverErr, transport int64
+	byStatus                                         map[int]int64
+}
+
+// Run executes the closed-loop workload and blocks until it finishes.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: Config.BaseURL is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers + 4,
+				MaxIdleConnsPerHost: cfg.Workers + 4,
+			},
+		}
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	res := &Result{
+		ByStatus: make(map[int]int64),
+		Accepted: NewHist(),
+		Rejected: NewHist(),
+	}
+	tallies := make([]tally, cfg.Workers)
+	started := time.Now()
+	done := make(chan int, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			gen := newOpGen(cfg, w)
+			t := &tallies[w]
+			t.byStatus = make(map[int]int64)
+			for ctx.Err() == nil {
+				shed := runOne(ctx, client, cfg, gen.next(), w, t, res)
+				if shed && cfg.ShedBackoff > 0 {
+					select {
+					case <-ctx.Done():
+					case <-time.After(cfg.ShedBackoff):
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		<-done
+	}
+	res.Elapsed = time.Since(started)
+	for i := range tallies {
+		t := &tallies[i]
+		res.Total += t.total
+		res.OK += t.ok
+		res.Shed += t.shed
+		res.ClientErr += t.clientErr
+		res.ServerErr += t.serverErr
+		res.Transport += t.transport
+		for code, n := range t.byStatus {
+			res.ByStatus[code] += n
+		}
+	}
+	return res, nil
+}
+
+// runOne issues one operation and records it, reporting whether the
+// response was a shed (429/503). Failures caused by the run winding
+// down (context cancelled mid-request) are not counted.
+func runOne(ctx context.Context, client *http.Client, cfg Config, o op, worker int, t *tally, res *Result) bool {
+	var (
+		req *http.Request
+		err error
+	)
+	if o.kind == KindWrite {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+o.path, strings.NewReader(o.body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+o.path, nil)
+	}
+	if err != nil {
+		t.transport++
+		t.total++
+		return false
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	sample := Sample{Kind: o.kind, Worker: worker, Start: start, Latency: lat}
+	if err != nil {
+		if ctx.Err() != nil {
+			return false // shutdown of the run itself, not a server failure
+		}
+		sample.Err = err
+		t.transport++
+		t.total++
+		if cfg.OnSample != nil {
+			cfg.OnSample(sample)
+		}
+		return false
+	}
+	// Drain (bounded) so the connection goes back to the keep-alive pool.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	sample.Status = resp.StatusCode
+	t.total++
+	t.byStatus[resp.StatusCode]++
+	shed := false
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		t.ok++
+		res.Accepted.Record(lat)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		t.shed++
+		shed = true
+		res.Rejected.Record(lat)
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		t.clientErr++
+	default:
+		t.serverErr++
+	}
+	if cfg.OnSample != nil {
+		cfg.OnSample(sample)
+	}
+	return shed
+}

@@ -1,0 +1,174 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpGenDeterministic: the same (seed, worker) pair must replay the
+// identical operation stream; different workers must diverge.
+func TestOpGenDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, WriteRatio: 0.2, BatchSize: 3, PaperIDs: []string{"a", "b", "c"}, IDPrefix: "t"}
+	a, b := newOpGen(cfg, 1), newOpGen(cfg, 1)
+	other := newOpGen(cfg, 2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		x, y, z := a.next(), b.next(), other.next()
+		if x != y {
+			t.Fatalf("op %d: same seed+worker diverged: %+v vs %+v", i, x, y)
+		}
+		if x == z {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("worker streams nearly identical: %d/200 ops equal", same)
+	}
+}
+
+// TestOpGenWriteBody: batch bodies must be valid JSON with the right
+// shape and no self-citations.
+func TestOpGenWriteBody(t *testing.T) {
+	g := newOpGen(Config{Seed: 1, WriteRatio: 1, BatchSize: 4, IDPrefix: "x"}, 0)
+	for i := 0; i < 50; i++ {
+		o := g.next()
+		if o.kind != KindWrite {
+			t.Fatalf("WriteRatio=1 produced %v", o.kind)
+		}
+		var body struct {
+			Papers []struct {
+				ID   string `json:"id"`
+				Year int    `json:"year"`
+			} `json:"papers"`
+			Citations []struct {
+				Citing string `json:"citing"`
+				Cited  string `json:"cited"`
+			} `json:"citations"`
+		}
+		if err := json.Unmarshal([]byte(o.body), &body); err != nil {
+			t.Fatalf("batch body not JSON: %v\n%s", err, o.body)
+		}
+		if len(body.Papers) != 4 || len(body.Citations) != 4 {
+			t.Fatalf("batch sizes: %d papers, %d citations, want 4/4", len(body.Papers), len(body.Citations))
+		}
+		ids := map[string]bool{}
+		for _, p := range body.Papers {
+			if ids[p.ID] {
+				t.Fatalf("duplicate id %q in one batch", p.ID)
+			}
+			ids[p.ID] = true
+			if !strings.HasPrefix(p.ID, "x-w0-") {
+				t.Fatalf("id %q missing prefix", p.ID)
+			}
+		}
+		for _, c := range body.Citations {
+			if c.Citing == c.Cited {
+				t.Fatalf("self-citation %q", c.Citing)
+			}
+			if !ids[c.Citing] {
+				t.Fatalf("citing id %q not in batch", c.Citing)
+			}
+		}
+	}
+}
+
+// TestRunCounts drives a tiny stub server and checks that every status
+// class lands in the right counter and that the totals reconcile.
+func TestRunCounts(t *testing.T) {
+	var reqs atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := reqs.Add(1)
+		switch {
+		case n%7 == 0:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case n%11 == 0:
+			w.WriteHeader(http.StatusBadRequest)
+		default:
+			w.Write([]byte(`{"ok":true}`))
+		}
+	}))
+	defer ts.Close()
+
+	var samples atomic.Int64
+	res, err := Run(context.Background(), Config{
+		BaseURL:    ts.URL,
+		Workers:    4,
+		Duration:   300 * time.Millisecond,
+		Seed:       9,
+		WriteRatio: 0.25,
+		BatchSize:  2,
+		PaperIDs:   []string{"p1", "p2"},
+		IDPrefix:   "run",
+		OnSample:   func(Sample) { samples.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || res.OK == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if got := res.OK + res.Shed + res.ClientErr + res.ServerErr + res.Transport; got != res.Total {
+		t.Fatalf("counters don't reconcile: %d classified vs %d total", got, res.Total)
+	}
+	var byStatus int64
+	for _, n := range res.ByStatus {
+		byStatus += n
+	}
+	if byStatus+res.Transport != res.Total {
+		t.Fatalf("ByStatus sums to %d (+%d transport), total %d", byStatus, res.Transport, res.Total)
+	}
+	if res.Shed != res.ByStatus[http.StatusServiceUnavailable] {
+		t.Fatalf("Shed = %d, 503s = %d", res.Shed, res.ByStatus[http.StatusServiceUnavailable])
+	}
+	if res.ClientErr != res.ByStatus[http.StatusBadRequest] {
+		t.Fatalf("ClientErr = %d, 400s = %d", res.ClientErr, res.ByStatus[http.StatusBadRequest])
+	}
+	if res.Accepted.Count() != res.OK {
+		t.Fatalf("Accepted hist has %d samples, OK = %d", res.Accepted.Count(), res.OK)
+	}
+	if res.Rejected.Count() != res.Shed {
+		t.Fatalf("Rejected hist has %d samples, Shed = %d", res.Rejected.Count(), res.Shed)
+	}
+	if samples.Load() != res.Total {
+		t.Fatalf("OnSample saw %d ops, total %d", samples.Load(), res.Total)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestRunRequiresBaseURL(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("Run with empty BaseURL should fail")
+	}
+}
+
+// TestRunCancel: cancelling the context stops the run promptly and
+// mid-flight failures from the cancellation are not misreported.
+func TestRunCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Millisecond)
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	start := time.Now()
+	res, err := Run(ctx, Config{BaseURL: ts.URL, Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("run did not stop promptly after cancel (%v)", time.Since(start))
+	}
+	if res.Transport != 0 {
+		t.Fatalf("cancellation misreported as %d transport errors", res.Transport)
+	}
+}

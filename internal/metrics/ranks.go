@@ -52,8 +52,10 @@ func Ordering(scores []float64) []int {
 }
 
 // TopK returns the indices of the k highest-scoring items sorted by
-// (score descending, index ascending) — the same order and tie-break as
-// Ordering, without sorting the full vector. It runs in O(N log k) via
+// (score descending, index ascending). The ascending-index tie-break is
+// a pinned part of the contract — TopK(s, k) always equals the k-prefix
+// of Ordering(s), so paginated reads over score plateaus are stable —
+// and it holds without sorting the full vector. It runs in O(N log k) via
 // bounded-heap selection, which is what the top-k serving hot path
 // (/v1/top) and OverlapAtK need on large corpora. k is clamped to
 // len(scores).

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBoundsConcurrency hammers the admission controller far
+// past its limit and asserts the semaphore actually bounds in-handler
+// concurrency, overload is shed with 503 + Retry-After, and the
+// queue-wait histogram records the waiting. Run under -race this also
+// proves the middleware's bookkeeping is data-race-free.
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	const limit = 4
+	srv := testServer(t)
+	srv.SetLogf(nil)
+	srv.ConfigureAdmission(AdmissionConfig{
+		MaxInFlight: limit,
+		MaxQueue:    limit,
+		MaxWait:     5 * time.Millisecond,
+	})
+	var cur, maxSeen atomic.Int64
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			m := maxSeen.Load()
+			if c <= m || maxSeen.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(srv.withAdmission(slow))
+	defer ts.Close()
+
+	waits := mQueueWaitSeconds.Count()
+	shedsBefore := mShedTotal.With("queue_full").Value() + mShedTotal.With("queue_timeout").Value()
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(ts.URL + "/v1/top")
+				if err != nil {
+					continue
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("shed response missing Retry-After")
+					}
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > limit {
+		t.Fatalf("observed %d concurrent requests, limit %d", got, limit)
+	}
+	if ok.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("want both admitted and shed traffic, got ok=%d shed=%d", ok.Load(), shed.Load())
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d responses outside {200, 503}", other.Load())
+	}
+	shedsAfter := mShedTotal.With("queue_full").Value() + mShedTotal.With("queue_timeout").Value()
+	if delta := shedsAfter - shedsBefore; delta != shed.Load() {
+		t.Errorf("shed counter moved by %d, client saw %d shed responses", delta, shed.Load())
+	}
+	if mQueueWaitSeconds.Count() == waits {
+		t.Error("queue-wait histogram recorded nothing despite overload")
+	}
+}
+
+// TestAdmissionExemptPaths: health probes and the metrics endpoint must
+// answer even when every in-flight slot is taken — that is the whole
+// point of exempting them.
+func TestAdmissionExemptPaths(t *testing.T) {
+	srv := testServer(t)
+	srv.SetLogf(nil)
+	srv.ConfigureAdmission(AdmissionConfig{
+		MaxInFlight: 2,
+		MaxQueue:    1,
+		MaxWait:     time.Millisecond,
+	})
+	h := srv.Handler()
+	// Saturate the semaphore directly: equivalent to two stuck handlers.
+	srv.adm.sem <- struct{}{}
+	srv.adm.sem <- struct{}{}
+	defer func() { <-srv.adm.sem; <-srv.adm.sem }()
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s under saturation = %d, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/top under saturation = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("saturated /v1/top response missing Retry-After")
+	}
+}
+
+// TestWriteBackpressure: when the ingest pipeline reports too many
+// pending mutations, write endpoints are cheap-rejected with 429 while
+// reads keep flowing.
+func TestWriteBackpressure(t *testing.T) {
+	srv := testServer(t)
+	srv.SetLogf(nil)
+	srv.ConfigureAdmission(AdmissionConfig{MaxPending: 100})
+	pending := 0
+	srv.adm.pending = func() int { return pending }
+	h := srv.Handler()
+
+	before := mShedTotal.With("backpressure").Value()
+	pending = 101
+	for _, path := range []string{"/v1/papers", "/v1/citations", "/v1/batch"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, nil))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Errorf("POST %s under backpressure = %d, want 429", path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("POST %s backpressure response missing Retry-After", path)
+		}
+	}
+	if got := mShedTotal.With("backpressure").Value() - before; got != 3 {
+		t.Errorf("backpressure shed counter moved by %d, want 3", got)
+	}
+	// Reads are not writes: unaffected by pending depth.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/top under write backpressure = %d, want 200", rec.Code)
+	}
+	// Below the threshold writes reach their handler again (the
+	// read-only test server then rejects them itself, but not with 429).
+	pending = 5
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/papers", nil))
+	if rec.Code == http.StatusTooManyRequests {
+		t.Fatal("write shed although pending is below the threshold")
+	}
+}
+
+// TestDeadlinePropagation: admitted requests must carry the configured
+// deadline on their context, and handlers overrunning it must tick the
+// deadline-exceeded counter.
+func TestDeadlinePropagation(t *testing.T) {
+	srv := testServer(t)
+	srv.SetLogf(nil)
+	srv.ConfigureAdmission(AdmissionConfig{MaxInFlight: 2, Deadline: 30 * time.Millisecond})
+	var sawDeadline atomic.Bool
+	var remaining atomic.Int64
+	inspect := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dl, ok := r.Context().Deadline(); ok {
+			sawDeadline.Store(true)
+			remaining.Store(int64(time.Until(dl)))
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	rec := httptest.NewRecorder()
+	srv.withAdmission(inspect).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top", nil))
+	if !sawDeadline.Load() {
+		t.Fatal("admitted request context carries no deadline")
+	}
+	if d := time.Duration(remaining.Load()); d <= 0 || d > 30*time.Millisecond {
+		t.Fatalf("deadline remaining = %v, want within (0, 30ms]", d)
+	}
+
+	before := mDeadlineExceededTotal.Value()
+	overrun := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // sleep past the deadline, ctx-style
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	rec = httptest.NewRecorder()
+	srv.withAdmission(overrun).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/top", nil))
+	if got := mDeadlineExceededTotal.Value() - before; got != 1 {
+		t.Fatalf("deadline-exceeded counter moved by %d, want 1", got)
+	}
+}
+
+// TestAdmissionQueueDepthGauge: the queue gauge must return to zero
+// once the burst drains — a leak here would eventually wedge admission.
+func TestAdmissionQueueDepthGauge(t *testing.T) {
+	srv := testServer(t)
+	srv.SetLogf(nil)
+	srv.ConfigureAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 8, MaxWait: 100 * time.Millisecond})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(srv.withAdmission(slow))
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if resp, err := http.Get(ts.URL + "/x"); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mQueueDepth.Value(); got != 0 {
+		t.Fatalf("queue depth gauge = %v after drain, want 0", got)
+	}
+	if got := srv.adm.queued.Load(); got != 0 {
+		t.Fatalf("queued counter = %d after drain, want 0", got)
+	}
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The HTTP fuzz targets hammer the read-path query parsing with
+// arbitrary bytes. The contract for every input: no panic, a bounded
+// response body, and a status that is either success, a 4xx rejection,
+// or the mux's own canonicalization redirect — never a 5xx and never an
+// unbounded allocation driven by client-controlled numbers.
+
+// maxFuzzBody bounds response allocation: the 4MB ceiling is far above
+// anything the capped n/offset parameters can produce, so exceeding it
+// means a client-controlled allocation escaped its bound.
+const maxFuzzBody = 4 << 20
+
+func fuzzCheck(t *testing.T, h http.Handler, req *http.Request) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	switch {
+	case rec.Code == http.StatusOK,
+		rec.Code == http.StatusMovedPermanently, // ServeMux path cleaning
+		rec.Code >= 400 && rec.Code < 500:
+	default:
+		t.Fatalf("%s %s -> %d\n%s", req.Method, req.URL, rec.Code, rec.Body.String())
+	}
+	if rec.Body.Len() > maxFuzzBody {
+		t.Fatalf("%s %s -> %d byte body", req.Method, req.URL, rec.Body.Len())
+	}
+	return rec
+}
+
+// FuzzTopQuery exercises /v1/top's n and offset parsing via the raw
+// query string.
+func FuzzTopQuery(f *testing.F) {
+	for _, seed := range []string{
+		"", "n=20", "n=1000&offset=10000", "n=0", "n=-1", "n=1e9",
+		"n=999999999999999999999", "offset=-5", "n=3;offset=2",
+		"n=%32%30", "n=20&n=7", "offset=\x00", "n=NaN&offset=Inf",
+	} {
+		f.Add(seed)
+	}
+	h := testServer(f).Handler()
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/top", nil)
+		req.URL.RawQuery = rawQuery
+		rec := fuzzCheck(t, h, req)
+		// Numbers out of [1,1000]×[0,10000] must be rejected, not
+		// clamped into a giant TopK selection.
+		if rec.Code == http.StatusOK && rec.Body.Len() > 1<<20 {
+			t.Fatalf("accepted query %q produced %d bytes", rawQuery, rec.Body.Len())
+		}
+	})
+}
+
+// FuzzCompareQuery exercises /v1/compare's a/b pair lookup.
+func FuzzCompareQuery(f *testing.F) {
+	for _, seed := range []string{
+		"", "a=old&b=hot", "a=old", "b=hot", "a=&b=", "a=old&b=old",
+		"a=%zz&b=hot", "a=old&a=hot&b=mid", "a=\xff\xfe&b=x",
+	} {
+		f.Add(seed)
+	}
+	h := testServer(f).Handler()
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/compare", nil)
+		req.URL.RawQuery = rawQuery
+		fuzzCheck(t, h, req)
+	})
+}
+
+// FuzzPaperID exercises the /v1/paper/{id} path segment, including
+// separators, dot-dot traversals and invalid UTF-8.
+func FuzzPaperID(f *testing.F) {
+	for _, seed := range []string{
+		"old", "hot", "", "nope", "a/b", "../../etc/passwd", ".",
+		"old/", "%2e%2e", "old?n=1", "\x00", "\xff\xfe\xfd", "ümlaut",
+	} {
+		f.Add(seed)
+	}
+	h := testServer(f).Handler()
+	f.Fuzz(func(t *testing.T, id string) {
+		// Build a valid request first, then splice the fuzzed segment
+		// into the parsed URL (httptest.NewRequest panics on targets
+		// that don't parse, which would abort the fuzzer itself).
+		req := httptest.NewRequest(http.MethodGet, "/v1/paper/x", nil)
+		req.URL.Path = "/v1/paper/" + id
+		fuzzCheck(t, h, req)
+	})
+}

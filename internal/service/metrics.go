@@ -19,6 +19,21 @@ var (
 		obs.LatencyBuckets, "route")
 	mInFlight = obs.NewGauge("attrank_http_in_flight_requests",
 		"Requests currently being served.")
+
+	// Overload-protection metrics (DESIGN.md §10): every shed, queue and
+	// deadline event is observable, because under overload the metrics
+	// are the only view into what the admission controller is doing.
+	mShedTotal = obs.NewCounterVec("attrank_http_shed_total",
+		"Requests rejected by the admission controller, by reason: "+
+			"queue_full, queue_timeout, backpressure.",
+		"reason")
+	mQueueWaitSeconds = obs.NewHistogram("attrank_http_queue_wait_seconds",
+		"Time requests spent in the admission queue (admitted and shed alike).",
+		obs.LatencyBuckets)
+	mQueueDepth = obs.NewGauge("attrank_http_queue_depth",
+		"Requests currently waiting in the admission queue.")
+	mDeadlineExceededTotal = obs.NewCounter("attrank_http_deadline_exceeded_total",
+		"Requests whose per-request deadline expired while the handler ran.")
 )
 
 // routeLabel maps a request path to its route label: parameterized

@@ -7,7 +7,7 @@
 // Read endpoints:
 //
 //	GET /v1/stats            corpus statistics and ranking metadata (cached per epoch)
-//	GET /v1/top?n=20         the top-n papers with scores and citations
+//	GET /v1/top?n=20&offset=0  a page of the ranking with scores and citations
 //	GET /v1/paper/{id}       one paper: metadata, score, rank, explanation
 //	GET /v1/compare?a=x&b=y  two papers side by side
 //	GET /v1/authors?n=20     top authors by aggregated impact
@@ -27,11 +27,19 @@
 //
 // All responses are JSON; errors use {"error": "..."} with conventional
 // status codes.
+//
+// Overload protection (ConfigureAdmission, DESIGN.md §10): bounded
+// concurrency with a short FIFO wait queue, load shedding with 429/503 +
+// Retry-After, write backpressure keyed off the ingest pipeline, and
+// per-request deadlines. /healthz, /readyz and /metrics are exempt so
+// probes and scrapes keep answering while the server sheds.
 package service
 
 import (
 	"context"
+	"errors"
 	"log"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -56,6 +64,8 @@ import (
 type Server struct {
 	params core.Params
 	logf   func(format string, args ...any)
+
+	adm *admission // overload protection; nil = no admission control
 
 	ing *ingest.Ingester // nil in static mode
 
@@ -162,27 +172,100 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return Serve(ctx, addr, s.Handler())
 }
 
+// ServeOptions tunes the http.Server lifecycle. The zero value of any
+// field selects the documented default. The read/write timeouts exist
+// for slow-client protection: without them a client trickling its
+// request (or never reading the response) pins a connection — and under
+// admission control, an in-flight slot — indefinitely.
+type ServeOptions struct {
+	// ReadHeaderTimeout bounds reading the request headers. Default 5s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the full request, body included.
+	// Default 30s (a write batch may legitimately be megabytes).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response, measured from the end of
+	// the header read. It must comfortably exceed the admission deadline
+	// plus the longest queue wait, or slow-but-admitted requests are
+	// killed mid-response. Default 60s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle.
+	// Default 2m.
+	IdleTimeout time.Duration
+	// ShutdownGrace bounds the graceful drain after the context is
+	// cancelled; in-flight requests past it are abandoned. Default 5s.
+	ShutdownGrace time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 60 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.ShutdownGrace <= 0 {
+		o.ShutdownGrace = 5 * time.Second
+	}
+	return o
+}
+
 // Serve runs handler on addr until the context is cancelled, then shuts
-// down gracefully (draining in-flight requests for up to 5 seconds). It
-// exists separately from Server.ListenAndServe so attrank-serve can
-// mount extras — the pprof handlers behind its -pprof flag — around the
-// service handler while keeping the same lifecycle.
+// down gracefully (draining in-flight requests). It exists separately
+// from Server.ListenAndServe so attrank-serve can mount extras — the
+// pprof handlers behind its -pprof flag — around the service handler
+// while keeping the same lifecycle.
 func Serve(ctx context.Context, addr string, handler http.Handler) error {
-	srv := &http.Server{Addr: addr, Handler: handler}
+	return ServeWith(ctx, addr, handler, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit lifecycle options.
+func ServeWith(ctx context.Context, addr string, handler http.Handler, opts ServeOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, handler, opts)
+}
+
+// ServeListener runs handler on an existing listener until the context
+// is cancelled, then shuts down gracefully: the listener closes, idle
+// connections are torn down, and in-flight requests drain for up to
+// opts.ShutdownGrace before the server gives up on them. It returns nil
+// on a clean shutdown (every in-flight request got its response). The
+// load-test harness uses the listener form to bind port 0 and learn the
+// real address.
+func ServeListener(ctx context.Context, ln net.Listener, handler http.Handler, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.ShutdownGrace)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
 }
 
 // Handler returns the HTTP handler for the service, wrapped in the
-// telemetry middleware (per-route metrics + request logging).
+// admission-control middleware when ConfigureAdmission was called and
+// always in the telemetry middleware (per-route metrics + request
+// logging). Telemetry sits outermost so shed responses are counted and
+// logged like any other.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -199,7 +282,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", obs.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return s.withTelemetry(mux)
+	h := http.Handler(mux)
+	if s.adm != nil {
+		h = s.withAdmission(h)
+	}
+	return s.withTelemetry(h)
 }
 
 // requireView fetches the current epoch view, answering 503 when no
@@ -350,17 +437,33 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if v == nil {
 		return
 	}
+	q := r.URL.Query()
 	n := 20
-	if q := r.URL.Query().Get("n"); q != "" {
-		val, err := strconv.Atoi(q)
+	if raw := q.Get("n"); raw != "" {
+		val, err := strconv.Atoi(raw)
 		if err != nil || val < 1 || val > 1000 {
 			s.writeError(w, http.StatusBadRequest, "n must be an integer in [1, 1000]")
 			return
 		}
 		n = val
 	}
-	var out []paperBody
-	for _, idx := range metrics.TopK(v.Result.Scores, n) {
+	offset := 0
+	if raw := q.Get("offset"); raw != "" {
+		val, err := strconv.Atoi(raw)
+		if err != nil || val < 0 || val > 10000 {
+			s.writeError(w, http.StatusBadRequest, "offset must be an integer in [0, 10000]")
+			return
+		}
+		offset = val
+	}
+	// Select offset+n and slice: still O(N log(offset+n)) and the offset
+	// cap bounds the allocation regardless of what the client asks for.
+	top := metrics.TopK(v.Result.Scores, offset+n)
+	if offset > len(top) {
+		offset = len(top)
+	}
+	out := []paperBody{}
+	for _, idx := range top[offset:] {
 		b, err := s.paperBody(v, int32(idx))
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, "explain: %v", err)
@@ -494,7 +597,11 @@ type refreshBody struct {
 }
 
 // handleRefresh forces a re-rank: through the ingester in live mode
-// (compacting pending mutations first), in place in static mode.
+// (compacting pending mutations first), in place in static mode. It is
+// the slowest endpoint — a full compaction plus power iteration — so it
+// is the one that honours the admission deadline: when the request
+// context expires mid-re-rank the client gets 503 + Retry-After while
+// the re-rank itself finishes in the background.
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -502,9 +609,14 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	}
 	var err error
 	if s.ing != nil {
-		err = s.ing.Flush()
+		err = s.ing.FlushContext(r.Context())
 	} else {
 		err = s.refreshStatic()
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "refresh: re-rank still running: %v", err)
+		return
 	}
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "refresh: %v", err)

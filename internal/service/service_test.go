@@ -14,7 +14,7 @@ import (
 	"attrank/internal/graph"
 )
 
-func testServer(t *testing.T) *Server {
+func testServer(t testing.TB) *Server {
 	t.Helper()
 	b := graph.NewBuilder()
 	add := func(id string, year int, authors []string, venue string) {

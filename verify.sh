@@ -1,16 +1,21 @@
 #!/bin/sh
 # verify.sh — the full gate: build everything, vet everything, run all
-# tests under the race detector. Run from the repository root.
+# tests under the race detector with a shuffled execution order. Run
+# from the repository root.
 #
-#   ./verify.sh         full gate (gofmt + build + vet + race over every
-#                       package)
-#   ./verify.sh quick   kernel + durability gate: gofmt + build + vet,
-#                       then a short-mode race pass over the ranking hot
-#                       path (sparse pool/fused kernel, core operator/
-#                       parallel tests) and the ingest WAL tests —
-#                       seconds instead of minutes, for tight iteration
+#   ./verify.sh         full gate (gofmt + build + vet + race -shuffle=on
+#                       over every package + fuzz-seed smoke)
+#   ./verify.sh quick   kernel + durability + overload gate: gofmt +
+#                       build + vet, then a short-mode race pass over the
+#                       ranking hot path (sparse pool/fused kernel, core
+#                       operator/parallel tests), the ingest WAL tests
+#                       and the admission-control tests — seconds instead
+#                       of minutes, for tight iteration
+#   ./verify.sh fuzz    short coverage-guided fuzz sessions for the
+#                       dataio readers and HTTP query parsing
 #
-# Benchmarks are separate: see bench.sh, which regenerates BENCH_core.json.
+# Benchmarks are separate: see bench.sh, which regenerates
+# BENCH_core.json and BENCH_service.json.
 set -eu
 
 echo "==> gofmt -l"
@@ -33,11 +38,26 @@ if [ "${1:-}" = "quick" ]; then
 		./internal/sparse/ ./internal/core/
 	echo "==> go test -race -run WAL (ingest durability)"
 	go test -race -run 'WAL' ./internal/ingest/
+	echo "==> go test -race (admission control)"
+	go test -race -run 'Admission|Backpressure|Deadline' ./internal/service/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
 
-echo "==> go test -race ./..."
-go test -race ./...
+if [ "${1:-}" = "fuzz" ]; then
+	for target in FuzzReadTSV FuzzReadJSON FuzzReadBinary; do
+		echo "==> go test -fuzz $target (dataio)"
+		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 5s ./internal/dataio/
+	done
+	for target in FuzzTopQuery FuzzCompareQuery FuzzPaperID; do
+		echo "==> go test -fuzz $target (service)"
+		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 5s ./internal/service/
+	done
+	echo "verify.sh: fuzz sessions passed"
+	exit 0
+fi
+
+echo "==> go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "verify.sh: all checks passed"
