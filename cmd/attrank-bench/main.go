@@ -6,6 +6,15 @@
 //
 //	attrank-bench [-papers 100000] [-profile dblp] [-out BENCH_core.json] [-reps 20]
 //	attrank-bench -serve [-serve-papers 20000] [-serve-dur 3s] [-serve-out BENCH_service.json]
+//	attrank-bench -sweep [-sweep-papers 100000] [-sweep-reps 3] [-sweep-out BENCH_sweep.json]
+//
+// With -sweep it benchmarks the full AttRank parameter-grid sweep (the
+// Table-3 workload): the batched blocked-SpMM path (RankBatch through
+// eval.SweepAttRank) against the sequential per-cell seed sweep, with a
+// runtime bit-equality cross-check between the arms and a B-sweep over
+// block widths 1/4/8/16/32 (BENCH_sweep.json). Grid throughput is
+// single-threaded work, so run it under GOMAXPROCS=1 for the committed
+// numbers.
 //
 // With -serve it instead benchmarks the HTTP serving path: it starts an
 // in-process live server (internal/service + internal/ingest) over a
@@ -84,12 +93,20 @@ func main() {
 		serveOut    = flag.String("serve-out", "BENCH_service.json", "output JSON path for -serve")
 		serveDur    = flag.Duration("serve-dur", 3*time.Second, "duration of each -serve load level")
 		servePapers = flag.Int("serve-papers", 20000, "corpus size for -serve")
+
+		sweep       = flag.Bool("sweep", false, "benchmark the full AttRank grid sweep (batched vs sequential) instead of the ranking kernels")
+		sweepOut    = flag.String("sweep-out", "BENCH_sweep.json", "output JSON path for -sweep")
+		sweepPapers = flag.Int("sweep-papers", 100000, "synthetic network size for -sweep")
+		sweepReps   = flag.Int("sweep-reps", 3, "timing repetitions per -sweep arm (best-of)")
 	)
 	flag.Parse()
 	var err error
-	if *serve {
+	switch {
+	case *serve:
 		err = runServe(*servePapers, *serveOut, *serveDur)
-	} else {
+	case *sweep:
+		err = runSweep(*sweepPapers, *profile, *sweepOut, *sweepReps)
+	default:
 		err = run(*papers, *profile, *out, *reps)
 	}
 	if err != nil {

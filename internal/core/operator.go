@@ -32,6 +32,7 @@ type Operator struct {
 	mu    sync.Mutex // guards the lazy state below
 	stoch *sparse.Stochastic
 	fused *sparse.FusedStochastic
+	multi *sparse.FusedStochasticMulti
 	pool  *sparse.Pool
 	att   vecCache[attKey]
 	rec   vecCache[recKey]
@@ -192,6 +193,7 @@ func (op *Operator) closePoolLocked() {
 		op.pool.Close()
 		op.pool = nil
 		op.fused = nil
+		op.multi = nil
 	}
 }
 
@@ -250,6 +252,29 @@ func (op *Operator) acquireFused() (*sparse.FusedStochastic, func(), error) {
 	}
 	op.inflight++
 	return op.fused, op.releaseFused, nil
+}
+
+// acquireMulti returns the batched SpMM view of the fused kernel,
+// sharing the fused kernel's CSR matrix, pool, and partition cache, with
+// the same in-flight accounting as acquireFused.
+func (op *Operator) acquireMulti() (*sparse.FusedStochasticMulti, func(), error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.multi == nil {
+		if op.fused == nil {
+			s, err := op.stochasticLocked()
+			if err != nil {
+				return nil, nil, err
+			}
+			if op.pool == nil {
+				op.pool = sparse.NewPool(0)
+			}
+			op.fused = s.Fused(op.pool)
+		}
+		op.multi = op.fused.Multi()
+	}
+	op.inflight++
+	return op.multi, op.releaseFused, nil
 }
 
 func (op *Operator) releaseFused() {

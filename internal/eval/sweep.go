@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"attrank/internal/core"
@@ -15,11 +16,28 @@ type Metric struct {
 	Name string
 	// Fn compares a method's scores with the ground-truth gains.
 	Fn func(scores, truth []float64) (float64, error)
+	// ScratchFn, when set, is the buffer-reusing form of Fn: identical
+	// results through a metrics.Scratch owned by the calling sweep
+	// worker. Sweeps fall back to Fn when it is nil, so custom metrics
+	// keep working unchanged.
+	ScratchFn func(s *metrics.Scratch, scores, truth []float64) (float64, error)
+}
+
+// score evaluates the metric, preferring the scratch-backed form.
+func (m Metric) score(s *metrics.Scratch, scores, truth []float64) (float64, error) {
+	if m.ScratchFn != nil && s != nil {
+		return m.ScratchFn(s, scores, truth)
+	}
+	return m.Fn(scores, truth)
 }
 
 // Rho returns the Spearman correlation metric of §4.1.
 func Rho() Metric {
-	return Metric{Name: "rho", Fn: metrics.Spearman}
+	return Metric{
+		Name:      "rho",
+		Fn:        metrics.Spearman,
+		ScratchFn: (*metrics.Scratch).Spearman,
+	}
 }
 
 // NDCGAt returns the nDCG@k metric of §4.1.
@@ -28,6 +46,9 @@ func NDCGAt(k int) Metric {
 		Name: fmt.Sprintf("ndcg@%d", k),
 		Fn: func(scores, truth []float64) (float64, error) {
 			return metrics.NDCG(scores, truth, k)
+		},
+		ScratchFn: func(s *metrics.Scratch, scores, truth []float64) (float64, error) {
+			return s.NDCG(scores, truth, k)
 		},
 	}
 }
@@ -42,30 +63,23 @@ type SweepResult struct {
 	Err error
 }
 
-// SweepCandidates evaluates every candidate on the split in parallel and
-// returns the per-candidate results in input order plus the index of the
-// best successful one (−1 if none succeeded).
+// SweepCandidates evaluates every candidate on the split and returns the
+// per-candidate results in input order plus the index of the best
+// successful one (−1 if none succeeded). Work is spread over a fixed
+// pool of GOMAXPROCS workers — not a goroutine per candidate — and each
+// worker reuses one metrics.Scratch across its cells.
 func SweepCandidates(s *Split, truth []float64, cands []Candidate, m Metric) ([]SweepResult, int) {
 	results := make([]SweepResult, len(cands))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := range cands {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cands[i]
-			scores, err := c.Method.Scores(s.Current, s.TN)
-			if err != nil {
-				results[i] = SweepResult{Label: c.Label, Err: err}
-				return
-			}
-			v, err := m.Fn(scores, truth)
-			results[i] = SweepResult{Label: c.Label, Value: v, Err: err}
-		}(i)
-	}
-	wg.Wait()
+	runWorkers(len(cands), func(scratch *metrics.Scratch, i int) {
+		c := cands[i]
+		scores, err := c.Method.Scores(s.Current, s.TN)
+		if err != nil {
+			results[i] = SweepResult{Label: c.Label, Err: err}
+			return
+		}
+		v, err := m.score(scratch, scores, truth)
+		results[i] = SweepResult{Label: c.Label, Value: v, Err: err}
+	})
 	best := -1
 	for i, r := range results {
 		if r.Err != nil {
@@ -85,32 +99,65 @@ type AttRankCell struct {
 	Err    error
 }
 
-// SweepAttRank evaluates the full AttRank grid on the split, in parallel,
-// returning cells in grid order. The ranking operator is compiled once
-// for the split's network; every grid cell reuses its matrix state and
-// only swaps the (α, β, γ, y, w) surface.
+// SweepAttRank evaluates the full AttRank grid on the split, returning
+// cells in grid order with a per-cell error, exactly as the sequential
+// sweep did. Internally the grid is partitioned by shared (y, w) — cells
+// that differ only in α/β/γ share one attention and one recency vector —
+// and each partition runs through the operator's blocked SpMM path: the
+// cells are ordered by ascending α so RankBatch packs blocks whose lanes
+// converge together, and one matrix traversal per power step serves the
+// whole block. Scores per cell are bit-identical to the per-cell
+// op.Rank the sequential sweep performed. Partitions are spread over a
+// fixed pool of GOMAXPROCS workers, each reusing one metrics.Scratch.
 func SweepAttRank(s *Split, truth []float64, grid []core.Params, m Metric) []AttRankCell {
 	op := core.OperatorFor(s.Current)
 	cells := make([]AttRankCell, len(grid))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := range grid {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := grid[i]
-			res, err := op.Rank(s.TN, p)
-			if err != nil {
-				cells[i] = AttRankCell{Params: p, Err: err}
-				return
-			}
-			v, err := m.Fn(res.Scores, truth)
-			cells[i] = AttRankCell{Params: p, Value: v, Err: err}
-		}(i)
+
+	// Partition the grid by (y, w) in first-seen order.
+	type ywKey struct {
+		y int
+		w float64
 	}
-	wg.Wait()
+	index := map[ywKey]int{}
+	var partitions [][]int // original grid indices per partition
+	for i, p := range grid {
+		k := ywKey{y: p.AttentionYears, w: p.W}
+		at, ok := index[k]
+		if !ok {
+			at = len(partitions)
+			index[k] = at
+			partitions = append(partitions, nil)
+		}
+		partitions[at] = append(partitions[at], i)
+	}
+
+	runWorkers(len(partitions), func(scratch *metrics.Scratch, pi int) {
+		part := partitions[pi]
+		// Ascending α keeps each SpMM block convergence-homogeneous: the
+		// iteration count of the power method grows with α, so lanes of a
+		// block retire together instead of leaving one slow lane to
+		// finish alone. Ties keep grid order.
+		order := make([]int, len(part))
+		copy(order, part)
+		sort.SliceStable(order, func(a, b int) bool {
+			return grid[order[a]].Alpha < grid[order[b]].Alpha
+		})
+		ps := make([]core.Params, len(order))
+		for j, gi := range order {
+			ps[j] = grid[gi]
+		}
+		results, errs := op.RankBatch(s.TN, ps)
+		for j, gi := range order {
+			p := grid[gi]
+			if errs[j] != nil {
+				cells[gi] = AttRankCell{Params: p, Err: errs[j]}
+				continue
+			}
+			v, err := m.score(scratch, results[j].Scores, truth)
+			cells[gi] = AttRankCell{Params: p, Value: v, Err: err}
+			results[j] = nil // release the score vector before the next cell
+		}
+	})
 	return cells
 }
 
@@ -140,6 +187,44 @@ func NoAttFilter(p core.Params) bool { return p.Beta == 0 }
 
 // AttOnlyFilter selects the β = 1 cells (ATT-ONLY variant).
 func AttOnlyFilter(p core.Params) bool { return p.Beta == 1 }
+
+// runWorkers distributes indices [0, n) over a fixed pool of at most
+// GOMAXPROCS goroutines, handing each worker a private metrics.Scratch.
+// The semaphore-free shape is deliberate: the old sweep spawned one
+// goroutine per cell that immediately blocked on a channel semaphore,
+// which for a 500-cell grid meant 500 parked goroutines; here exactly
+// min(n, GOMAXPROCS) goroutines exist and pull indices from a channel.
+// n == 1 (or a single worker) runs inline on the caller.
+func runWorkers(n int, fn func(scratch *metrics.Scratch, i int)) {
+	workers := maxParallel()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		scratch := metrics.NewScratch()
+		for i := 0; i < n; i++ {
+			fn(scratch, i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := metrics.NewScratch()
+			for i := range idx {
+				fn(scratch, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
 
 func maxParallel() int {
 	n := runtime.GOMAXPROCS(0)

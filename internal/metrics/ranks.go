@@ -13,13 +13,28 @@ import (
 // highest score receives rank 1. Equal scores receive the average of the
 // ranks they occupy (the standard treatment for Spearman's ρ with ties).
 func RanksFromScores(scores []float64) []float64 {
-	n := len(scores)
-	order := make([]int, n)
+	ranks := make([]float64, len(scores))
+	ranksInto(ranks, make([]int, len(scores)), scores)
+	return ranks
+}
+
+// ranksInto is RanksFromScores into caller-owned buffers: ranks receives
+// the fractional ranks and order is permutation scratch. Both must have
+// len(scores) entries.
+func ranksInto(ranks []float64, order []int, scores []float64) {
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
-	ranks := make([]float64, n)
+	averageTiedRanks(ranks, order, scores)
+}
+
+// averageTiedRanks fills ranks from a descending-score permutation:
+// runs of equal scores receive the average of the positions they occupy.
+// Any descending sort yields the same ranks — within a tie group the
+// order is irrelevant, because the whole group gets one value.
+func averageTiedRanks(ranks []float64, order []int, scores []float64) {
+	n := len(scores)
 	for i := 0; i < n; {
 		j := i
 		for j < n && scores[order[j]] == scores[order[i]] {
@@ -32,13 +47,19 @@ func RanksFromScores(scores []float64) []float64 {
 		}
 		i = j
 	}
-	return ranks
 }
 
 // Ordering returns item indices sorted by descending score. Ties are
 // broken by ascending index so the ordering is deterministic.
 func Ordering(scores []float64) []int {
 	order := make([]int, len(scores))
+	orderingInto(order, scores)
+	return order
+}
+
+// orderingInto is Ordering into a caller-owned permutation buffer of
+// len(scores) entries.
+func orderingInto(order []int, scores []float64) {
 	for i := range order {
 		order[i] = i
 	}
@@ -48,7 +69,6 @@ func Ordering(scores []float64) []int {
 		}
 		return order[a] < order[b]
 	})
-	return order
 }
 
 // TopK returns the indices of the k highest-scoring items sorted by

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func scratchVectors(seed int64, n int) (scores, truth []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	scores = make([]float64, n)
+	truth = make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = scores[i] + 0.3*rng.NormFloat64()
+		if i%7 == 0 && i > 0 {
+			scores[i] = scores[i-1] // ties
+			truth[i] = 0            // zero gains mixed in
+		}
+	}
+	return scores, truth
+}
+
+// TestScratchMatchesAllocatingMetrics pins the Scratch contract: the
+// buffered forms return exactly what the package-level functions return,
+// across repeated and interleaved calls (memoized side switching
+// included).
+func TestScratchMatchesAllocatingMetrics(t *testing.T) {
+	s := NewScratch()
+	truthA := make([]float64, 0)
+	_ = truthA
+	for round := 0; round < 3; round++ {
+		for _, n := range []int{2, 17, 400} {
+			scores, truth := scratchVectors(int64(10*round)+int64(n), n)
+			scores2, truth2 := scratchVectors(int64(1000+n), n)
+
+			for _, pair := range [][2][]float64{{scores, truth}, {scores2, truth2}, {scores, truth}} {
+				want, wantErr := Spearman(pair[0], pair[1])
+				got, gotErr := s.Spearman(pair[0], pair[1])
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("n=%d: scratch spearman err = %v, want %v", n, gotErr, wantErr)
+				}
+				if want != got {
+					t.Fatalf("n=%d: scratch spearman = %v, want exactly %v", n, got, want)
+				}
+			}
+			for _, k := range []int{1, 5, n} {
+				want, wantErr := NDCG(scores, truth, k)
+				got, gotErr := s.NDCG(scores, truth, k)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("n=%d k=%d: scratch ndcg err = %v, want %v", n, k, gotErr, wantErr)
+				}
+				if want != got {
+					t.Fatalf("n=%d k=%d: scratch ndcg = %v, want exactly %v", n, k, got, want)
+				}
+			}
+		}
+	}
+	// Error paths must match too.
+	if _, err := s.Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Error("scratch spearman accepted a 1-item input")
+	}
+	if _, err := s.Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("scratch spearman accepted mismatched lengths")
+	}
+	if _, err := s.NDCG([]float64{1, 2}, []float64{0, 0}, 2); err == nil {
+		t.Error("scratch ndcg accepted all-zero gains")
+	}
+}
+
+// TestScratchMemoizationIsByIdentity: mutating a memoized slice is the
+// documented misuse; passing a fresh slice with identical values must
+// still recompute and agree.
+func TestScratchMemoizationIsByIdentity(t *testing.T) {
+	s := NewScratch()
+	scores, truth := scratchVectors(5, 120)
+	if _, err := s.Spearman(scores, truth); err != nil {
+		t.Fatal(err)
+	}
+	// A different backing slice → recompute, same value.
+	truthCopy := append([]float64(nil), truth...)
+	want, _ := Spearman(scores, truthCopy)
+	got, err := s.Spearman(scores, truthCopy)
+	if err != nil || got != want {
+		t.Fatalf("fresh-slice recompute = %v (%v), want %v", got, err, want)
+	}
+}
+
+// BenchmarkSpearmanAlloc/BenchmarkSpearmanScratch document the per-call
+// allocation drop the sweep loop gets from Scratch (run with -benchmem:
+// the allocating form pays three O(N) buffers per call, the scratch form
+// zero once warm).
+func BenchmarkSpearmanAlloc(b *testing.B) {
+	scores, truth := scratchVectors(7, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Spearman(scores, truth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpearmanScratch(b *testing.B) {
+	scores, truth := scratchVectors(7, 20000)
+	s := NewScratch()
+	if _, err := s.Spearman(scores, truth); err != nil {
+		b.Fatal(err) // warm the buffers and the truth memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Spearman(scores, truth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNDCGAlloc(b *testing.B) {
+	scores, truth := scratchVectors(8, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NDCG(scores, truth, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNDCGScratch(b *testing.B) {
+	scores, truth := scratchVectors(8, 20000)
+	s := NewScratch()
+	if _, err := s.NDCG(scores, truth, 50); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NDCG(scores, truth, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sparse
+
+// FusedStochasticMulti is the batched (SpMM) form of the fused kernel:
+// one traversal of the matrix updates B score vectors at once. The sweep
+// harness runs the same ~28-iteration power method for every cell of the
+// (α, β, γ) grid over the same citation matrix, and a single-vector
+// iteration is memory-bound on streaming the matrix — so amortizing one
+// pass over the nonzeros across a block of right-hand sides is the
+// classic SpMV→SpMM transformation: the 12 bytes per nonzero of matrix
+// traffic are paid once per iteration instead of once per grid cell.
+//
+// Score blocks are laid out row-major, N×B: lane j of row r lives at
+// x[r*B+j], so each nonzero touches B contiguous floats (one or a few
+// cache lines) and the per-row combine walks the block sequentially.
+// Per-column dangling mass, the α/β/γ combine, and the per-column L1
+// residuals are all computed in the same pass.
+//
+// Every lane is bit-identical to the single-vector FusedStochastic.Step
+// with the same partition count: per row, lane j accumulates its dot
+// product over the same ascending-column nonzero order; the dangling
+// mass is gathered sequentially per lane in the same dangling-list
+// order; the combine uses the same expression shape; and the per-lane
+// residual partials are tree-reduced over the same partition boundaries
+// (shared with the parent FusedStochastic via its partition cache).
+type FusedStochasticMulti struct {
+	f *FusedStochastic
+}
+
+// Multi returns the batched view of the fused kernel. It shares the CSR
+// matrix, dangling list, pool, and partition cache with f — no matrix
+// state is copied or converted.
+func (f *FusedStochastic) Multi() *FusedStochasticMulti {
+	return &FusedStochasticMulti{f: f}
+}
+
+// N returns the matrix dimension.
+func (m *FusedStochasticMulti) N() int { return m.f.csr.rows }
+
+// Step computes, for every lane j < B,
+//
+//	next[·*B+j] = alpha[j]·S·x[·*B+j] + beta[j]·att[j] + gamma[j]·rec[j]
+//
+// in one pass over the matrix, and writes lane j's L1 residual
+// Σ_i |next[i*B+j] − x[i*B+j]| into resid[j]. B = len(alpha); next and x
+// are row-major N×B blocks and must not alias; att and rec hold one
+// N-vector per lane (lanes may share the same backing slice). parts
+// selects the number of row ranges exactly as in FusedStochastic.Step;
+// with parts ≤ 1 the pass runs on the calling goroutine. Safe for
+// concurrent use with distinct next/x blocks.
+func (m *FusedStochasticMulti) Step(next, x []float64, att, rec [][]float64, alpha, beta, gamma, resid []float64, parts int) {
+	n := m.f.csr.rows
+	b := len(alpha)
+	if len(beta) != b || len(gamma) != b || len(resid) != b || len(att) != b || len(rec) != b {
+		panic("sparse: Multi.Step per-lane slice length mismatch")
+	}
+	if len(x) != n*b || len(next) != n*b {
+		panic("sparse: Multi.Step block size mismatch")
+	}
+	// Per-lane dangling shares, gathered sequentially in dangling-list
+	// order — the same order as the single-vector kernel, so the low
+	// bits match lane for lane.
+	hasDangling := len(m.f.dangling) > 0
+	share := make([]float64, b)
+	if hasDangling {
+		for _, c := range m.f.dangling {
+			base := int(c) * b
+			for j := 0; j < b; j++ {
+				share[j] += x[base+j]
+			}
+		}
+		for j := range share {
+			share[j] /= float64(n)
+		}
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 || m.f.pool == nil {
+		m.stepRange(0, n, next, x, att, rec, alpha, beta, gamma, share, hasDangling, resid)
+		return
+	}
+	bounds := m.f.partition(parts)
+	nparts := len(bounds) - 1
+	partial := make([]float64, nparts*b)
+	m.f.pool.Run(nparts, func(i int) {
+		m.stepRange(int(bounds[i]), int(bounds[i+1]),
+			next, x, att, rec, alpha, beta, gamma, share, hasDangling, partial[i*b:(i+1)*b])
+	})
+	// Per-lane tree reduction over the partition partials, with the same
+	// pairwise-halving shape as the single-vector treeSum so a lane's
+	// residual is bit-identical to Step at the same partition count.
+	for j := 0; j < b; j++ {
+		resid[j] = treeSumStrided(partial, j, b, nparts)
+	}
+}
+
+// stepRange is the per-worker kernel: the fused B-lane update and
+// per-lane partial L1 residuals for rows [lo, hi). resid has one slot
+// per lane and is overwritten.
+//
+// Lanes are processed in chunks of eight inside the row loop, each chunk
+// accumulating into eight scalar variables. A first cut kept a
+// per-row acc []float64 slice and ran a j-loop per nonzero; that put the
+// accumulators in memory (load+store per lane per nonzero) and made the
+// kernel ALU-bound — per-lane cost *exceeded* the single-vector kernel.
+// Register accumulators restore the SpMM economics: the row's val/colIdx
+// bytes are streamed from DRAM once (subsequent chunks of the same row
+// hit L1) while each chunk's multiply-adds pipeline on independent
+// registers. Chunking inside the row loop (rather than running one full
+// pass per chunk) is what keeps the matrix traffic amortized for B > 8.
+func (m *FusedStochasticMulti) stepRange(lo, hi int, next, x []float64, att, rec [][]float64, alpha, beta, gamma, share []float64, hasDangling bool, resid []float64) {
+	c := m.f.csr
+	b := len(alpha)
+	for j := range resid {
+		resid[j] = 0
+	}
+	var tmp [8]float64
+	for r := lo; r < hi; r++ {
+		a, e := c.rowPtr[r], c.rowPtr[r+1]
+		base := r * b
+		for c0 := 0; c0 < b; {
+			cw := b - c0
+			switch {
+			case cw >= 8:
+				cw = 8
+				var s0, s1, s2, s3, s4, s5, s6, s7 float64
+				for k := a; k < e; k++ {
+					v := c.val[k]
+					xr := x[int(c.colIdx[k])*b+c0:]
+					xr = xr[:8:8]
+					s0 += v * xr[0]
+					s1 += v * xr[1]
+					s2 += v * xr[2]
+					s3 += v * xr[3]
+					s4 += v * xr[4]
+					s5 += v * xr[5]
+					s6 += v * xr[6]
+					s7 += v * xr[7]
+				}
+				tmp[0], tmp[1], tmp[2], tmp[3] = s0, s1, s2, s3
+				tmp[4], tmp[5], tmp[6], tmp[7] = s4, s5, s6, s7
+			case cw >= 4:
+				cw = 4
+				var s0, s1, s2, s3 float64
+				for k := a; k < e; k++ {
+					v := c.val[k]
+					xr := x[int(c.colIdx[k])*b+c0:]
+					xr = xr[:4:4]
+					s0 += v * xr[0]
+					s1 += v * xr[1]
+					s2 += v * xr[2]
+					s3 += v * xr[3]
+				}
+				tmp[0], tmp[1], tmp[2], tmp[3] = s0, s1, s2, s3
+			case cw >= 2:
+				cw = 2
+				var s0, s1 float64
+				for k := a; k < e; k++ {
+					v := c.val[k]
+					xr := x[int(c.colIdx[k])*b+c0:]
+					xr = xr[:2:2]
+					s0 += v * xr[0]
+					s1 += v * xr[1]
+				}
+				tmp[0], tmp[1] = s0, s1
+			default:
+				cw = 1
+				s := 0.0
+				for k := a; k < e; k++ {
+					s += c.val[k] * x[int(c.colIdx[k])*b+c0]
+				}
+				tmp[0] = s
+			}
+			for i := 0; i < cw; i++ {
+				j := c0 + i
+				s := tmp[i]
+				if hasDangling {
+					s += share[j]
+				}
+				v := alpha[j]*s + beta[j]*att[j][r] + gamma[j]*rec[j][r]
+				next[base+j] = v
+				d := v - x[base+j]
+				if d < 0 {
+					d = -d
+				}
+				resid[j] += d
+			}
+			c0 += cw
+		}
+	}
+}
+
+// treeSumStrided reduces lane off of an nparts×stride partial matrix by
+// the same pairwise halving as treeSum: identical tree shape → identical
+// bits for a fixed partition count.
+func treeSumStrided(p []float64, off, stride, n int) float64 {
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return p[off]
+	}
+	mid := n / 2
+	return treeSumStrided(p, off, stride, mid) + treeSumStrided(p[mid*stride:], off, stride, n-mid)
+}

@@ -1,0 +1,203 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blockFromLanes packs per-lane vectors into the row-major N×B layout.
+func blockFromLanes(lanes [][]float64) []float64 {
+	b := len(lanes)
+	n := len(lanes[0])
+	blk := make([]float64, n*b)
+	for j, lane := range lanes {
+		for r, v := range lane {
+			blk[r*b+j] = v
+		}
+	}
+	return blk
+}
+
+// TestMultiStepBitIdenticalPerLane pins the batched kernel's contract:
+// every lane of a Multi.Step equals the single-vector Step bit for bit —
+// scores and residual — at the same partition count, for blocks mixing
+// different α/β/γ and shared vs distinct att/rec vectors.
+func TestMultiStepBitIdenticalPerLane(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		s    *Stochastic
+	}{
+		{"random", mustStochastic(t, randomMatrix(t, 21, 130, 800))},
+		{"power-law-dangling", powerLawStochastic(t, 22, 170, 1000)},
+		{"all-dangling", mustStochastic(t, emptySquare(t, 37))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.s
+			n := s.N()
+			f := s.Fused(pool)
+			m := f.Multi()
+			if m.N() != n {
+				t.Fatalf("multi N = %d, want %d", m.N(), n)
+			}
+			rng := rand.New(rand.NewSource(77))
+			// Shared attention/recency vectors: lanes alternate between
+			// two, the way a sweep partition's cells share (y, w).
+			_, attA, recA := randomVectors(rng, n)
+			_, attB, recB := randomVectors(rng, n)
+			for _, b := range []int{1, 2, 3, 8, 32} {
+				lanes := make([][]float64, b)
+				att := make([][]float64, b)
+				rec := make([][]float64, b)
+				alpha := make([]float64, b)
+				beta := make([]float64, b)
+				gamma := make([]float64, b)
+				for j := 0; j < b; j++ {
+					x, _, _ := randomVectors(rng, n)
+					lanes[j] = x
+					if j%2 == 0 {
+						att[j], rec[j] = attA, recA
+					} else {
+						att[j], rec[j] = attB, recB
+					}
+					alpha[j] = 0.1 + 0.05*float64(j%9)
+					beta[j] = 0.3 * rng.Float64()
+					gamma[j] = 1 - alpha[j] - beta[j]
+				}
+				for _, parts := range []int{1, 3, 7, n + 2} {
+					wantNext := make([][]float64, b)
+					wantResid := make([]float64, b)
+					for j := 0; j < b; j++ {
+						wantNext[j] = make([]float64, n)
+						wantResid[j] = f.Step(wantNext[j], lanes[j], att[j], rec[j],
+							alpha[j], beta[j], gamma[j], parts)
+					}
+					x := blockFromLanes(lanes)
+					next := make([]float64, n*b)
+					resid := make([]float64, b)
+					m.Step(next, x, att, rec, alpha, beta, gamma, resid, parts)
+					for j := 0; j < b; j++ {
+						if resid[j] != wantResid[j] {
+							t.Fatalf("B=%d parts=%d: lane %d resid = %v, want exactly %v",
+								b, parts, j, resid[j], wantResid[j])
+						}
+						for r := 0; r < n; r++ {
+							if got := next[r*b+j]; got != wantNext[j][r] {
+								t.Fatalf("B=%d parts=%d: lane %d next[%d] = %v, want %v (not bit-identical)",
+									b, parts, j, r, got, wantNext[j][r])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMultiStepQuick(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	f := func(seed int64, rawParts, rawB uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		b := 1 + int(rawB%9)
+		parts := 1 + int(rawParts%11)
+		s := mustStochastic(t, randomMatrix(t, seed, n, n*3))
+		fs := s.Fused(pool)
+		lanes := make([][]float64, b)
+		att := make([][]float64, b)
+		rec := make([][]float64, b)
+		alpha := make([]float64, b)
+		beta := make([]float64, b)
+		gamma := make([]float64, b)
+		wantNext := make([][]float64, b)
+		wantResid := make([]float64, b)
+		for j := 0; j < b; j++ {
+			x, a, r := randomVectors(rng, n)
+			lanes[j], att[j], rec[j] = x, a, r
+			alpha[j] = rng.Float64() * 0.5
+			beta[j] = rng.Float64() * (1 - alpha[j])
+			gamma[j] = 1 - alpha[j] - beta[j]
+			wantNext[j] = make([]float64, n)
+			wantResid[j] = fs.Step(wantNext[j], x, a, r, alpha[j], beta[j], gamma[j], parts)
+		}
+		x := blockFromLanes(lanes)
+		next := make([]float64, n*b)
+		resid := make([]float64, b)
+		fs.Multi().Step(next, x, att, rec, alpha, beta, gamma, resid, parts)
+		for j := 0; j < b; j++ {
+			if resid[j] != wantResid[j] {
+				return false
+			}
+			for r := 0; r < n; r++ {
+				if next[r*b+j] != wantNext[j][r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiStepPanicsOnBadShapes(t *testing.T) {
+	s := powerLawStochastic(t, 5, 50, 200)
+	m := s.Fused(nil).Multi()
+	n := s.N()
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"short block", func() {
+			m.Step(make([]float64, n), make([]float64, n), make([][]float64, 2), make([][]float64, 2),
+				make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 2), 1)
+		}},
+		{"lane slice mismatch", func() {
+			m.Step(make([]float64, 2*n), make([]float64, 2*n), make([][]float64, 1), make([][]float64, 2),
+				make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 2), 1)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on shape mismatch")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// BenchmarkIterationMulti8 measures one batched iteration over 8 lanes —
+// compare per-lane cost against BenchmarkIterationFusedSerial.
+func BenchmarkIterationMulti8(b *testing.B) {
+	s := powerLawStochastic(b, 7, 20000, 200000)
+	f := s.Fused(nil)
+	m := f.Multi()
+	n := s.N()
+	const lanes = 8
+	x := make([]float64, n*lanes)
+	next := make([]float64, n*lanes)
+	_, att1, rec1 := randomVectors(rand.New(rand.NewSource(1)), n)
+	att := make([][]float64, lanes)
+	rec := make([][]float64, lanes)
+	alpha := make([]float64, lanes)
+	beta := make([]float64, lanes)
+	gamma := make([]float64, lanes)
+	resid := make([]float64, lanes)
+	for j := 0; j < lanes; j++ {
+		att[j], rec[j] = att1, rec1
+		alpha[j], beta[j], gamma[j] = 0.5, 0.3, 0.2
+	}
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(next, x, att, rec, alpha, beta, gamma, resid, 1)
+	}
+}

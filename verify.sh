@@ -4,13 +4,15 @@
 # from the repository root.
 #
 #   ./verify.sh         full gate (gofmt + build + vet + race -shuffle=on
-#                       over every package + fuzz-seed smoke)
+#                       over every package + a one-rep batched-sweep
+#                       smoke so the blocked-SpMM path can't silently rot)
 #   ./verify.sh quick   kernel + durability + overload gate: gofmt +
 #                       build + vet, then a short-mode race pass over the
-#                       ranking hot path (sparse pool/fused kernel, core
-#                       operator/parallel tests), the ingest WAL tests
-#                       and the admission-control tests — seconds instead
-#                       of minutes, for tight iteration
+#                       ranking hot path (sparse pool/fused/multi kernels,
+#                       core operator/parallel/RankBatch tests, scratch
+#                       metrics), the ingest WAL tests and the
+#                       admission-control tests — seconds instead of
+#                       minutes, for tight iteration
 #   ./verify.sh fuzz    short coverage-guided fuzz sessions for the
 #                       dataio readers and HTTP query parsing
 #
@@ -34,8 +36,10 @@ go vet ./...
 
 if [ "${1:-}" = "quick" ]; then
 	echo "==> go test -race -short (kernel packages)"
-	go test -race -short -run 'Parallel|Fused|Operator|Pool|Partition' \
+	go test -race -short -run 'Parallel|Fused|Multi|Operator|Pool|Partition|RankBatch' \
 		./internal/sparse/ ./internal/core/
+	echo "==> go test -race (scratch metrics bit-equality)"
+	go test -race -run 'Scratch|Ordering|Ranks' ./internal/metrics/
 	echo "==> go test -race -run WAL (ingest durability)"
 	go test -race -run 'WAL' ./internal/ingest/
 	echo "==> go test -race (admission control)"
@@ -59,5 +63,9 @@ fi
 
 echo "==> go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
+
+echo "==> attrank-bench -sweep smoke (one rep, small network)"
+GOMAXPROCS=1 go run ./cmd/attrank-bench -sweep -sweep-papers 20000 -sweep-reps 1 \
+	-sweep-out /tmp/BENCH_sweep_smoke.json
 
 echo "verify.sh: all checks passed"
