@@ -7,8 +7,11 @@
 # parameter-grid sweep vs the sequential per-cell sweep, with a B-sweep
 # over block widths), BENCH_service.json (the serving path under
 # closed-loop overload: sustained RPS, accepted-latency quantiles and
-# shed rates at 1x/2x/4x saturation, graceful-shutdown drain), and then
-# runs the go-test microbenchmarks for the per-iteration kernels.
+# shed rates at 1x/2x/4x saturation, graceful-shutdown drain),
+# BENCH_cluster.json (a leader plus three WAL-shipping followers on
+# loopback: read throughput per replica added, and follower
+# crash-recovery bit-equality), and then runs the go-test
+# microbenchmarks for the per-iteration kernels.
 #
 # The committed BENCH_core.json and BENCH_sweep.json are generated at
 # GOMAXPROCS=1 (single-core kernel merit, no scheduler noise). Each is
@@ -31,6 +34,9 @@ go run ./cmd/attrank-bench -sweep -sweep-out /tmp/BENCH_sweep_ncpu.json
 
 echo "==> attrank-bench -serve (overload harness -> BENCH_service.json)"
 go run ./cmd/attrank-bench -serve -serve-out BENCH_service.json
+
+echo "==> attrank-bench -cluster (replicated tier -> BENCH_cluster.json)"
+go run ./cmd/attrank-bench -cluster -cluster-out BENCH_cluster.json
 
 echo "==> go test -bench (sparse + core kernels + scratch metrics)"
 go test -run XXX -bench 'Iteration|Rank100k|Spearman|NDCG' -benchtime 10x -benchmem \

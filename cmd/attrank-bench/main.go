@@ -98,10 +98,18 @@ func main() {
 		sweepOut    = flag.String("sweep-out", "BENCH_sweep.json", "output JSON path for -sweep")
 		sweepPapers = flag.Int("sweep-papers", 100000, "synthetic network size for -sweep")
 		sweepReps   = flag.Int("sweep-reps", 3, "timing repetitions per -sweep arm (best-of)")
+
+		cluster          = flag.Bool("cluster", false, "benchmark a replicated cluster (leader + followers over loopback): read scaling per replica and crash-recovery bit-equality")
+		clusterOut       = flag.String("cluster-out", "BENCH_cluster.json", "output JSON path for -cluster")
+		clusterDur       = flag.Duration("cluster-dur", 3*time.Second, "duration of each -cluster load level")
+		clusterPapers    = flag.Int("cluster-papers", 20000, "corpus size for -cluster")
+		clusterFollowers = flag.Int("cluster-followers", 3, "follower count for -cluster (min 3)")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *cluster:
+		err = runCluster(*clusterPapers, *clusterFollowers, *clusterOut, *clusterDur)
 	case *serve:
 		err = runServe(*servePapers, *serveOut, *serveDur)
 	case *sweep:

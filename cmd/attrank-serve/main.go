@@ -21,6 +21,20 @@
 // additionally mounts the net/http/pprof profiling handlers under
 // /debug/pprof/ (off by default — they expose stacks and heap data).
 //
+// Replication (-role, see internal/replication and DESIGN.md §12):
+//
+//	attrank-serve -role leader -wal state/ -in seed.tsv
+//	attrank-serve -role follower -peers http://leader:8080 -wal follower-state/ [-max-lag 8]
+//
+// A leader is a live server that additionally ships its write-ahead log
+// to followers over /repl/. A follower bootstraps its corpus and scores
+// from the leader, replays the shipped log through its own re-rank loop
+// (publishing rankings bit-identical to the leader's), serves every read
+// endpoint locally, and sheds reads with 503 + Retry-After once it falls
+// more than -max-lag epochs behind. Writes to a follower answer 503
+// pointing at the leader. -max-rps additionally caps the admitted
+// request rate per replica (0 = uncapped).
+//
 // Without -wal the server is read-only: it ranks the corpus once at
 // startup and serves it. With -wal it runs the live-ingestion subsystem
 // (internal/ingest): mutations posted to /v1/papers, /v1/citations and
@@ -61,6 +75,7 @@ import (
 	"attrank/internal/dataio"
 	"attrank/internal/graph"
 	"attrank/internal/ingest"
+	"attrank/internal/replication"
 	"attrank/internal/service"
 )
 
@@ -87,11 +102,29 @@ func main() {
 		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
 		rerankEvery   = flag.Duration("rerank-every", ingest.DefaultRerankEvery, "live mode: re-rank at most this long after a mutation")
 		snapshotEvery = flag.Int("snapshot-every", ingest.DefaultSnapshotEvery, "live mode: snapshot after this many compacted mutations (negative disables)")
+
+		role   = flag.String("role", "", "replication role: empty (standalone), \"leader\" (requires -wal) or \"follower\" (requires -peers and -wal as the local state directory)")
+		peers  = flag.String("peers", "", "follower mode: the leader's base URL, e.g. http://leader:8080")
+		maxLag = flag.Int("max-lag", service.DefaultMaxLag, "follower mode: shed reads when more than this many epochs behind the leader")
+		maxRPS = flag.Float64("max-rps", 0, "cap admitted requests per second (0 = uncapped); excess sheds with 429")
 	)
 	flag.Parse()
-	if *in == "" && *wal == "" {
+	if *role != "" && *role != "leader" && *role != "follower" {
+		fmt.Fprintln(os.Stderr, "attrank-serve: -role must be empty, \"leader\" or \"follower\"")
+		os.Exit(2)
+	}
+	if *role == "follower" {
+		if *peers == "" || *wal == "" {
+			fmt.Fprintln(os.Stderr, "attrank-serve: -role follower requires -peers (leader URL) and -wal (local state directory)")
+			os.Exit(2)
+		}
+	} else if *in == "" && *wal == "" {
 		fmt.Fprintln(os.Stderr, "attrank-serve: -in or -wal is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *role == "leader" && *wal == "" {
+		fmt.Fprintln(os.Stderr, "attrank-serve: -role leader requires -wal (followers ship the write-ahead log)")
 		os.Exit(2)
 	}
 	var (
@@ -99,7 +132,32 @@ func main() {
 		ing *ingest.Ingester
 		err error
 	)
-	if *wal != "" {
+	switch {
+	case *role == "follower":
+		// Only an explicit -workers overrides the leader's partition
+		// count (overriding voids the bit-equality guarantee).
+		followerWorkers := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				followerWorkers = *workers
+			}
+		})
+		var fol *replication.Follower
+		fol, err = replication.StartFollower(replication.FollowerConfig{
+			Leader:  *peers,
+			Dir:     *wal,
+			Workers: followerWorkers,
+			Logf:    log.Printf,
+		})
+		if err == nil {
+			defer func() {
+				if err := fol.Close(); err != nil {
+					log.Printf("attrank-serve: closing follower: %v", err)
+				}
+			}()
+			srv = service.NewReplica(fol, *maxLag)
+		}
+	case *wal != "":
 		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery)
 		if err == nil {
 			defer func() {
@@ -108,8 +166,12 @@ func main() {
 				}
 			}()
 			srv = service.NewLive(ing)
+			if *role == "leader" {
+				srv.AttachReplication(replication.NewLeader(ing, replication.LeaderConfig{Logf: log.Printf}).Handler())
+				log.Printf("attrank-serve: leader mode: shipping WAL at /repl/")
+			}
 		}
-	} else {
+	default:
 		srv, err = build(*in, *alpha, *beta, *gamma, *y, *w, *now, *workers)
 	}
 	if err != nil {
@@ -121,6 +183,7 @@ func main() {
 		MaxQueue:    *queue,
 		Deadline:    *deadline,
 		MaxPending:  *maxPending,
+		MaxRPS:      *maxRPS,
 	}
 	srv.ConfigureAdmission(adm)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

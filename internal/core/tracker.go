@@ -37,6 +37,23 @@ func (t *Tracker) Params() Params { return t.params }
 // Tracked returns how many paper scores the tracker currently holds.
 func (t *Tracker) Tracked() int { return len(t.last) }
 
+// Seed primes the warm-start state from externally computed scores, as
+// if the previous Update had produced them. This is how a replication
+// follower joins a leader's warm-start chain mid-stream: seeded with
+// the leader's published scores for the same network, every subsequent
+// Update starts from the same vector the leader's does and therefore
+// reproduces the leader's results bit for bit.
+func (t *Tracker) Seed(net *graph.Network, scores []float64) error {
+	if net.N() != len(scores) {
+		return fmt.Errorf("core: tracker seed: %d scores for %d papers", len(scores), net.N())
+	}
+	t.last = make(map[string]float64, len(scores))
+	for i := int32(0); int(i) < net.N(); i++ {
+		t.last[net.Paper(i).ID] = scores[i]
+	}
+	return nil
+}
+
 // Update ranks the network's state at time now, warm-starting from the
 // previous update where paper IDs overlap. Papers unseen before start at
 // the mean of the carried-over mass (or uniform on the first call).

@@ -2,6 +2,8 @@ package ingest
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -122,6 +124,19 @@ type Ingester struct {
 	epoch   atomic.Uint64
 	snaps   atomic.Uint64
 
+	// claimed is the highest epoch number committed to the WAL as a
+	// marker (the scheduler claims the epoch before ranking it, so the
+	// marker lands ahead of any mutation that arrives mid-rank); epoch
+	// above tracks published rankings and trails claimed while a re-rank
+	// is in flight. On recovery claimed resumes from the largest marker
+	// in the WAL, so epoch numbers never regress across restarts.
+	claimed atomic.Uint64
+	// instance is a random nonce minted per Open. Followers carry it so
+	// a leader restart — which rebuilds the warm-start chain from a cold
+	// rank — forces them to full-resync rather than silently diverge.
+	instance uint64
+	cursor   atomic.Pointer[ReplCursor]
+
 	tracker *core.Tracker // owned by the scheduler goroutine (and Open)
 
 	kick    chan struct{}
@@ -191,12 +206,24 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 		ing.base = empty
 	}
 
+	if err := binary.Read(crand.Reader, binary.LittleEndian, &ing.instance); err != nil {
+		return nil, fmt.Errorf("ingest: instance nonce: %w", err)
+	}
+
 	// Replay the WAL tail into the delta. Records are validated with the
 	// same rules as live writes, so a record made redundant by the
 	// snapshot (crash between snapshot and WAL reset) replays as a
-	// duplicate no-op.
+	// duplicate no-op. Epoch markers are bookkeeping, not corpus state:
+	// replay only resumes the epoch counter from them.
 	replayed, skipped := 0, 0
+	var maxMark uint64
 	wal, err := OpenWAL(filepath.Join(cfg.Dir, "wal.log"), func(m Mutation) error {
+		if m.Kind == KindEpoch {
+			if m.Epoch.Epoch > maxMark {
+				maxMark = m.Epoch.Epoch
+			}
+			return nil
+		}
 		switch ing.validate(m) {
 		case applyOK:
 			ing.applyToDelta(m)
@@ -214,6 +241,10 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 		return nil, err
 	}
 	ing.wal = wal
+	ing.claimed.Store(maxMark)
+	if torn := wal.TornTail(); torn != nil {
+		ing.logf("ingest: wal recovery truncated a torn tail: %v", torn)
+	}
 	mWALReplayedTotal.Add(int64(replayed))
 	if replayed > 0 || skipped > 0 {
 		ing.logf("ingest: recovered %d mutations from WAL (%d invalid skipped)", replayed, skipped)
@@ -229,6 +260,7 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 		ing.snaps.Add(1)
 	}
 
+	ing.storeCursor()
 	if ing.base.N() > 0 || len(ing.delta) > 0 {
 		if err := ing.rerank(); err != nil {
 			wal.Close()
@@ -538,17 +570,47 @@ func (ing *Ingester) loop() {
 // (warm-started by the tracker), publishes the new epoch, and swaps the
 // compacted network in as the new base. Readers are never blocked: they
 // keep using the previous Ranking until the atomic pointer swap.
+//
+// The epoch is claimed — and its marker appended to the WAL — inside
+// the first critical section, before any mutation arriving mid-rank can
+// reach the log: a follower replaying the log therefore sees exactly
+// this compaction's mutations ahead of the marker, which is what lets
+// it reproduce the epoch bit for bit (see internal/replication).
 func (ing *Ingester) rerank() error {
 	started := time.Now()
 	ing.mu.Lock()
 	base := ing.base
 	upTo := len(ing.delta)
+	if base.N() == 0 && upTo == 0 {
+		ing.mu.Unlock()
+		return nil // nothing to rank yet
+	}
 	deltaPrefix := ing.delta[:upTo:upTo]
 	if upTo > 0 && !ing.firstPending.IsZero() {
 		// Debounce lag: how long the oldest mutation of this batch sat
 		// pending before a re-rank picked it up.
 		mDebounceSeconds.ObserveSince(ing.firstPending)
 	}
+	// The effective ranking time must be fixed before the marker is
+	// written — followers rank with the marker's value, not their own
+	// clock. It equals what the compacted network's MaxYear will be.
+	now := ing.cfg.Now
+	if y := base.MaxYear(); y > now {
+		now = y
+	}
+	for _, m := range deltaPrefix {
+		if m.Kind == KindPaper && m.Paper.Year > now {
+			now = m.Paper.Year
+		}
+	}
+	e := ing.claimed.Add(1)
+	mark := Mutation{Kind: KindEpoch, Epoch: EpochMark{Epoch: e, RankedAt: now, Count: uint32(upTo)}}
+	if err := ing.wal.Append(mark); err != nil {
+		ing.claimed.Add(^uint64(0)) // un-claim; nothing was committed
+		ing.mu.Unlock()
+		return fmt.Errorf("epoch marker: %w", err)
+	}
+	ing.storeCursor()
 	ing.mu.Unlock()
 
 	net := base
@@ -570,14 +632,7 @@ func (ing *Ingester) rerank() error {
 			return fmt.Errorf("compacting: %w", err)
 		}
 	}
-	if net.N() == 0 {
-		return nil // nothing to rank yet
-	}
 
-	now := ing.cfg.Now
-	if net.MaxYear() > now {
-		now = net.MaxYear()
-	}
 	res, err := ing.tracker.Update(net, now)
 	if err != nil {
 		return err
@@ -587,7 +642,7 @@ func (ing *Ingester) rerank() error {
 		positions[idx] = pos
 	}
 	r := &Ranking{
-		Epoch:     ing.epoch.Add(1),
+		Epoch:     e,
 		Net:       net,
 		Result:    res,
 		Positions: positions,
@@ -627,6 +682,7 @@ func (ing *Ingester) rerank() error {
 	mEpoch.Set(float64(r.Epoch))
 	ing.lastDur.Store(int64(time.Since(started)))
 	ing.lastIt.Store(int64(res.Iterations))
+	ing.epoch.Store(e)
 	ing.ranking.Store(r)
 	ing.logf("ingest: epoch %d published: %d papers, %d mutations compacted, %d iterations in %s",
 		r.Epoch, net.N(), upTo, res.Iterations, time.Since(started).Round(time.Millisecond))
@@ -674,6 +730,7 @@ func (ing *Ingester) snapshotLocked() error {
 	if err := ing.wal.Reset(); err != nil {
 		return err
 	}
+	ing.storeCursor()
 	ing.sinceSnapshot = 0
 	ing.snaps.Add(1)
 	mSnapshotsTotal.Inc()

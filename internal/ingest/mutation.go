@@ -34,6 +34,14 @@ import (
 const (
 	KindPaper    byte = 1
 	KindCitation byte = 2
+	// KindEpoch is an epoch-commit marker, written by the re-rank
+	// scheduler (never by clients): every mutation before the marker is
+	// part of epoch Epoch's compaction, everything after belongs to a
+	// later epoch. Markers are what make WAL shipping deterministic — a
+	// follower that compacts exactly Count buffered mutations at each
+	// marker and ranks at RankedAt reproduces the leader's warm-start
+	// chain, and therefore its scores, bit for bit.
+	KindEpoch byte = 3
 )
 
 // PaperMut adds one paper to the corpus.
@@ -51,12 +59,26 @@ type CitationMut struct {
 	Citing, Cited string
 }
 
-// Mutation is one write: exactly one of Paper or Citation is set,
-// selected by Kind.
+// EpochMark is the payload of a KindEpoch marker record.
+type EpochMark struct {
+	// Epoch is the ranking epoch this marker commits.
+	Epoch uint64
+	// RankedAt is the effective ranking time tN the leader used; a
+	// follower must rank with the same value or the recency vector (and
+	// with it every score) diverges.
+	RankedAt int
+	// Count is how many mutations since the previous marker belong to
+	// this epoch's compaction.
+	Count uint32
+}
+
+// Mutation is one write: exactly one of Paper, Citation or Epoch is
+// set, selected by Kind.
 type Mutation struct {
 	Kind     byte
 	Paper    PaperMut
 	Citation CitationMut
+	Epoch    EpochMark
 }
 
 // encode appends the WAL payload encoding of m to buf and returns the
@@ -98,10 +120,31 @@ func (m Mutation) encode(buf []byte) ([]byte, error) {
 		if err := putStr(m.Citation.Cited); err != nil {
 			return nil, err
 		}
+	case KindEpoch:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Epoch.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.Epoch.RankedAt)))
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch.Count)
 	default:
 		return nil, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
 	}
 	return buf, nil
+}
+
+// DecodeMutation parses one WAL record payload produced by the encoder —
+// the hook internal/replication uses to decode shipped records on a
+// follower.
+func DecodeMutation(payload []byte) (Mutation, error) { return decodeMutation(payload) }
+
+// WireSize returns the WAL bytes one record of m occupies (8-byte
+// record header + payload). The encoding is deterministic, so a
+// follower re-encoding shipped records into its own log can translate
+// local offsets back into leader offsets record by record.
+func (m Mutation) WireSize() (int64, error) {
+	buf, err := m.encode(nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(8 + len(buf)), nil
 }
 
 // decodeMutation parses one WAL payload produced by encode.
@@ -165,6 +208,14 @@ func decodeMutation(payload []byte) (Mutation, error) {
 			return m, err
 		}
 		m.Citation = CitationMut{Citing: citing, Cited: cited}
+	case KindEpoch:
+		if pos+16 > len(payload) {
+			return m, fmt.Errorf("ingest: truncated epoch marker")
+		}
+		m.Epoch.Epoch = binary.LittleEndian.Uint64(payload[pos:])
+		m.Epoch.RankedAt = int(int32(binary.LittleEndian.Uint32(payload[pos+8:])))
+		m.Epoch.Count = binary.LittleEndian.Uint32(payload[pos+12:])
+		pos += 16
 	default:
 		return m, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
 	}

@@ -1,0 +1,280 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Tests for the WAL's replication surface: record-boundary offsets,
+// mid-log resumption (OpenWALAt), torn-tail offset reporting, and the
+// (gen, offset) cursor semantics of ReadWALAt.
+
+// walFixture appends n mutations to a fresh WAL and returns the log
+// path, the appended mutations, and every record boundary offset
+// (boundaries[0] is the file header, boundaries[n] the final size).
+func walFixture(t *testing.T, n int) (string, []Mutation, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, func(Mutation) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := make([]Mutation, 0, n)
+	boundaries := []int64{WALHeaderSize}
+	for i := 0; i < n; i++ {
+		var m Mutation
+		switch i % 3 {
+		case 0:
+			m = Mutation{Kind: KindPaper, Paper: PaperMut{
+				ID: "p" + string(rune('a'+i)), Year: 1990 + i, Authors: []string{"x", "y"}, Venue: "V"}}
+		case 1:
+			m = Mutation{Kind: KindCitation, Citation: CitationMut{Citing: "pa", Cited: "pb"}}
+		default:
+			m = Mutation{Kind: KindEpoch, Epoch: EpochMark{Epoch: uint64(i), RankedAt: 2000 + i, Count: uint32(i)}}
+		}
+		if err := w.Append(m); err != nil {
+			t.Fatal(err)
+		}
+		muts = append(muts, m)
+		boundaries = append(boundaries, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, muts, boundaries
+}
+
+func mutEqual(a, b Mutation) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	ae, _ := a.encode(nil)
+	be, _ := b.encode(nil)
+	return string(ae) == string(be)
+}
+
+// TestWireSizeMatchesAppendedBytes pins the property the replication
+// follower depends on to translate local offsets back to leader offsets:
+// WireSize is exactly the number of bytes Append adds to the log.
+func TestWireSizeMatchesAppendedBytes(t *testing.T) {
+	_, muts, boundaries := walFixture(t, 9)
+	for i, m := range muts {
+		size, err := m.WireSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := boundaries[i+1] - boundaries[i]; got != size {
+			t.Errorf("record %d: appended %d bytes, WireSize %d", i, got, size)
+		}
+	}
+}
+
+// TestOpenWALAtEveryRecordBoundary resumes replay from each record
+// boundary in turn and requires exactly the records after that boundary
+// to be redelivered — the contract the follower's crash recovery uses
+// to replay its local tail past the last saved marker.
+func TestOpenWALAtEveryRecordBoundary(t *testing.T) {
+	path, muts, boundaries := walFixture(t, 9)
+	for bi, from := range boundaries {
+		var got []Mutation
+		w, err := OpenWALAt(path, from, func(m Mutation) error {
+			got = append(got, m)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("OpenWALAt(%d): %v", from, err)
+		}
+		if w.TornTail() != nil {
+			t.Fatalf("OpenWALAt(%d): unexpected torn tail %v", from, w.TornTail())
+		}
+		want := muts[bi:]
+		if len(got) != len(want) {
+			t.Fatalf("OpenWALAt(%d): replayed %d records, want %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if !mutEqual(got[i], want[i]) {
+				t.Fatalf("OpenWALAt(%d): record %d differs: got %+v want %+v", from, i, got[i], want[i])
+			}
+		}
+		w.Close()
+	}
+}
+
+// TestWALTornTailOffsetAtEveryCut truncates the log at every byte
+// position and requires replay to (a) deliver exactly the records whose
+// bytes fully survived, and (b) report the first broken record's start
+// offset — the last durable boundary — through TornTail. That offset is
+// what a replication follower re-syncs from, so an off-by-one here
+// would either drop an acknowledged record or re-apply a partial one.
+func TestWALTornTailOffsetAtEveryCut(t *testing.T) {
+	path, muts, boundaries := walFixture(t, 6)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(raw))
+	if total != boundaries[len(boundaries)-1] {
+		t.Fatalf("file is %d bytes, final boundary %d", total, boundaries[len(boundaries)-1])
+	}
+	// floorBoundary returns the last record boundary at or before cut,
+	// and how many whole records precede it.
+	floorBoundary := func(cut int64) (int64, int) {
+		for i := len(boundaries) - 1; ; i-- {
+			if boundaries[i] <= cut {
+				return boundaries[i], i
+			}
+		}
+	}
+	dir := t.TempDir()
+	for cut := WALHeaderSize; cut < total; cut++ {
+		p := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		w, err := OpenWAL(p, func(Mutation) error { got++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		boundary, whole := floorBoundary(cut)
+		if got != whole {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, got, whole)
+		}
+		if cut == boundary {
+			if w.TornTail() != nil {
+				t.Fatalf("cut %d is a clean boundary, got torn tail %v", cut, w.TornTail())
+			}
+		} else {
+			torn := w.TornTail()
+			if torn == nil {
+				t.Fatalf("cut %d: no torn tail reported", cut)
+			}
+			if torn.Offset != boundary {
+				t.Fatalf("cut %d: torn offset %d, want last boundary %d", cut, torn.Offset, boundary)
+			}
+		}
+		if w.Size() != boundary {
+			t.Fatalf("cut %d: size %d after truncation, want %d", cut, w.Size(), boundary)
+		}
+		w.Close()
+	}
+	_ = muts
+}
+
+// TestWALCorruptRecordReportsItsOffset flips one byte inside a
+// mid-file record's payload: replay must stop at that record's start
+// offset with a checksum reason, not at the flipped byte.
+func TestWALCorruptRecordReportsItsOffset(t *testing.T) {
+	path, _, boundaries := walFixture(t, 5)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the third record's payload (skip its 8-byte len+crc
+	// header so the framing still parses and the CRC catches it).
+	start := boundaries[2]
+	raw[start+8] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	w, err := OpenWAL(path, func(Mutation) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got != 2 {
+		t.Fatalf("replayed %d records, want 2", got)
+	}
+	torn := w.TornTail()
+	if torn == nil {
+		t.Fatal("no torn tail reported for corrupt record")
+	}
+	if torn.Offset != start {
+		t.Fatalf("torn offset %d, want corrupt record start %d", torn.Offset, start)
+	}
+}
+
+// TestReadWALAtCursorSemantics exercises the (gen, offset) contract the
+// leader's shipping loop relies on: reads at the durable end return
+// io.EOF, reads from a rotated generation return ErrWALRotated, and a
+// bootstrap cursor taken before a snapshot is invalid after it.
+func TestReadWALAtCursorSemantics(t *testing.T) {
+	ing := mustOpen(t, seedNet(t), testConfig(t.TempDir()))
+	cur := ing.ReplCursor()
+	if cur.Epoch != 1 {
+		t.Fatalf("cursor epoch %d after Open, want 1", cur.Epoch)
+	}
+
+	buf := make([]byte, 1<<16)
+	if n, err := ing.ReadWALAt(cur.Gen, cur.Offset, buf); err != io.EOF || n != 0 {
+		t.Fatalf("read at durable end: n=%d err=%v, want 0, io.EOF", n, err)
+	}
+
+	// New mutations become readable exactly up to the new cursor.
+	if _, err := ing.AddPaper(PaperMut{ID: "new", Year: 1997, Authors: []string{"z"}, Venue: "V"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cur2 := ing.ReplCursor()
+	if cur2.Offset <= cur.Offset || cur2.Epoch != 2 {
+		t.Fatalf("cursor did not advance: %+v -> %+v", cur, cur2)
+	}
+	n, err := ing.ReadWALAt(cur.Gen, cur.Offset, buf)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if int64(n) != cur2.Offset-cur.Offset {
+		t.Fatalf("read %d bytes between cursors, want %d", n, cur2.Offset-cur.Offset)
+	}
+
+	// Snapshot compaction rotates the generation out from under the old
+	// cursor.
+	if err := ing.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.ReadWALAt(cur2.Gen, cur2.Offset, buf); !errors.Is(err, ErrWALRotated) {
+		t.Fatalf("read from rotated gen: %v, want ErrWALRotated", err)
+	}
+	cur3 := ing.ReplCursor()
+	if cur3.Gen != cur2.Gen+1 || cur3.Offset != WALHeaderSize {
+		t.Fatalf("cursor after snapshot: %+v", cur3)
+	}
+	if cur3.Epoch != cur2.Epoch {
+		t.Fatalf("snapshot changed the claimed epoch: %d -> %d", cur2.Epoch, cur3.Epoch)
+	}
+}
+
+// TestReplStateConsistency pins the bootstrap invariant: the returned
+// ranking's epoch equals the returned cursor's epoch, even while writes
+// and re-ranks race the call.
+func TestReplStateConsistency(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.RerankAfter = 1 // re-rank eagerly so markers race the reads
+	cfg.RerankEvery = time.Millisecond
+	ing := mustOpen(t, seedNet(t), cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			ing.AddPaper(PaperMut{ID: "r" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Year: 1997, Authors: []string{"w"}, Venue: "V"})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		rank, cur, err := ing.ReplState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank.Epoch != cur.Epoch {
+			t.Fatalf("ReplState mismatch: ranking epoch %d, cursor epoch %d", rank.Epoch, cur.Epoch)
+		}
+	}
+	<-done
+}

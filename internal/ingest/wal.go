@@ -25,18 +25,45 @@ const (
 	walRecordMax = 1 << 24 // 16 MiB: far above any sane mutation
 )
 
+// WALHeaderSize is the length of the WAL file header — the smallest
+// valid record offset, and the replication stream's origin.
+const WALHeaderSize = int64(len(walMagic))
+
+// WALRecordMax is the per-record payload ceiling, exported so the
+// replication follower can apply the same sanity bound when it parses
+// shipped record frames.
+const WALRecordMax = walRecordMax
+
 // walFile is the slice of *os.File the WAL needs. The indirection
 // exists for the fault-injection tests: durability claims ("no
 // acknowledged record is ever lost") are only testable with a file that
 // can be made to fail mid-append.
 type walFile interface {
 	io.Reader
+	io.ReaderAt
 	io.Writer
 	io.Seeker
 	Sync() error
 	Truncate(size int64) error
 	Close() error
 	Name() string
+}
+
+// TornRecordError describes the first torn or corrupt record found
+// during replay: Offset is the byte offset of the record's start — the
+// last durable boundary, which is exactly where a follower must request
+// re-sync from — and Reason says what was wrong with the bytes after
+// it. Replay treats a torn tail as the expected aftermath of a crash
+// (the error is surfaced via WAL.TornTail, not returned), but the
+// offset matters: shipping or replaying past it would propagate
+// garbage.
+type TornRecordError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *TornRecordError) Error() string {
+	return fmt.Sprintf("ingest: torn wal record at offset %d: %s", e.Offset, e.Reason)
 }
 
 // WAL is an append-only, CRC-checked mutation log. It is not safe for
@@ -51,6 +78,36 @@ type WAL struct {
 	// torn bytes — would make replay silently truncate records that were
 	// already acknowledged.
 	failed error
+	// gen counts Reset calls: byte offsets are only comparable within
+	// one generation, so replication consumers carry (gen, offset) pairs
+	// and full-resync when the generation moves under them.
+	gen uint64
+	// torn records what the opening replay found past the last valid
+	// boundary (nil when the log ended cleanly).
+	torn *TornRecordError
+}
+
+// Gen returns the log's generation: 0 until the first Reset, +1 per
+// Reset since this WAL was opened.
+func (w *WAL) Gen() uint64 { return w.gen }
+
+// TornTail reports the torn or corrupt record the opening replay
+// truncated, or nil if the log ended at a clean record boundary.
+func (w *WAL) TornTail() *TornRecordError { return w.torn }
+
+// ReadAt reads durable log bytes at offset off, clamped to the last
+// acknowledged record boundary: bytes past Size() — a torn in-flight
+// append — are never served, so replication can only ever ship records
+// that were acknowledged. It returns io.EOF when off is at or past the
+// durable end.
+func (w *WAL) ReadAt(p []byte, off int64) (int, error) {
+	if off >= w.size {
+		return 0, io.EOF
+	}
+	if max := w.size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	return w.f.ReadAt(p, off)
 }
 
 // OpenWAL opens (or creates) the log at path, replays every valid record
@@ -59,11 +116,25 @@ type WAL struct {
 // (CRC-valid but unparseable) aborts the open, since that indicates
 // corruption beyond a torn write.
 func OpenWAL(path string, fn func(Mutation) error) (*WAL, error) {
+	return OpenWALAt(path, WALHeaderSize, fn)
+}
+
+// OpenWALAt is OpenWAL resuming replay from a known record boundary:
+// records before from are skipped without decoding, records from there
+// on replay into fn. This is how a follower reopens its local log
+// without re-applying the prefix its snapshot already covers. from must
+// be a record boundary previously reported by a replay (offsets inside
+// a record fail the CRC and would be misdiagnosed as a torn tail at
+// from); the header offset replays everything.
+func OpenWALAt(path string, from int64, fn func(Mutation) error) (*WAL, error) {
+	if from < WALHeaderSize {
+		return nil, fmt.Errorf("ingest: wal replay offset %d is inside the header", from)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: wal open: %w", err)
 	}
-	valid, err := replay(f, fn)
+	valid, torn, err := replay(f, from, fn)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -77,67 +148,89 @@ func OpenWAL(path string, fn func(Mutation) error) (*WAL, error) {
 		return nil, fmt.Errorf("ingest: wal seek: %w", err)
 	}
 	mWALSizeBytes.Set(float64(valid))
-	return &WAL{f: f, size: valid}, nil
+	return &WAL{f: f, size: valid, torn: torn}, nil
 }
 
-// replay scans the log from the start, calling fn per valid record, and
-// returns the offset of the last valid record boundary. A missing or
-// short header on an otherwise empty file is repaired by rewriting the
-// header (valid = header length).
-func replay(f walFile, fn func(Mutation) error) (int64, error) {
+// replay scans the log from record boundary from, calling fn per valid
+// record, and returns the offset of the last valid record boundary plus
+// a description of the torn record that ended the scan, if any. A
+// missing or short header on an otherwise empty file is repaired by
+// rewriting the header (valid = header length).
+func replay(f walFile, from int64, fn func(Mutation) error) (int64, *TornRecordError, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("ingest: wal seek: %w", err)
+		return 0, nil, fmt.Errorf("ingest: wal seek: %w", err)
 	}
 	header := make([]byte, len(walMagic))
 	n, err := io.ReadFull(f, header)
 	if err == io.EOF || (err == io.ErrUnexpectedEOF && n < len(walMagic)) {
 		// New or torn-at-birth log: (re)write the header.
+		if from > WALHeaderSize {
+			return 0, nil, fmt.Errorf("ingest: wal replay offset %d beyond end of empty log", from)
+		}
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return 0, fmt.Errorf("ingest: wal seek: %w", err)
+			return 0, nil, fmt.Errorf("ingest: wal seek: %w", err)
 		}
 		if _, err := f.Write([]byte(walMagic)); err != nil {
-			return 0, fmt.Errorf("ingest: wal header: %w", err)
+			return 0, nil, fmt.Errorf("ingest: wal header: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			return 0, fmt.Errorf("ingest: wal header sync: %w", err)
+			return 0, nil, fmt.Errorf("ingest: wal header sync: %w", err)
 		}
-		return int64(len(walMagic)), nil
+		return WALHeaderSize, nil, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("ingest: wal header: %w", err)
+		return 0, nil, fmt.Errorf("ingest: wal header: %w", err)
 	}
 	if string(header) != walMagic {
-		return 0, fmt.Errorf("ingest: %s is not a WAL (magic %q)", f.Name(), header)
+		return 0, nil, fmt.Errorf("ingest: %s is not a WAL (magic %q)", f.Name(), header)
+	}
+	if from > WALHeaderSize {
+		end, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			return 0, nil, fmt.Errorf("ingest: wal seek: %w", err)
+		}
+		if from > end {
+			return 0, nil, fmt.Errorf("ingest: wal replay offset %d beyond end %d", from, end)
+		}
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return 0, nil, fmt.Errorf("ingest: wal seek: %w", err)
+		}
 	}
 
-	valid := int64(len(walMagic))
+	valid := from
 	var hdr [8]byte
 	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			// EOF exactly at a boundary, or a torn record header: stop.
-			return valid, nil
+		if n, err := io.ReadFull(f, hdr[:]); err != nil {
+			if n == 0 {
+				return valid, nil, nil // clean EOF at a boundary
+			}
+			return valid, &TornRecordError{Offset: valid,
+				Reason: fmt.Sprintf("torn record header (%d of 8 bytes)", n)}, nil
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if length == 0 || length > walRecordMax {
-			return valid, nil // garbage tail
+			return valid, &TornRecordError{Offset: valid,
+				Reason: fmt.Sprintf("implausible record length %d", length)}, nil
 		}
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return valid, nil // torn payload
+		if n, err := io.ReadFull(f, payload); err != nil {
+			return valid, &TornRecordError{Offset: valid,
+				Reason: fmt.Sprintf("torn record payload (%d of %d bytes)", n, length)}, nil
 		}
-		if crc32.ChecksumIEEE(payload) != want {
-			return valid, nil // corrupt tail
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return valid, &TornRecordError{Offset: valid,
+				Reason: fmt.Sprintf("payload crc mismatch (got %08x, want %08x)", got, want)}, nil
 		}
 		m, err := decodeMutation(payload)
 		if err != nil {
 			// CRC passed but the payload is unparseable: real corruption,
 			// not a torn write. Refuse to silently drop durable records.
-			return valid, fmt.Errorf("ingest: wal record at offset %d: %w", valid, err)
+			return valid, nil, fmt.Errorf("ingest: wal record at offset %d: %w", valid, err)
 		}
 		if fn != nil {
 			if err := fn(m); err != nil {
-				return valid, err
+				return valid, nil, err
 			}
 		}
 		valid += int64(8 + length)
@@ -216,7 +309,8 @@ func (w *WAL) appendFailed(err error) error {
 func (w *WAL) Size() int64 { return w.size }
 
 // Reset truncates the log back to an empty (header-only) state, after a
-// snapshot has made its records redundant.
+// snapshot has made its records redundant, and advances the generation:
+// every (gen, offset) pair handed out before the reset is now invalid.
 func (w *WAL) Reset() error {
 	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
 		return fmt.Errorf("ingest: wal reset: %w", err)
@@ -228,6 +322,7 @@ func (w *WAL) Reset() error {
 		return fmt.Errorf("ingest: wal reset sync: %w", err)
 	}
 	w.size = int64(len(walMagic))
+	w.gen++
 	mWALSizeBytes.Set(float64(w.size))
 	return nil
 }

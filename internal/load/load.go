@@ -39,6 +39,12 @@ func (k Kind) String() string {
 type Config struct {
 	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs, when non-empty, spreads the workload over a cluster:
+	// worker w issues every request to BaseURLs[w % len(BaseURLs)], so
+	// each worker keeps a single target (closed-loop latency stays
+	// per-server meaningful) and the targets split the workers as evenly
+	// as worker count allows. Takes precedence over BaseURL.
+	BaseURLs []string
 	// Workers is the closed-loop concurrency. Default 1.
 	Workers int
 	// Duration bounds the run; 0 means until ctx is cancelled.
@@ -59,7 +65,10 @@ type Config struct {
 	// ShedBackoff pauses a worker after a shed (429/503) response,
 	// modeling a client that honors Retry-After (at harness rather than
 	// wall-clock scale). Zero hammers back immediately — the adversarial
-	// client the server must also survive.
+	// client the server must also survive. Each pause is jittered ±20%
+	// from the worker's deterministic seed, so shed workers do not
+	// reconverge into synchronized retry waves that re-overload the
+	// server at a fixed beat.
 	ShedBackoff time.Duration
 	// Client overrides the HTTP client (nil builds a keep-alive client
 	// sized for Workers).
@@ -191,8 +200,12 @@ type tally struct {
 
 // Run executes the closed-loop workload and blocks until it finishes.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("load: Config.BaseURL is required")
+	targets := cfg.BaseURLs
+	if len(targets) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("load: Config.BaseURL or BaseURLs is required")
+		}
+		targets = []string{cfg.BaseURL}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -225,14 +238,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		go func(w int) {
 			defer func() { done <- w }()
 			gen := newOpGen(cfg, w)
+			// The backoff jitter draws from its own deterministic
+			// stream: sharing the op generator's would shift which
+			// operations a worker issues depending on how often it was
+			// shed, breaking the reproducible-workload guarantee.
+			jrng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(w+1)*0xD1B54A32D192ED03)))
+			base := targets[w%len(targets)]
 			t := &tallies[w]
 			t.byStatus = make(map[int]int64)
 			for ctx.Err() == nil {
-				shed := runOne(ctx, client, cfg, gen.next(), w, t, res)
+				shed := runOne(ctx, client, base, cfg, gen.next(), w, t, res)
 				if shed && cfg.ShedBackoff > 0 {
 					select {
 					case <-ctx.Done():
-					case <-time.After(cfg.ShedBackoff):
+					case <-time.After(jitterBackoff(cfg.ShedBackoff, jrng)):
 					}
 				}
 			}
@@ -257,21 +276,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runOne issues one operation and records it, reporting whether the
-// response was a shed (429/503). Failures caused by the run winding
-// down (context cancelled mid-request) are not counted.
-func runOne(ctx context.Context, client *http.Client, cfg Config, o op, worker int, t *tally, res *Result) bool {
+// jitterBackoff spreads d by ±20% using the worker's deterministic
+// jitter stream.
+func jitterBackoff(d time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rng.Float64()))
+}
+
+// runOne issues one operation against base and records it, reporting
+// whether the response was a shed (429/503). Failures caused by the run
+// winding down (context cancelled mid-request) are not counted.
+func runOne(ctx context.Context, client *http.Client, base string, cfg Config, o op, worker int, t *tally, res *Result) bool {
 	var (
 		req *http.Request
 		err error
 	)
 	if o.kind == KindWrite {
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+o.path, strings.NewReader(o.body))
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+o.path, strings.NewReader(o.body))
 		if req != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 	} else {
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+o.path, nil)
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, base+o.path, nil)
 	}
 	if err != nil {
 		t.transport++

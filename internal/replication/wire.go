@@ -1,0 +1,201 @@
+package replication
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"attrank/internal/core"
+)
+
+// Wire protocol (DESIGN.md §12). Two endpoints, mounted by the service
+// layer under /repl/ on the leader:
+//
+//	GET /repl/state
+//	    Bootstrap: one JSON header line (stateHeader), then the corpus
+//	    in the .anb binary format, then three CRC-framed float64
+//	    vectors (scores, attention, recency). The header carries the
+//	    exact replication cursor the payload corresponds to.
+//
+//	GET /repl/wal?instance=I&gen=G&from=N
+//	    Segment stream: an unbounded chunked response of frames, each
+//	    [type byte][u32 payloadLen][u32 crc32(payload)][payload].
+//	    Data frames ('d') carry raw WAL bytes starting at offset N of
+//	    generation G — verbatim record bytes, so the follower's record
+//	    parser is the WAL's. Heartbeat frames ('h') carry the leader's
+//	    committed epoch and boundary offset (u64 + i64, little-endian)
+//	    so an idle follower still tracks lag. An instance or generation
+//	    mismatch answers 409: the follower's offsets are meaningless
+//	    and it must re-bootstrap via /repl/state.
+const (
+	statePath = "/repl/state"
+	walPath   = "/repl/wal"
+
+	frameData      byte = 'd'
+	frameHeartbeat byte = 'h'
+
+	// maxFramePayload bounds one frame; the leader chunks well below
+	// this, the follower rejects anything above it as corruption.
+	maxFramePayload = 1 << 24
+)
+
+// writeFrame emits one CRC-framed protocol frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, verifying its CRC. The returned payload
+// aliases buf when it fits; callers must copy bytes they keep.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, _ []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	want := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > maxFramePayload {
+		return 0, nil, buf, fmt.Errorf("replication: implausible frame of %d bytes", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, buf, fmt.Errorf("replication: frame crc mismatch (got %08x, want %08x)", got, want)
+	}
+	return hdr[0], payload, buf, nil
+}
+
+// heartbeatPayload encodes the leader's committed epoch and boundary
+// offset.
+func heartbeatPayload(epoch uint64, offset int64) []byte {
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:8], epoch)
+	binary.LittleEndian.PutUint64(p[8:16], uint64(offset))
+	return p[:]
+}
+
+func parseHeartbeat(p []byte) (epoch uint64, offset int64, ok bool) {
+	if len(p) != 16 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), int64(binary.LittleEndian.Uint64(p[8:16])), true
+}
+
+// wireParams is the parameter fingerprint exchanged at bootstrap. It
+// excludes Start (the tracker owns warm starts) but includes Workers:
+// per-score arithmetic is partition-independent, yet the stopping
+// residual is a tree reduction over worker partials, so a different
+// partition count can flip the last iteration in the last ulp. A
+// follower adopts the leader's value unless explicitly overridden.
+type wireParams struct {
+	Alpha          float64 `json:"alpha"`
+	Beta           float64 `json:"beta"`
+	Gamma          float64 `json:"gamma"`
+	AttentionYears int     `json:"attention_years"`
+	W              float64 `json:"w"`
+	Tol            float64 `json:"tol"`
+	MaxIter        int     `json:"max_iter"`
+	Workers        int     `json:"workers"`
+}
+
+func wireParamsOf(p core.Params) wireParams {
+	return wireParams{Alpha: p.Alpha, Beta: p.Beta, Gamma: p.Gamma,
+		AttentionYears: p.AttentionYears, W: p.W, Tol: p.Tol, MaxIter: p.MaxIter,
+		Workers: p.Workers}
+}
+
+// params materializes core.Params. workersOverride replaces the leader's
+// partition count when nonzero — at the cost of the bit-equality
+// guarantee, see the type comment.
+func (wp wireParams) params(workersOverride int) core.Params {
+	w := wp.Workers
+	if workersOverride != 0 {
+		w = workersOverride
+	}
+	return core.Params{Alpha: wp.Alpha, Beta: wp.Beta, Gamma: wp.Gamma,
+		AttentionYears: wp.AttentionYears, W: wp.W, Tol: wp.Tol, MaxIter: wp.MaxIter,
+		Workers: w}
+}
+
+// equalRanking reports whether two parameter sets produce the same
+// scores (everything but the partition count must match; Workers is
+// compared too because of the residual tie-break above).
+func (wp wireParams) equalRanking(other wireParams) bool { return wp == other }
+
+// stateHeader is the JSON line that precedes the bootstrap payload.
+type stateHeader struct {
+	Instance uint64     `json:"instance"`
+	Gen      uint64     `json:"gen"`
+	Offset   int64      `json:"offset"`
+	Epoch    uint64     `json:"epoch"`
+	RankedAt int        `json:"ranked_at"`
+	Papers   int        `json:"papers"`
+	Params   wireParams `json:"params"`
+}
+
+func writeHeader(w io.Writer, hdr stateHeader) error {
+	return json.NewEncoder(w).Encode(hdr) // one line, '\n'-terminated
+}
+
+// writeVector emits one float64 vector as u32 length, the raw values
+// little-endian, and a u32 CRC of the value bytes.
+func writeVector(w io.Writer, v []float64) error {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(v)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(n[:], crc32.ChecksumIEEE(buf))
+	_, err := w.Write(n[:])
+	return err
+}
+
+// readVector reads one writeVector payload, enforcing the expected
+// length and the CRC.
+func readVector(r io.Reader, wantN int) ([]float64, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("replication: vector length: %w", err)
+	}
+	count := int(binary.LittleEndian.Uint32(n[:]))
+	if count != wantN {
+		return nil, fmt.Errorf("replication: vector of %d values, want %d", count, wantN)
+	}
+	buf := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("replication: vector body: %w", err)
+	}
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("replication: vector crc: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(buf), binary.LittleEndian.Uint32(n[:]); got != want {
+		return nil, fmt.Errorf("replication: vector crc mismatch (got %08x, want %08x)", got, want)
+	}
+	v := make([]float64, count)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return v, nil
+}

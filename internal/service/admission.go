@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -47,6 +48,13 @@ type AdmissionConfig struct {
 	MaxPending int
 	// RetryAfter is the hint sent on shed responses. Default: 1s.
 	RetryAfter time.Duration
+	// MaxRPS caps the admitted request rate (requests per second,
+	// GCRA-smoothed with a small burst allowance); excess requests are
+	// shed with 429 + Retry-After before touching the in-flight
+	// semaphore. Zero disables the cap. This is how a cluster operator
+	// bounds each replica's share of load so one hot client cannot
+	// starve the rest.
+	MaxRPS float64
 }
 
 // DefaultMaxPending is the default write-backpressure threshold.
@@ -85,7 +93,8 @@ type admission struct {
 	cfg     AdmissionConfig
 	sem     chan struct{}
 	queued  atomic.Int64
-	pending func() int // ingest pending mutations; nil = no write backpressure
+	pending func() int   // ingest pending mutations; nil = no write backpressure
+	limiter *rateLimiter // nil = no rate cap
 }
 
 // ConfigureAdmission enables the overload-protection layer on this
@@ -100,18 +109,66 @@ func (s *Server) ConfigureAdmission(cfg AdmissionConfig) {
 	if s.ing != nil {
 		a.pending = s.ing.Pending
 	}
+	if a.cfg.MaxRPS > 0 {
+		a.limiter = newRateLimiter(a.cfg.MaxRPS)
+	}
 	s.adm = a
 }
 
+// rateLimiter is a lock-free GCRA ("virtual scheduling") limiter: tat
+// is the theoretical arrival time of the next conforming request, in
+// nanoseconds. A request conforms while tat has not run more than burst
+// ahead of the clock; each admitted request pushes tat one interval
+// forward. One CAS per request, no background refill goroutine.
+type rateLimiter struct {
+	interval int64 // ns between conforming requests
+	burst    int64 // ns tat may run ahead of now
+	tat      atomic.Int64
+}
+
+func newRateLimiter(rps float64) *rateLimiter {
+	interval := int64(float64(time.Second) / rps)
+	if interval < 1 {
+		interval = 1
+	}
+	// Allow a few requests back-to-back (or ~50ms worth at high rates)
+	// so well-behaved bursty clients are smoothed, not punished.
+	burst := 4 * interval
+	if min := int64(50 * time.Millisecond); burst < min {
+		burst = min
+	}
+	return &rateLimiter{interval: interval, burst: burst}
+}
+
+func (l *rateLimiter) allow() bool {
+	now := time.Now().UnixNano()
+	for {
+		tat := l.tat.Load()
+		if tat-now > l.burst {
+			return false
+		}
+		next := tat
+		if next < now {
+			next = now
+		}
+		next += l.interval
+		if l.tat.CompareAndSwap(tat, next) {
+			return true
+		}
+	}
+}
+
 // admissionExempt reports whether path bypasses admission control:
-// liveness and readiness probes must answer while the server sheds, and
-// /metrics is how an operator sees the shedding happen.
+// liveness and readiness probes must answer while the server sheds,
+// /metrics is how an operator sees the shedding happen, and /repl/ is
+// the replication shipping path — shedding it during overload would
+// grow follower lag exactly when the followers are needed most.
 func admissionExempt(path string) bool {
 	switch path {
 	case "/healthz", "/readyz", "/metrics":
 		return true
 	}
-	return false
+	return strings.HasPrefix(path, "/repl/")
 }
 
 // isWritePath reports whether path is a mutation endpoint subject to
@@ -144,6 +201,21 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if admissionExempt(r.URL.Path) {
 			next.ServeHTTP(w, r)
+			return
+		}
+		if s.repl != nil {
+			// A lagging replica sheds reads rather than serving stale
+			// epochs; clients retry against a caught-up peer. (A replica
+			// with no view yet falls through to requireView's 503.)
+			if info := s.repl.src.Info(); info.EpochLag > s.repl.maxLag {
+				s.shed(w, http.StatusServiceUnavailable, "stale_replica",
+					"replica stale: %d epochs behind the leader (max %d)", info.EpochLag, s.repl.maxLag)
+				return
+			}
+		}
+		if a.limiter != nil && !a.limiter.allow() {
+			s.shed(w, http.StatusTooManyRequests, "rate_limited",
+				"rate cap of %g requests/s exceeded", a.cfg.MaxRPS)
 			return
 		}
 		if a.pending != nil && a.cfg.MaxPending > 0 && isWritePath(r.URL.Path) {

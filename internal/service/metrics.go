@@ -49,7 +49,8 @@ func routeLabel(path string) string {
 	switch path {
 	case "/v1/stats", "/v1/top", "/v1/compare", "/v1/refresh", "/v1/authors",
 		"/v1/papers", "/v1/citations", "/v1/batch", "/v1/epoch",
-		"/healthz", "/readyz", "/metrics":
+		"/healthz", "/readyz", "/metrics",
+		"/repl/state", "/repl/wal":
 		return path
 	}
 	return "other"

@@ -69,6 +69,13 @@ type Server struct {
 
 	ing *ingest.Ingester // nil in static mode
 
+	// repl marks follower mode (NewReplica): reads come from the
+	// replica's views, writes answer 503, and staleness is gated by the
+	// admission layer. replHandler is the leader side: the replication
+	// wire endpoints mounted under /repl/ (AttachReplication).
+	repl        *replicaState
+	replHandler http.Handler
+
 	// Static-mode state: the network is fixed, but /v1/refresh still
 	// re-ranks (warm-started) and publishes a new epoch view.
 	staticMu      sync.Mutex // serializes static refreshes
@@ -132,6 +139,9 @@ func (s *Server) SetLogf(logf func(format string, args ...any)) {
 // view returns the current epoch view, or nil if no ranking has been
 // published yet (live mode over an initially empty corpus).
 func (s *Server) view() *ingest.Ranking {
+	if s.repl != nil {
+		return s.repl.src.Ranking()
+	}
 	if s.ing != nil {
 		return s.ing.Ranking()
 	}
@@ -282,6 +292,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", obs.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.replHandler != nil {
+		mux.Handle("/repl/", s.replHandler)
+	}
 	h := http.Handler(mux)
 	if s.adm != nil {
 		h = s.withAdmission(h)
@@ -379,13 +392,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := v.Stats
+	p := s.rankParams()
 	s.writeJSON(w, http.StatusOK, statsBody{
 		Papers: st.Papers, Citations: st.Edges, Authors: st.Authors,
 		Venues: st.Venues, MinYear: st.MinYear, MaxYear: st.MaxYear,
 		Now: v.RankedAt, Epoch: v.Epoch,
-		Alpha: s.params.Alpha, Beta: s.params.Beta,
-		Gamma: s.params.Gamma, Years: s.params.AttentionYears,
-		W: s.params.W, Iters: v.Result.Iterations, Converged: v.Result.Converged,
+		Alpha: p.Alpha, Beta: p.Beta,
+		Gamma: p.Gamma, Years: p.AttentionYears,
+		W: p.W, Iters: v.Result.Iterations, Converged: v.Result.Converged,
 	})
 }
 
@@ -416,7 +430,7 @@ func (s *Server) paperBody(v *ingest.Ranking, idx int32) (paperBody, error) {
 	for _, a := range p.Authors {
 		b.Authors = append(b.Authors, v.Net.AuthorName(a))
 	}
-	e, err := core.Explain(v.Net, v.Result, s.params, idx)
+	e, err := core.Explain(v.Net, v.Result, s.rankParams(), idx)
 	if err != nil {
 		return b, err
 	}
@@ -605,6 +619,11 @@ type refreshBody struct {
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.repl != nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"read-only replica: POST /v1/refresh to the leader at %s", s.repl.src.Info().Leader)
 		return
 	}
 	var err error

@@ -44,6 +44,20 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards to the underlying writer. Without it the recorder hides
+// the connection's http.Flusher and the replication WAL stream mounted
+// under /repl/ buffers its frames instead of pushing them: a follower
+// would see neither heartbeats nor data until 4 KiB accumulated.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach through the recorder for
+// per-stream deadline control.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // withTelemetry is the request middleware: every request lands in the
 // per-route count and latency metrics, and every request except the
 // Prometheus scrape itself gets a request-log line (a 15-second scrape
@@ -65,8 +79,14 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 }
 
 // requireIngester guards the write path: a static server has no durable
-// write-ahead log to accept mutations into.
+// write-ahead log to accept mutations into, and a replica's corpus is
+// owned by its leader.
 func (s *Server) requireIngester(w http.ResponseWriter) bool {
+	if s.repl != nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"read-only replica: send writes to the leader at %s", s.repl.src.Info().Leader)
+		return false
+	}
 	if s.ing == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "read-only server: start attrank-serve with -wal to enable writes")
 		return false
@@ -242,6 +262,10 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	if s.repl != nil {
+		s.handleReplicaEpoch(w)
+		return
+	}
 	if s.ing != nil {
 		st := s.ing.Status()
 		s.writeJSON(w, http.StatusOK, epochBody{
@@ -281,6 +305,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.repl != nil {
+		info, reason := s.replicaReady()
+		if reason != "" {
+			s.writeError(w, http.StatusServiceUnavailable,
+				"%s: %d epochs behind the leader (max %d)", reason, info.EpochLag, s.repl.maxLag)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "epoch": info.LocalEpoch, "epoch_lag": info.EpochLag,
+		})
 		return
 	}
 	if v := s.view(); v != nil {

@@ -10,9 +10,10 @@
 #                       build + vet, then a short-mode race pass over the
 #                       ranking hot path (sparse pool/fused/multi kernels,
 #                       core operator/parallel/RankBatch tests, scratch
-#                       metrics), the ingest WAL tests and the
-#                       admission-control tests — seconds instead of
-#                       minutes, for tight iteration
+#                       metrics), the ingest WAL tests, the
+#                       admission-control tests and the replication
+#                       follower tests — seconds instead of minutes, for
+#                       tight iteration
 #   ./verify.sh fuzz    short coverage-guided fuzz sessions for the
 #                       dataio readers and HTTP query parsing
 #
@@ -40,10 +41,12 @@ if [ "${1:-}" = "quick" ]; then
 		./internal/sparse/ ./internal/core/
 	echo "==> go test -race (scratch metrics bit-equality)"
 	go test -race -run 'Scratch|Ordering|Ranks' ./internal/metrics/
-	echo "==> go test -race -run WAL (ingest durability)"
-	go test -race -run 'WAL' ./internal/ingest/
-	echo "==> go test -race (admission control)"
-	go test -race -run 'Admission|Backpressure|Deadline' ./internal/service/
+	echo "==> go test -race -run WAL (ingest durability + replication log)"
+	go test -race -run 'WAL|WireSize|ReplState' ./internal/ingest/
+	echo "==> go test -race (admission control + replica serving policy)"
+	go test -race -run 'Admission|Backpressure|Deadline|Replica|RateLimiter|MaxRPS' ./internal/service/
+	echo "==> go test -race -short (replication follower)"
+	go test -race -short -run 'Follower' ./internal/replication/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
