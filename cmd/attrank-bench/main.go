@@ -26,10 +26,19 @@
 //
 // It times, per power-method iteration: the serial CSC reference kernel
 // (three sweeps), the legacy parallel path (goroutine-spawning SpMV plus
-// separate combine and residual sweeps), and the fused kernel at one
-// partition and at one partition per core. It also reports the one-off
-// compilation costs the operator cache amortizes (matrix normalization,
-// CSR conversion) and a full cold-vs-warm Rank comparison.
+// separate combine and residual sweeps), the retired CSR fused kernel,
+// and the production tiled kernel (RCM-relabeled, compressed 16-bit
+// tiles) at one partition and at one partition per core. It also reports
+// the layout's compression (bytes per nonzero, tile shape), the one-off
+// compile pipeline costs the operator cache amortizes (normalization and
+// relabeling run concurrently, then tile cutting) and a full
+// cold-vs-warm Rank comparison.
+//
+// With -smoke it runs the bit-equality gate instead: on a seeded 10k
+// synthetic graph the tiled kernel (under its RCM relabeling), the CSR
+// fused kernel and the serial CSC reference must produce bit-identical
+// iterates, and the operator's parallel path must match its serial path
+// bit-for-bit. Exits non-zero on any mismatch.
 package main
 
 import (
@@ -55,13 +64,33 @@ type report struct {
 	Dangling    int    `json:"dangling_papers"`
 	Reps        int    `json:"reps"`
 
-	// One-off costs the compiled operator pays once per network.
-	CompileStochasticNS int64 `json:"compile_stochastic_ns"`
-	ConvertCSRNS        int64 `json:"convert_csr_ns"`
+	// One-off costs the compiled operator pays once per network. The
+	// stochastic normalization and the RCM relabeling run concurrently;
+	// the pipeline speedup is their serial sum over the observed wall
+	// clock. ConvertCSRNS is the retired CSR fused arm's build, kept for
+	// comparison.
+	CompileStochasticNS    int64   `json:"compile_stochastic_ns"`
+	CompileRelabelNS       int64   `json:"compile_relabel_ns"`
+	CompileTiledNS         int64   `json:"compile_tiled_ns"`
+	CompileWallNS          int64   `json:"compile_pipeline_wall_ns"`
+	CompilePipelineSpeedup float64 `json:"compile_pipeline_speedup"`
+	ConvertCSRNS           int64   `json:"convert_csr_ns"`
 
-	// Per-iteration wall clock (best of reps), in nanoseconds.
+	// Compiled tile layout: the bytes the kernel streams per nonzero
+	// (values + 16-bit column words + row pointers + tile headers; the
+	// CSR baseline is 12B/nnz plus row pointers) and the tile shape.
+	BytesPerNNZ      float64 `json:"bytes_per_nnz"`
+	IndexBytes       int64   `json:"index_bytes"`
+	Tiles            int     `json:"tiles"`
+	Windows          int     `json:"windows"`
+	TileRowOccupancy float64 `json:"tile_row_occupancy"`
+
+	// Per-iteration wall clock (best of reps), in nanoseconds. The
+	// fused numbers measure the production tiled kernel; the retired
+	// CSR fused kernel keeps its own field.
 	IterSerialNS      int64 `json:"iter_serial_ns"`
 	IterLegacyNS      int64 `json:"iter_legacy_parallel_ns"`
+	IterCSRFusedNS    int64 `json:"iter_csr_fused_ns"`
 	IterFusedSerialNS int64 `json:"iter_fused_parts1_ns"`
 	IterFusedNS       int64 `json:"iter_fused_ns"`
 
@@ -73,6 +102,7 @@ type report struct {
 	RankWarmIters int     `json:"rank_warm_iterations"`
 	FusedVsLegacy float64 `json:"fused_vs_legacy_speedup"`
 	FusedVsSerial float64 `json:"fused_vs_serial_speedup"`
+	TiledVsCSR    float64 `json:"tiled_vs_csr_fused_speedup"`
 
 	// Observability overhead: the same fixed-iteration rank with the
 	// obs metric sites live vs turned into no-ops (obs.SetEnabled),
@@ -99,6 +129,9 @@ func main() {
 		sweepPapers = flag.Int("sweep-papers", 100000, "synthetic network size for -sweep")
 		sweepReps   = flag.Int("sweep-reps", 3, "timing repetitions per -sweep arm (best-of)")
 
+		smoke       = flag.Bool("smoke", false, "run the bit-equality smoke (tiled vs csr fused vs serial on a seeded graph) and exit non-zero on mismatch")
+		smokePapers = flag.Int("smoke-papers", 10000, "synthetic network size for -smoke")
+
 		cluster          = flag.Bool("cluster", false, "benchmark a replicated cluster (leader + followers over loopback): read scaling per replica and crash-recovery bit-equality")
 		clusterOut       = flag.String("cluster-out", "BENCH_cluster.json", "output JSON path for -cluster")
 		clusterDur       = flag.Duration("cluster-dur", 3*time.Second, "duration of each -cluster load level")
@@ -108,6 +141,8 @@ func main() {
 	flag.Parse()
 	var err error
 	switch {
+	case *smoke:
+		err = runSmoke(*smokePapers, *profile)
 	case *cluster:
 		err = runCluster(*clusterPapers, *clusterFollowers, *clusterOut, *clusterDur)
 	case *serve:
@@ -143,18 +178,36 @@ func run(papers int, profile, out string, reps int) error {
 		Reps:        reps,
 	}
 
-	// One-off compilation costs.
-	t0 := time.Now()
+	// One-off compilation costs: the operator's concurrent compile
+	// pipeline (normalize ∥ relabel, then tile cutting), with the layout
+	// it produced, plus the retired CSR fused arm's conversion.
+	op := core.OperatorFor(net)
+	cs, err := op.PrimeKernel()
+	if err != nil {
+		return err
+	}
+	r.CompileStochasticNS = cs.StochasticNS
+	r.CompileRelabelNS = cs.RelabelNS
+	r.CompileTiledNS = cs.TiledNS
+	r.CompileWallNS = cs.WallNS
+	if cs.WallNS > 0 {
+		r.CompilePipelineSpeedup = float64(cs.StochasticNS+cs.RelabelNS+cs.TiledNS) / float64(cs.WallNS)
+	}
+	r.BytesPerNNZ = cs.Layout.BytesPerNNZ
+	r.IndexBytes = cs.Layout.IndexBytes
+	r.Tiles = cs.Layout.Tiles
+	r.Windows = cs.Layout.Windows
+	r.TileRowOccupancy = cs.Layout.Occupancy
+
 	s, err := net.StochasticMatrix()
 	if err != nil {
 		return err
 	}
-	r.CompileStochasticNS = time.Since(t0).Nanoseconds()
 	r.Dangling = s.DanglingCount()
 
 	pool := sparse.NewPool(0)
 	defer pool.Close()
-	t0 = time.Now()
+	t0 := time.Now()
 	fused := s.Fused(pool)
 	r.ConvertCSRNS = time.Since(t0).Nanoseconds()
 
@@ -165,6 +218,25 @@ func run(papers int, profile, out string, reps int) error {
 	x := sparse.Uniform(n)
 	next := make([]float64, n)
 	legacy := s.Parallel(0)
+
+	// The tiled kernel works in relabeled (storage) space: rebuild the
+	// operator's layout at the sparse layer and permute the vectors in
+	// once, exactly as core.Operator does per Rank.
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(net.Degree(int32(i)))
+	}
+	perm := s.DegreeOrder(sparse.RCMOrder(n, deg, net.Neighbors))
+	tiled := s.Tiled(pool, perm)
+	permute := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for i, p := range perm {
+			out[p] = v[i]
+		}
+		return out
+	}
+	xp, attP, recP := permute(x), permute(att), permute(rec)
+	nextP := make([]float64, n)
 
 	r.IterSerialNS = best(reps, func() {
 		s.MulVec(next, x)
@@ -180,14 +252,18 @@ func run(papers int, profile, out string, reps int) error {
 		}
 		_ = sparse.L1Diff(next, x)
 	})
+	r.IterCSRFusedNS = best(reps, func() {
+		fused.Step(next, x, att, rec, 0.5, 0.3, 0.2, pool.Size())
+	})
 	r.IterFusedSerialNS = best(reps, func() {
-		fused.Step(next, x, att, rec, 0.5, 0.3, 0.2, 1)
+		tiled.Step(nextP, xp, attP, recP, 0.5, 0.3, 0.2, 1)
 	})
 	r.IterFusedNS = best(reps, func() {
-		fused.Step(next, x, att, rec, 0.5, 0.3, 0.2, pool.Size())
+		tiled.Step(nextP, xp, attP, recP, 0.5, 0.3, 0.2, pool.Size())
 	})
 	r.FusedVsLegacy = float64(r.IterLegacyNS) / float64(r.IterFusedNS)
 	r.FusedVsSerial = float64(r.IterSerialNS) / float64(r.IterFusedNS)
+	r.TiledVsCSR = float64(r.IterCSRFusedNS) / float64(r.IterFusedNS)
 
 	// Full cold vs warm rank through the operator cache.
 	p := core.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.16, Workers: -1}
@@ -198,8 +274,7 @@ func run(papers int, profile, out string, reps int) error {
 	r.RankColdNS = coldDur
 	r.RankColdIters = coldRes.Iterations
 
-	op := core.OperatorFor(net)
-	if _, _, err := rankOnce(op, now, p); err != nil { // prime the cache
+	if _, _, err := rankOnce(op, now, p); err != nil { // prime the vector caches
 		return err
 	}
 	warm := p
@@ -259,10 +334,16 @@ func run(papers int, profile, out string, reps int) error {
 		return err
 	}
 	fmt.Printf("papers=%d edges=%d dangling=%d\n", r.Papers, r.Edges, r.Dangling)
-	fmt.Printf("per-iteration: serial=%s legacy=%s fused(1)=%s fused(%d)=%s\n",
-		time.Duration(r.IterSerialNS), time.Duration(r.IterLegacyNS),
+	fmt.Printf("layout: %.2f B/nnz (csr: 12+), %d tiles, %d windows, occupancy %.3f\n",
+		r.BytesPerNNZ, r.Tiles, r.Windows, r.TileRowOccupancy)
+	fmt.Printf("compile: stoch=%s relabel=%s tiles=%s wall=%s (%.2fx pipeline)\n",
+		time.Duration(r.CompileStochasticNS), time.Duration(r.CompileRelabelNS),
+		time.Duration(r.CompileTiledNS), time.Duration(r.CompileWallNS), r.CompilePipelineSpeedup)
+	fmt.Printf("per-iteration: serial=%s legacy=%s csr-fused=%s tiled(1)=%s tiled(%d)=%s\n",
+		time.Duration(r.IterSerialNS), time.Duration(r.IterLegacyNS), time.Duration(r.IterCSRFusedNS),
 		time.Duration(r.IterFusedSerialNS), pool.Size(), time.Duration(r.IterFusedNS))
-	fmt.Printf("fused speedup: %.2fx vs legacy parallel, %.2fx vs serial\n", r.FusedVsLegacy, r.FusedVsSerial)
+	fmt.Printf("tiled speedup: %.2fx vs legacy parallel, %.2fx vs serial, %.2fx vs csr fused\n",
+		r.FusedVsLegacy, r.FusedVsSerial, r.TiledVsCSR)
 	fmt.Printf("full rank: cold=%s (%d iters) warm=%s (%d iters)\n",
 		time.Duration(r.RankColdNS), r.RankColdIters, time.Duration(r.RankWarmNS), r.RankWarmIters)
 	fmt.Printf("metrics overhead: instrumented=%s/iter uninstrumented=%s/iter (%+.2f%%)\n",

@@ -226,6 +226,10 @@ func sweepAtWidth(op *core.Operator, s *eval.Split, truth []float64, grid []core
 		ps := make([]core.Params, len(part))
 		for j, gi := range part {
 			ps[j] = grid[gi]
+			// Keep the grid batched: Workers = 0 would delegate each cell
+			// to the serial reference (see RankBatch); one tiled partition
+			// ranks the same scores bit for bit.
+			ps[j].Workers = 1
 		}
 		results, errs := op.RankBatchWidth(s.TN, ps, width)
 		for j := range part {

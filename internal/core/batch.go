@@ -39,9 +39,11 @@ const DefaultBatchWidth = 16
 // tolerances.
 //
 // Semantics per column:
-//   - ps[i].Workers is resolved exactly as in Rank: 0 runs with one
-//     partition (the fused kernel at one partition is bit-identical to
-//     the serial CSC reference), negative uses GOMAXPROCS. Columns with
+//   - ps[i].Workers is resolved exactly as in Rank: 0 delegates the
+//     cell to the serial CSC reference kernel, per cell — the tiled
+//     kernel accumulates its residual in storage (relabeled) row order,
+//     so no block can reproduce the serial residual bits and serial
+//     means serial. Negative uses GOMAXPROCS. Iterating columns with
 //     different resolved partition counts never share a block, because
 //     the partition count shapes the residual reduction tree.
 //   - a column that converges (L1 residual < tol) or exhausts its
@@ -114,6 +116,12 @@ func (op *Operator) RankBatchWidth(now int, ps []Params, width int) ([]*Result, 
 			op.observeRank(res, p)
 			continue
 		}
+		if p.Workers == 0 {
+			// Serial reference cells never batch (see the contract note
+			// above): run each through Rank's Workers = 0 path.
+			results[i], errs[i] = op.Rank(now, p)
+			continue
+		}
 		pending = append(pending, i)
 	}
 	if len(pending) == 0 {
@@ -125,7 +133,7 @@ func (op *Operator) RankBatchWidth(now int, ps []Params, width int) ([]*Result, 
 		return results, errs
 	}
 
-	m, release, err := op.acquireMulti()
+	m, release, err := op.acquireTiledMulti()
 	if err != nil {
 		for _, i := range pending {
 			errs[i] = fmt.Errorf("core: %w", err)
@@ -139,11 +147,8 @@ func (op *Operator) RankBatchWidth(now int, ps []Params, width int) ([]*Result, 
 	groups := map[int][]int{}
 	var order []int
 	for _, i := range pending {
-		parts := ps[i].Workers
-		switch {
-		case parts == 0:
-			parts = 1
-		case parts < 0:
+		parts := ps[i].Workers // never 0 here: serial cells were delegated above
+		if parts < 0 {
 			parts = runtime.GOMAXPROCS(0)
 		}
 		if _, ok := groups[parts]; !ok {
@@ -191,25 +196,29 @@ type blockBuffers struct {
 
 // blockLane tracks one in-flight column of a block.
 type blockLane struct {
-	cell     int // index into the caller's ps/results
-	slot     int // current stride position in the block
-	p        Params
-	att, rec []float64
-	seed     []float64 // validated warm start; nil means uniform
-	res      *Result
+	cell       int // index into the caller's ps/results
+	slot       int // current stride position in the block
+	p          Params
+	att, rec   []float64 // original id space, exposed via Result
+	attP, recP []float64 // storage (permuted) space, fed to the kernel
+	seed       []float64 // validated warm start; nil means uniform
+	res        *Result
 }
 
 // rankBlock runs one SpMM block to completion. slots[j] is the lane in
 // kernel stride position j; a lane that converges or exhausts its
 // budget is retired at the end of that iteration and the block compacts
 // in place to the surviving width. A lone survivor finishes on the
-// single-vector kernel. results/errs are written at the cells' original
-// indices.
-func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *sparse.FusedStochasticMulti,
+// single-vector kernel. The block iterates in storage (permuted) id
+// space; seeds are permuted in and scores permuted back out, so
+// results/errs — written at the cells' original indices — stay in
+// original id space exactly as Rank's.
+func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *sparse.TiledMulti,
 	buf *blockBuffers, attShared map[attKey][]float64, recShared map[recKey][]float64,
 	results []*Result, errs []error, started time.Time) {
 
 	n := op.net.N()
+	perm, inv := op.perm, op.inv
 	slots := make([]*blockLane, 0, len(block))
 
 	// Validate each lane's start vector. Warm starts are copied,
@@ -243,6 +252,8 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 			p:    p,
 			att:  attShared[attKey{now: now, years: p.AttentionYears}],
 			rec:  recShared[recKey{now: now, w: p.W}],
+			attP: op.permutedAttention(now, p.AttentionYears),
+			recP: op.permutedRecency(now, p.W),
 			seed: seedv,
 			res:  &Result{},
 		}
@@ -261,14 +272,16 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 	width := len(slots)
 	x := buf.x[:n*width]
 	next := buf.next[:n*width]
-	inv := 1 / float64(n)
+	uni := 1 / float64(n)
+	// Seed in storage order: row r of the block is original paper inv[r].
 	for r := 0; r < n; r++ {
 		base := r * width
+		orig := inv[r]
 		for j, lane := range slots {
 			if lane.seed == nil {
-				x[base+j] = inv
+				x[base+j] = uni
 			} else {
-				x[base+j] = lane.seed[r]
+				x[base+j] = lane.seed[orig]
 			}
 		}
 	}
@@ -287,8 +300,8 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 			alpha[j] = lane.p.Alpha
 			beta[j] = lane.p.Beta
 			gamma[j] = lane.p.Gamma
-			att[j] = lane.att
-			rec[j] = lane.rec
+			att[j] = lane.attP
+			rec[j] = lane.recP
 		}
 	}
 	reload()
@@ -296,7 +309,7 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 	dying := make([]*blockLane, 0, width)
 	for iter := 1; len(slots) > 0; iter++ {
 		if len(slots) == 1 {
-			op.finishLane(slots[0], x, width, parts, iter, started, results, errs)
+			op.finishLane(slots[0], x, width, parts, iter, perm, started, results, errs)
 			return
 		}
 		m.Step(next, x, att[:width], rec[:width],
@@ -320,7 +333,7 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 		if len(dying) == 0 {
 			continue
 		}
-		x, next, width = retireLanes(x, next, n, width, keep, dying)
+		x, next, width = retireLanes(x, next, n, width, inv, keep, dying)
 		for _, lane := range dying {
 			lane.res.Duration = time.Since(started)
 			results[lane.cell] = lane.res
@@ -331,24 +344,26 @@ func (op *Operator) rankBlock(now int, ps []Params, block []int, parts int, m *s
 	}
 }
 
-// retireLanes extracts the scores of the dying lanes and compacts the
-// survivors to a block of width len(keep), all in one row-major
-// traversal — cheaper than one strided pass per retired lane, since
-// each pass streams the whole block through the cache. Both slices list
-// lanes in ascending slot order; within a row the dying slots are read
-// before any compaction write can reach them, and a compaction write at
-// r·newB+j never passes its read at r·oldB+slot (slot ≥ j, oldB > newB),
-// so the operation is safe in place. next only shrinks: the kernel
-// rewrites it in full each step.
-func retireLanes(x, next []float64, n, oldB int, keep, dying []*blockLane) ([]float64, []float64, int) {
+// retireLanes extracts the scores of the dying lanes — unpermuted back
+// to original id space via inv — and compacts the survivors to a block
+// of width len(keep), all in one row-major traversal — cheaper than one
+// strided pass per retired lane, since each pass streams the whole
+// block through the cache. Both slices list lanes in ascending slot
+// order; within a row the dying slots are read before any compaction
+// write can reach them, and a compaction write at r·newB+j never passes
+// its read at r·oldB+slot (slot ≥ j, oldB > newB), so the operation is
+// safe in place. next only shrinks: the kernel rewrites it in full each
+// step.
+func retireLanes(x, next []float64, n, oldB int, inv []int32, keep, dying []*blockLane) ([]float64, []float64, int) {
 	for _, lane := range dying {
 		lane.res.Scores = make([]float64, n)
 	}
 	newB := len(keep)
 	for r := 0; r < n; r++ {
 		src := r * oldB
+		orig := inv[r]
 		for _, lane := range dying {
-			lane.res.Scores[r] = x[src+lane.slot]
+			lane.res.Scores[orig] = x[src+lane.slot]
 		}
 		dst := r * newB
 		for j, lane := range keep {
@@ -361,11 +376,12 @@ func retireLanes(x, next []float64, n, oldB int, keep, dying []*blockLane) ([]fl
 	return x[:n*newB], next[:n*newB], newB
 }
 
-// finishLane continues a lone surviving lane on the single-vector fused
+// finishLane continues a lone surviving lane on the single-vector tiled
 // kernel from iteration iter, exactly as Rank's parallel path would: the
-// fused kernel at the same partition count is bit-identical lane for
+// tiled kernel at the same partition count is bit-identical lane for
 // lane with the batched kernel, so the switch is invisible in the bits.
-func (op *Operator) finishLane(lane *blockLane, x []float64, width, parts, iter int, started time.Time,
+// x is in storage space; the final scores are unpermuted on the way out.
+func (op *Operator) finishLane(lane *blockLane, x []float64, width, parts, iter int, perm []int32, started time.Time,
 	results []*Result, errs []error) {
 	n := len(x) / width
 	xv := make([]float64, n)
@@ -373,7 +389,7 @@ func (op *Operator) finishLane(lane *blockLane, x []float64, width, parts, iter 
 	for r := 0; r < n; r++ {
 		xv[r] = x[r*width+lane.slot]
 	}
-	f, release, err := op.acquireFused()
+	ti, release, err := op.acquireTiled()
 	if err != nil {
 		errs[lane.cell] = fmt.Errorf("core: %w", err)
 		return
@@ -381,7 +397,7 @@ func (op *Operator) finishLane(lane *blockLane, x []float64, width, parts, iter 
 	defer release()
 	p := lane.p
 	for ; iter <= p.maxIter(); iter++ {
-		r := f.Step(nv, xv, lane.att, lane.rec, p.Alpha, p.Beta, p.Gamma, parts)
+		r := ti.Step(nv, xv, lane.attP, lane.recP, p.Alpha, p.Beta, p.Gamma, parts)
 		lane.res.Residuals = append(lane.res.Residuals, r)
 		mIterationResidual.Observe(r)
 		xv, nv = nv, xv
@@ -391,7 +407,11 @@ func (op *Operator) finishLane(lane *blockLane, x []float64, width, parts, iter 
 			break
 		}
 	}
-	lane.res.Scores = xv
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = xv[perm[i]]
+	}
+	lane.res.Scores = scores
 	lane.res.Duration = time.Since(started)
 	results[lane.cell] = lane.res
 	op.observeRank(lane.res, p)

@@ -26,12 +26,21 @@ func batchGrid(n int, warm []float64) []Params {
 		{Alpha: 0.1, Beta: 0.45, Gamma: 0.45, AttentionYears: 5, W: -0.2},
 		{Alpha: 0.25, Beta: 0.5, Gamma: 0.25, AttentionYears: 3, W: -0.3, Start: warm},
 	}
+	// The mixed cells above run as one-partition blocks of the tiled
+	// kernel; Workers = 0 cells would instead delegate to the per-cell
+	// serial reference and never batch.
+	for i := range ps {
+		ps[i].Workers = 1
+	}
 	// A second Workers group: same cells must still be bit-identical when
 	// ranked with the parallel kernel at a fixed partition count.
 	for _, w := range []int{2, -1} {
 		p := Params{Alpha: 0.5, Beta: 0.2, Gamma: 0.3, AttentionYears: 2, W: -0.2, Workers: w}
 		ps = append(ps, p)
 	}
+	// And one serial cell: RankBatch must hand it to the reference kernel
+	// and return exactly what Rank(Workers = 0) returns.
+	ps = append(ps, Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2})
 	return ps
 }
 
@@ -107,7 +116,7 @@ func TestRankBatchDeflation(t *testing.T) {
 		alpha := 0.5 - 0.05*float64(i%2) // two convergence speeds at the tail
 		ps = append(ps, Params{
 			Alpha: alpha, Beta: 0.3, Gamma: 1 - alpha - 0.3,
-			AttentionYears: 3, W: -0.2, MaxIter: maxIter,
+			AttentionYears: 3, W: -0.2, MaxIter: maxIter, Workers: 1,
 		})
 	}
 	results, errs := op.RankBatch(now, ps)
@@ -140,11 +149,11 @@ func TestRankBatchPerCellErrors(t *testing.T) {
 	now := net.MaxYear()
 
 	ps := []Params{
-		{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2},
-		{Alpha: 0.9, Beta: 0.9, Gamma: 0.9},                                                        // invalid: sum > 1
-		{Alpha: 0.4, Beta: 0, Gamma: 0.6, W: -0.2},                                                 // fine
-		{Alpha: 0.3, Beta: 0.2, Gamma: 0.5, AttentionYears: 1, W: -0.2, Start: []float64{1, 2, 3}}, // short warm start
-		{Alpha: 0.2, Beta: 0.2, Gamma: 0.6, AttentionYears: 1, W: -0.2},
+		{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2, Workers: 1},
+		{Alpha: 0.9, Beta: 0.9, Gamma: 0.9},                                                                    // invalid: sum > 1
+		{Alpha: 0.4, Beta: 0, Gamma: 0.6, W: -0.2, Workers: 1},                                                 // fine
+		{Alpha: 0.3, Beta: 0.2, Gamma: 0.5, AttentionYears: 1, W: -0.2, Workers: 1, Start: []float64{1, 2, 3}}, // short warm start
+		{Alpha: 0.2, Beta: 0.2, Gamma: 0.6, AttentionYears: 1, W: -0.2, Workers: 1},
 	}
 	results, errs := op.RankBatch(now, ps)
 	for i := range ps {
@@ -182,9 +191,9 @@ func TestRankBatchConcurrent(t *testing.T) {
 	now := net.MaxYear()
 
 	ps := []Params{
-		{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2},
-		{Alpha: 0.3, Beta: 0.4, Gamma: 0.3, AttentionYears: 2, W: -0.2},
-		{Alpha: 0.2, Beta: 0, Gamma: 0.8, W: -0.2},
+		{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2, Workers: 1},
+		{Alpha: 0.3, Beta: 0.4, Gamma: 0.3, AttentionYears: 2, W: -0.2, Workers: 1},
+		{Alpha: 0.2, Beta: 0, Gamma: 0.8, W: -0.2, Workers: 1},
 		{Alpha: 0.4, Beta: 0.3, Gamma: 0.3, AttentionYears: 1, W: -0.2, Workers: 2},
 	}
 	want, errs := op.RankBatch(now, ps)

@@ -31,11 +31,23 @@ type Operator struct {
 
 	mu    sync.Mutex // guards the lazy state below
 	stoch *sparse.Stochastic
-	fused *sparse.FusedStochastic
-	multi *sparse.FusedStochasticMulti
+	tiled *sparse.TiledStochastic
+	tmul  *sparse.TiledMulti
 	pool  *sparse.Pool
 	att   vecCache[attKey]
 	rec   vecCache[recKey]
+
+	// perm/inv are the cache-aware paper-id relabeling the tiled kernel
+	// was compiled under (perm[original] = storage). Everything outside
+	// the iteration loop — Params, Results, Explain, the serial
+	// reference kernel, the vector caches' public copies — stays in
+	// original id space; score and attention/recency vectors cross the
+	// boundary through permute/unpermute copies at Rank entry and exit.
+	perm, inv []int32
+	// forcedPerm, when set before the first parallel rank, replaces the
+	// RCM ordering. Test hook for the relabeling-invariance suite.
+	forcedPerm []int32
+	compile    CompileStats
 
 	// inflight counts parallel Ranks currently stepping on the pool;
 	// evicted marks an operator dropped from the OperatorFor cache. The
@@ -43,6 +55,19 @@ type Operator struct {
 	// goes idle, instead of waiting for the finalizer.
 	inflight int
 	evicted  bool
+}
+
+// CompileStats records the cost and shape of the parallel kernel
+// compilation pipeline: the stochastic-matrix normalization and the RCM
+// relabeling run concurrently, then the tiled layout is built from both.
+// WallNS is the end-to-end pipeline time; StochasticNS + RelabelNS +
+// TiledNS is what the same work would cost serially.
+type CompileStats struct {
+	StochasticNS int64 // CSC build + column normalization
+	RelabelNS    int64 // RCM ordering over the symmetrized adjacency
+	TiledNS      int64 // tile cutting + index compression
+	WallNS       int64 // wall clock of the whole (concurrent) pipeline
+	Layout       sparse.LayoutStats
 }
 
 type attKey struct{ now, years int }
@@ -69,25 +94,26 @@ type vecCache[K comparable] struct {
 }
 
 type vecEntry struct {
-	v    []float64
+	v    []float64 // original id space
+	vp   []float64 // permuted twin for the tiled kernel; built lazily
 	used int64
 }
 
-// get returns the cached vector and bumps its recency.
-func (c *vecCache[K]) get(k K) ([]float64, bool) {
+// get returns the cached entry and bumps its recency.
+func (c *vecCache[K]) get(k K) (*vecEntry, bool) {
 	e, ok := c.entries[k]
 	if !ok {
 		return nil, false
 	}
 	c.clock++
 	e.used = c.clock
-	return e.v, true
+	return e, true
 }
 
 // put inserts a vector, evicting the single least-recently-used entry
 // if the cache is full. The O(cap) scan is irrelevant next to the
 // O(N) vector computation that preceded every put.
-func (c *vecCache[K]) put(k K, v []float64) {
+func (c *vecCache[K]) put(k K, v []float64) *vecEntry {
 	if c.entries == nil {
 		c.entries = make(map[K]*vecEntry)
 	}
@@ -105,7 +131,9 @@ func (c *vecCache[K]) put(k K, v []float64) {
 		mVectorEvictions.Inc()
 	}
 	c.clock++
-	c.entries[k] = &vecEntry{v: v, used: c.clock}
+	e := &vecEntry{v: v, used: c.clock}
+	c.entries[k] = e
+	return e
 }
 
 // kernelCompiles counts stochastic-matrix compilations process-wide; with
@@ -192,8 +220,8 @@ func (op *Operator) closePoolLocked() {
 	if op.pool != nil {
 		op.pool.Close()
 		op.pool = nil
-		op.fused = nil
-		op.multi = nil
+		op.tiled = nil
+		op.tmul = nil
 	}
 }
 
@@ -233,51 +261,101 @@ func (op *Operator) stochasticLocked() (*sparse.Stochastic, error) {
 	return op.stoch, nil
 }
 
-// acquireFused returns the fused CSR kernel, compiling it and the pool on
-// first use, and registers the caller as an in-flight pool user. The
-// returned release must be called once stepping is done; it lets an
-// operator evicted mid-rank close its pool as soon as it goes idle.
-func (op *Operator) acquireFused() (*sparse.FusedStochastic, func(), error) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-	if op.fused == nil {
-		s, err := op.stochasticLocked()
-		if err != nil {
-			return nil, nil, err
-		}
-		if op.pool == nil {
-			op.pool = sparse.NewPool(0)
-		}
-		op.fused = s.Fused(op.pool)
+// buildTiledLocked compiles the parallel kernel pipeline: the
+// column-stochastic normalization and the RCM relabeling are
+// independent (the relabeling reads only the immutable network
+// adjacency), so they run concurrently; once both finish, the
+// degree-run ordering — which needs the matrix pattern — refines the
+// RCM ranks, and the tiled layout is cut from the result. Requires
+// op.mu.
+func (op *Operator) buildTiledLocked() error {
+	if op.tiled != nil {
+		return nil
 	}
-	op.inflight++
-	return op.fused, op.releaseFused, nil
+	t0 := time.Now()
+	type permResult struct {
+		perm []int32
+		ns   int64
+	}
+	permCh := make(chan permResult, 1)
+	if op.forcedPerm != nil {
+		permCh <- permResult{perm: op.forcedPerm}
+	} else {
+		net := op.net
+		go func() {
+			tp := time.Now()
+			n := net.N()
+			deg := make([]int32, n)
+			for i := range deg {
+				deg[i] = int32(net.Degree(int32(i)))
+			}
+			perm := sparse.RCMOrder(n, deg, net.Neighbors)
+			permCh <- permResult{perm: perm, ns: time.Since(tp).Nanoseconds()}
+		}()
+	}
+	ts := time.Now()
+	s, err := op.stochasticLocked()
+	stochNS := time.Since(ts).Nanoseconds()
+	if err != nil {
+		return err // permCh is buffered; the relabel goroutine cannot leak
+	}
+	pr := <-permCh
+	if op.forcedPerm == nil {
+		// Production relabeling: degree runs for branch-predictable trip
+		// counts, RCM ranks breaking ties for residual locality.
+		td := time.Now()
+		pr.perm = s.DegreeOrder(pr.perm)
+		pr.ns += time.Since(td).Nanoseconds()
+	}
+	if op.pool == nil {
+		op.pool = sparse.NewPool(0)
+	}
+	tt := time.Now()
+	op.tiled = s.Tiled(op.pool, pr.perm)
+	op.tmul = op.tiled.Multi()
+	tiledNS := time.Since(tt).Nanoseconds()
+	op.perm = op.tiled.Perm()
+	op.inv = sparse.InversePerm(op.perm)
+	op.compile = CompileStats{
+		StochasticNS: stochNS,
+		RelabelNS:    pr.ns,
+		TiledNS:      tiledNS,
+		WallNS:       time.Since(t0).Nanoseconds(),
+		Layout:       op.tiled.Stats(),
+	}
+	observeLayout(op.compile)
+	return nil
 }
 
-// acquireMulti returns the batched SpMM view of the fused kernel,
-// sharing the fused kernel's CSR matrix, pool, and partition cache, with
-// the same in-flight accounting as acquireFused.
-func (op *Operator) acquireMulti() (*sparse.FusedStochasticMulti, func(), error) {
+// acquireTiled returns the tiled kernel, compiling it (and the pool and
+// relabeling) on first use, and registers the caller as an in-flight
+// pool user. The returned release must be called once stepping is done;
+// it lets an operator evicted mid-rank close its pool as soon as it
+// goes idle.
+func (op *Operator) acquireTiled() (*sparse.TiledStochastic, func(), error) {
 	op.mu.Lock()
 	defer op.mu.Unlock()
-	if op.multi == nil {
-		if op.fused == nil {
-			s, err := op.stochasticLocked()
-			if err != nil {
-				return nil, nil, err
-			}
-			if op.pool == nil {
-				op.pool = sparse.NewPool(0)
-			}
-			op.fused = s.Fused(op.pool)
-		}
-		op.multi = op.fused.Multi()
+	if err := op.buildTiledLocked(); err != nil {
+		return nil, nil, err
 	}
 	op.inflight++
-	return op.multi, op.releaseFused, nil
+	return op.tiled, op.releaseKernel, nil
 }
 
-func (op *Operator) releaseFused() {
+// acquireTiledMulti returns the batched SpMM view of the tiled kernel,
+// sharing its layout, pool, and partition cache, with the same
+// in-flight accounting as acquireTiled.
+func (op *Operator) acquireTiledMulti() (*sparse.TiledMulti, func(), error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if err := op.buildTiledLocked(); err != nil {
+		return nil, nil, err
+	}
+	op.inflight++
+	return op.tmul, op.releaseKernel, nil
+}
+
+func (op *Operator) releaseKernel() {
 	op.mu.Lock()
 	op.inflight--
 	if op.evicted && op.inflight == 0 {
@@ -286,18 +364,61 @@ func (op *Operator) releaseFused() {
 	op.mu.Unlock()
 }
 
+// PrimeKernel forces compilation of the parallel tiled kernel — the
+// work the first parallel Rank would otherwise pay — and returns the
+// pipeline timings and layout statistics. Benches and servers that want
+// a compiled operator before taking traffic call this explicitly.
+func (op *Operator) PrimeKernel() (CompileStats, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if err := op.buildTiledLocked(); err != nil {
+		return CompileStats{}, err
+	}
+	return op.compile, nil
+}
+
+// forcePermutation overrides the RCM relabeling for tests. It must be
+// called before the first parallel rank compiles the kernel.
+func (op *Operator) forcePermutation(perm []int32) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.tiled != nil {
+		panic("core: forcePermutation after kernel compile")
+	}
+	op.forcedPerm = perm
+}
+
+// attEntryLocked returns the cache entry for A(now, y), computing the
+// original-space vector on a miss. Requires op.mu.
+func (op *Operator) attEntryLocked(now, years int) *vecEntry {
+	key := attKey{now: now, years: years}
+	e, ok := op.att.get(key)
+	if !ok {
+		v := AttentionVector(op.net, now, years)
+		vectorComputes.Add(1)
+		e = op.att.put(key, v)
+	}
+	return e
+}
+
+// recEntryLocked is attEntryLocked for T(now, w).
+func (op *Operator) recEntryLocked(now int, w float64) *vecEntry {
+	key := recKey{now: now, w: w}
+	e, ok := op.rec.get(key)
+	if !ok {
+		v := RecencyVector(op.net, now, w)
+		vectorComputes.Add(1)
+		e = op.rec.put(key, v)
+	}
+	return e
+}
+
 // attention returns a private copy of the attention vector A(now, y),
 // serving repeats from the cache (callers receive copies because Result
 // exposes the vector for mutation-free diagnostics).
 func (op *Operator) attention(now, years int) []float64 {
-	key := attKey{now: now, years: years}
 	op.mu.Lock()
-	v, ok := op.att.get(key)
-	if !ok {
-		v = AttentionVector(op.net, now, years)
-		vectorComputes.Add(1)
-		op.att.put(key, v)
-	}
+	v := op.attEntryLocked(now, years).v
 	op.mu.Unlock()
 	out := make([]float64, len(v))
 	copy(out, v)
@@ -307,18 +428,46 @@ func (op *Operator) attention(now, years int) []float64 {
 // recency returns a private copy of the recency vector T(now, w), cached
 // like attention.
 func (op *Operator) recency(now int, w float64) []float64 {
-	key := recKey{now: now, w: w}
 	op.mu.Lock()
-	v, ok := op.rec.get(key)
-	if !ok {
-		v = RecencyVector(op.net, now, w)
-		vectorComputes.Add(1)
-		op.rec.put(key, v)
-	}
+	v := op.recEntryLocked(now, w).v
 	op.mu.Unlock()
 	out := make([]float64, len(v))
 	copy(out, v)
 	return out
+}
+
+// permuteInto fills dst[perm[i]] = src[i].
+func permuteInto(dst, src []float64, perm []int32) {
+	for i, v := range src {
+		dst[perm[i]] = v
+	}
+}
+
+// permutedAttention returns the shared storage-space twin of the
+// attention vector, building and caching it on first use. Callers must
+// not mutate it. Must only be called once the tiled kernel (and so
+// op.perm) exists.
+func (op *Operator) permutedAttention(now, years int) []float64 {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	e := op.attEntryLocked(now, years)
+	if e.vp == nil {
+		e.vp = make([]float64, len(e.v))
+		permuteInto(e.vp, e.v, op.perm)
+	}
+	return e.vp
+}
+
+// permutedRecency is permutedAttention for the recency vector.
+func (op *Operator) permutedRecency(now int, w float64) []float64 {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	e := op.recEntryLocked(now, w)
+	if e.vp == nil {
+		e.vp = make([]float64, len(e.v))
+		permuteInto(e.vp, e.v, op.perm)
+	}
+	return e.vp
 }
 
 // Rank computes AttRank scores at time now with the given parameters,
@@ -396,19 +545,31 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 			}
 		}
 	} else {
-		f, release, err := op.acquireFused()
+		// Parallel path: the tiled kernel iterates in storage (permuted)
+		// id space. The start vector and the attention/recency vectors
+		// cross the boundary here; scores cross back after convergence.
+		// Permuting a vector copies bits, so every iterate is the exact
+		// permutation of the reference iterate (see sparse.TiledStochastic
+		// on the canonical accumulation order).
+		ti, release, err := op.acquireTiled()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		perm := op.perm
+		attP := op.permutedAttention(now, p.AttentionYears)
+		recP := op.permutedRecency(now, p.W)
+		xp := next // reuse the spare buffer as the permuted iterate
+		permuteInto(xp, x, perm)
+		nextP := make([]float64, n)
 		parts := p.Workers
 		if parts < 0 {
 			parts = runtime.GOMAXPROCS(0)
 		}
 		for iter := 1; iter <= p.maxIter(); iter++ {
-			resid := f.Step(next, x, att, rec, p.Alpha, p.Beta, p.Gamma, parts)
+			resid := ti.Step(nextP, xp, attP, recP, p.Alpha, p.Beta, p.Gamma, parts)
 			res.Residuals = append(res.Residuals, resid)
 			mIterationResidual.Observe(resid)
-			x, next = next, x
+			xp, nextP = nextP, xp
 			res.Iterations = iter
 			if resid < tol {
 				res.Converged = true
@@ -416,6 +577,9 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 			}
 		}
 		release()
+		for i := range x {
+			x[i] = xp[perm[i]]
+		}
 	}
 	res.Scores = x
 	res.Duration = time.Since(started)

@@ -42,14 +42,14 @@ func TestOperatorCacheEviction(t *testing.T) {
 
 // TestOperatorCompilesOnce is the regression test for the old behavior
 // where every Rank call renormalized the matrix and every parallel Rank
-// call re-converted it to CSR: across many ranks of one network, exactly
-// one compilation and one conversion may happen.
+// call rebuilt the iteration layout: across many ranks of one network,
+// exactly one normalization and one tiled-layout build may happen.
 func TestOperatorCompilesOnce(t *testing.T) {
 	n := randomNet(t, 83, 300)
 	p := Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.2}
 
 	compiles := KernelCompiles()
-	conversions := sparse.CSRConversions()
+	builds := sparse.TiledBuilds()
 	for round := 0; round < 3; round++ {
 		for _, workers := range []int{0, 1, -1, 4} {
 			q := p
@@ -62,8 +62,8 @@ func TestOperatorCompilesOnce(t *testing.T) {
 	if d := KernelCompiles() - compiles; d != 1 {
 		t.Errorf("12 ranks compiled the matrix %d times, want 1", d)
 	}
-	if d := sparse.CSRConversions() - conversions; d != 1 {
-		t.Errorf("12 ranks converted to CSR %d times, want 1", d)
+	if d := sparse.TiledBuilds() - builds; d != 1 {
+		t.Errorf("12 ranks compiled the tiled layout %d times, want 1", d)
 	}
 }
 

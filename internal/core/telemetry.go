@@ -29,7 +29,34 @@ var (
 		"Completed Rank calls by convergence outcome.", "converged")
 	mVectorEvictions = obs.NewCounter("attrank_core_vector_cache_evictions_total",
 		"Single-entry LRU evictions from the attention/recency vector caches.")
+
+	// Layout telemetry for the cache-aware tiled kernel (DESIGN.md §13):
+	// bytes the hot loop moves per nonzero, the tile population, and the
+	// one-off relabeling cost, so the bandwidth budget is visible in
+	// /metrics next to the rank latencies it buys.
+	mLayoutBytesPerNNZ = obs.NewGauge("attrank_core_layout_bytes_per_nnz",
+		"Total tiled-layout footprint (values + compressed indices + headers) per nonzero.")
+	mLayoutTiles = obs.NewGauge("attrank_core_layout_tiles",
+		"Row-block tiles in the compiled layout.")
+	mLayoutWindows = obs.NewGauge("attrank_core_layout_windows",
+		"64Ki column windows in the compiled layout (one uint16 word per entry, window-local).")
+	mLayoutOccupancy = obs.NewGauge("attrank_core_layout_row_occupancy",
+		"Fraction of matrix rows holding at least one nonzero.")
+	mLayoutRelabelSeconds = obs.NewGauge("attrank_core_layout_relabel_seconds",
+		"Wall time of the RCM relabeling pass in the last kernel compile.")
+	mLayoutCompileSeconds = obs.NewGauge("attrank_core_layout_compile_seconds",
+		"Wall time of the whole (concurrent) kernel compile pipeline.")
 )
+
+// observeLayout publishes the compile pipeline's layout statistics.
+func observeLayout(cs CompileStats) {
+	mLayoutBytesPerNNZ.Set(cs.Layout.BytesPerNNZ)
+	mLayoutTiles.Set(float64(cs.Layout.Tiles))
+	mLayoutWindows.Set(float64(cs.Layout.Windows))
+	mLayoutOccupancy.Set(cs.Layout.Occupancy)
+	mLayoutRelabelSeconds.Set(float64(cs.RelabelNS) / 1e9)
+	mLayoutCompileSeconds.Set(float64(cs.WallNS) / 1e9)
+}
 
 // startLabel renders the warm/cold label for mRankSeconds.
 func startLabel(warm bool) string {

@@ -145,6 +145,13 @@ func SweepAttRank(s *Split, truth []float64, grid []core.Params, m Metric) []Att
 		ps := make([]core.Params, len(order))
 		for j, gi := range order {
 			ps[j] = grid[gi]
+			if ps[j].Workers == 0 {
+				// Workers = 0 cells would delegate to the per-cell serial
+				// reference inside RankBatch; one partition of the tiled
+				// kernel ranks the same scores bit for bit and keeps the
+				// block batched. Cells that set Workers keep it.
+				ps[j].Workers = 1
+			}
 		}
 		results, errs := op.RankBatch(s.TN, ps)
 		for j, gi := range order {

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestDegreeNeighbors pins the symmetrized-adjacency view the RCM
+// relabeling consumes: Degree is references plus citations, and
+// Neighbors reports the cited papers first, then the citers, with
+// mutual citations reported twice.
+func TestDegreeNeighbors(t *testing.T) {
+	b := NewBuilder()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if _, err := b.AddPaper(id, 2000, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a→b, a→c, b→a (mutual with a→b), c→b; d isolated.
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 0}, {2, 1}} {
+		b.AddEdgeByIndex(e[0], e[1])
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int32(0); int(i) < n.N(); i++ {
+		if got, want := n.Degree(i), n.OutDegree(i)+n.InDegree(i); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if n.Degree(3) != 0 {
+		t.Errorf("isolated paper has degree %d", n.Degree(3))
+	}
+
+	collect := func(i int32) []int32 {
+		var out []int32
+		n.Neighbors(i, func(j int32) { out = append(out, j) })
+		return out
+	}
+	// a cites {b, c} and is cited by {b}: the mutual edge a↔b lists b twice.
+	got := collect(0)
+	want := []int32{1, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	sort.Slice(got[:2], func(x, y int) bool { return got[x] < got[y] }) // refs segment order is by cited id anyway
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+		}
+	}
+	if got := collect(3); len(got) != 0 {
+		t.Fatalf("Neighbors(3) = %v, want none", got)
+	}
+	// Every neighbor edge is symmetric: j ∈ N(i) ⇒ i ∈ N(j).
+	for i := int32(0); int(i) < n.N(); i++ {
+		for _, j := range collect(i) {
+			found := false
+			for _, back := range collect(j) {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor %d of %d not symmetric", j, i)
+			}
+		}
+	}
+}

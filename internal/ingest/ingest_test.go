@@ -470,7 +470,7 @@ func TestRerankReusesCompiledOperator(t *testing.T) {
 	}
 
 	compiles := core.KernelCompiles()
-	conversions := sparse.CSRConversions()
+	builds := sparse.TiledBuilds()
 	for i := 0; i < 3; i++ {
 		if err := ing.Flush(); err != nil {
 			t.Fatal(err)
@@ -479,8 +479,8 @@ func TestRerankReusesCompiledOperator(t *testing.T) {
 	if d := core.KernelCompiles() - compiles; d != 0 {
 		t.Errorf("3 re-ranks of an unchanged corpus compiled %d matrices, want 0", d)
 	}
-	if d := sparse.CSRConversions() - conversions; d != 0 {
-		t.Errorf("3 re-ranks of an unchanged corpus converted %d CSR mirrors, want 0", d)
+	if d := sparse.TiledBuilds() - builds; d != 0 {
+		t.Errorf("3 re-ranks of an unchanged corpus rebuilt %d tiled layouts, want 0", d)
 	}
 
 	// A mutation compacts into a fresh network: exactly one new compile
@@ -496,7 +496,7 @@ func TestRerankReusesCompiledOperator(t *testing.T) {
 	if d := core.KernelCompiles() - compiles; d != 1 {
 		t.Errorf("post-mutation re-ranks compiled %d matrices, want 1", d)
 	}
-	if d := sparse.CSRConversions() - conversions; d != 1 {
-		t.Errorf("post-mutation re-ranks converted %d CSR mirrors, want 1", d)
+	if d := sparse.TiledBuilds() - builds; d != 1 {
+		t.Errorf("post-mutation re-ranks rebuilt %d tiled layouts, want 1", d)
 	}
 }

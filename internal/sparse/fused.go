@@ -141,13 +141,19 @@ func treeSum(p []float64) float64 {
 	return treeSum(p[:mid]) + treeSum(p[mid:])
 }
 
-// PartitionNNZ splits the rows of a CSR matrix into parts contiguous
-// ranges of near-equal work, returning parts+1 boundary indices. Work is
-// measured as nonzeros per row plus one unit for the dense per-row combine,
-// so a power-law in-degree distribution (a few rows holding most of the
-// nonzeros, many empty dangling rows) no longer serializes one worker the
-// way an equal-row-count split does. Ranges may be empty when a single row
-// dominates the matrix.
+// PartitionNNZ splits the rows of a CSR matrix into at most parts
+// contiguous ranges of near-equal work, returning the boundary indices.
+// Work is measured as nonzeros per row plus one unit for the dense
+// per-row combine, so a power-law in-degree distribution (a few rows
+// holding most of the nonzeros, many empty dangling rows) no longer
+// serializes one worker the way an equal-row-count split does.
+//
+// No returned range is empty: when parts exceeds the row count, or a
+// single row dominates the matrix so hard that consecutive cut points
+// coincide, duplicate boundaries are compacted away and len(bounds)−1 is
+// the true partition count. (The old behaviour kept the empty ranges,
+// which on a tiny graph under many workers padded the residual tree-sum
+// with zero partials and skewed its shape.)
 func PartitionNNZ(rowPtr []int32, parts int) []int32 {
 	rows := len(rowPtr) - 1
 	if parts > rows {
@@ -156,8 +162,7 @@ func PartitionNNZ(rowPtr []int32, parts int) []int32 {
 	if parts < 1 {
 		parts = 1
 	}
-	bounds := make([]int32, parts+1)
-	bounds[parts] = int32(rows)
+	bounds := make([]int32, 1, parts+1)
 	total := int64(rowPtr[rows]) + int64(rows)
 	prev := 0
 	for k := 1; k < parts; k++ {
@@ -167,11 +172,10 @@ func PartitionNNZ(rowPtr []int32, parts int) []int32 {
 		b := sort.Search(rows, func(i int) bool {
 			return int64(rowPtr[i])+int64(i) >= target
 		})
-		if b < prev {
-			b = prev
+		if b > prev && b < rows {
+			bounds = append(bounds, int32(b))
+			prev = b
 		}
-		bounds[k] = int32(b)
-		prev = b
 	}
-	return bounds
+	return append(bounds, int32(rows))
 }

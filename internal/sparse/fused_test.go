@@ -162,21 +162,31 @@ func TestPartitionNNZ(t *testing.T) {
 	}
 	for _, parts := range []int{1, 2, 3, 8, 64, 200} {
 		b := PartitionNNZ(rowPtr, parts)
+		// Compacted contract: at most min(parts, rows) ranges, at least
+		// one, full coverage, and — the degenerate-case fix — no empty
+		// ranges even when the dominant row collapses consecutive cut
+		// points or parts exceeds the row count.
 		want := parts
 		if want > rows {
 			want = rows
 		}
-		if len(b) != want+1 {
-			t.Fatalf("parts=%d: got %d boundaries, want %d", parts, len(b), want+1)
+		if got := len(b) - 1; got < 1 || got > want {
+			t.Fatalf("parts=%d: %d ranges, want between 1 and %d (bounds %v)", parts, got, want, b)
 		}
 		if b[0] != 0 || b[len(b)-1] != int32(rows) {
 			t.Fatalf("parts=%d: bounds %v do not cover [0,%d]", parts, b, rows)
 		}
 		for i := 1; i < len(b); i++ {
-			if b[i] < b[i-1] {
-				t.Fatalf("parts=%d: bounds %v not monotone", parts, b)
+			if b[i] <= b[i-1] {
+				t.Fatalf("parts=%d: bounds %v contain an empty range", parts, b)
 			}
 		}
+	}
+	// On this skew, rows 1..63 together hold less work than row 0, so
+	// every cut target past the first lands inside row 0's work and only
+	// two ranges survive however many parts are requested.
+	if b := PartitionNNZ(rowPtr, 8); len(b) != 3 || b[1] != 1 {
+		t.Fatalf("skewed parts=8: bounds %v, want [0 1 64]", b)
 	}
 
 	// Balance: with uniform rows each range's work must be within one

@@ -1,0 +1,186 @@
+package sparse
+
+import "sort"
+
+// RCMOrder computes a reverse Cuthill–McKee ordering of an undirected
+// graph: a breadth-first renumbering started from low-degree peripheral
+// vertices, with each frontier visited in ascending-degree order, then
+// reversed. On citation networks it concentrates each paper's neighbors
+// into a narrow index band, which is what makes the tiled kernel's
+// x-gathers cache-resident (see TiledStochastic).
+//
+// deg[i] must be the neighbor count of vertex i and adj(i, fn) must call
+// fn once per neighbor of i (duplicates and self-loops are tolerated:
+// visited vertices are skipped). The caller supplies adjacency as a
+// callback so this package stays independent of the graph representation
+// — internal/core feeds it the citation network's symmetrized refs +
+// citers lists.
+//
+// The returned permutation maps old vertex ids to new: perm[old] = new.
+// It is a bijection on [0, n) and deterministic for fixed inputs.
+func RCMOrder(n int, deg []int32, adj func(int32, func(int32))) []int32 {
+	perm := make([]int32, n)
+	if n == 0 {
+		return perm
+	}
+	// byDegree lists all vertices in ascending (degree, id) order; BFS
+	// roots are taken from it so every component starts at a minimum-
+	// degree vertex, the classic pseudo-peripheral heuristic.
+	byDegree := make([]int32, n)
+	for i := range byDegree {
+		byDegree[i] = int32(i)
+	}
+	sort.Slice(byDegree, func(a, b int) bool {
+		da, db := deg[byDegree[a]], deg[byDegree[b]]
+		if da != db {
+			return da < db
+		}
+		return byDegree[a] < byDegree[b]
+	})
+
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	scratch := make([]int32, 0, 64) // per-vertex neighbor buffer
+	rootCursor := 0
+	for len(order) < n {
+		// Next unvisited root in (degree, id) order.
+		for visited[byDegree[rootCursor]] {
+			rootCursor++
+		}
+		root := byDegree[rootCursor]
+		visited[root] = true
+		order = append(order, root)
+		// Standard BFS over the component; the queue is the tail of
+		// `order` itself.
+		for head := len(order) - 1; head < len(order); head++ {
+			v := order[head]
+			scratch = scratch[:0]
+			adj(v, func(u int32) {
+				if !visited[u] {
+					visited[u] = true
+					scratch = append(scratch, u)
+				}
+			})
+			// Frontier in ascending (degree, id) order — the Cuthill–McKee
+			// tie-break that keeps the band tight.
+			sort.Slice(scratch, func(a, b int) bool {
+				da, db := deg[scratch[a]], deg[scratch[b]]
+				if da != db {
+					return da < db
+				}
+				return scratch[a] < scratch[b]
+			})
+			order = append(order, scratch...)
+		}
+	}
+	// Reverse: RCM numbers the BFS order back to front.
+	for newID, old := range order {
+		perm[old] = int32(n - 1 - newID)
+	}
+	return perm
+}
+
+// DegreeOrder computes the production relabeling for the tiled layout:
+// within each 64Ki column window, rows are ordered lexicographically by
+// their per-column-window entry counts (ascending), with ties broken by
+// rank (nil means original id). The result is window-preserving by
+// construction, so TiledRows accepts it directly.
+//
+// Why degree runs and not bandwidth: the tiled kernel runs one short
+// dependent-add chain per row per column window, so its throughput is
+// set by how well the core overlaps consecutive rows — and the limiter
+// there is each gather loop's exit branch, which mispredicts on every
+// row when trip counts vary, flushing the speculation that overlap
+// depends on. A row's per-window entry counts are fixed by the ORIGINAL
+// column ids (row relabeling cannot change them), so sorting rows by
+// that count vector lines up long runs of identical trip counts and the
+// exit branches become perfectly predictable; measured on the 100k
+// benchmark graph this cuts the gather loop's ns/nnz by more than 2×,
+// where pure bandwidth-minimizing orders (RCM alone) barely move it — a
+// power-law hub row spans the whole window under any ordering. Passing
+// an RCM ordering as rank keeps its residual locality within each
+// equal-count run.
+func (s *Stochastic) DegreeOrder(rank []int32) []int32 {
+	m := s.m
+	n := m.rows
+	w := (n + windowSize - 1) / windowSize
+	if w < 1 {
+		w = 1
+	}
+	// cnt[r*w+j] = entries of row r whose original column is in window j.
+	cnt := make([]int32, n*w)
+	for c := 0; c < m.cols; c++ {
+		j := c >> WindowBits
+		for k := m.colPtr[c]; k < m.colPtr[c+1]; k++ {
+			cnt[int(m.rowIdx[k])*w+j]++
+		}
+	}
+	perm := make([]int32, n)
+	idx := make([]int32, 0, windowSize)
+	for lo := 0; lo < n; lo += windowSize {
+		hi := lo + windowSize
+		if hi > n {
+			hi = n
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, int32(i))
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			ca, cb := cnt[int(ia)*w:int(ia)*w+w], cnt[int(ib)*w:int(ib)*w+w]
+			for j := 0; j < w; j++ {
+				if ca[j] != cb[j] {
+					return ca[j] < cb[j]
+				}
+			}
+			if rank != nil && rank[ia] != rank[ib] {
+				return rank[ia] < rank[ib]
+			}
+			return ia < ib
+		})
+		for k, i := range idx {
+			perm[i] = int32(lo + k)
+		}
+	}
+	return perm
+}
+
+// IdentityPerm returns the identity permutation of size n, the layout
+// used when relabeling is disabled or not yet computed.
+func IdentityPerm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// InversePerm returns the inverse of a permutation: inv[perm[i]] = i.
+func InversePerm(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for old, new := range perm {
+		inv[new] = int32(old)
+	}
+	return inv
+}
+
+// Bandwidth returns the maximum |perm[r] − perm[c]| over the nonzero
+// pattern of m — the band the relabeled gathers span. Diagnostic for
+// tests and layout telemetry; O(nnz).
+func Bandwidth(m *Matrix, perm []int32) int {
+	max := 0
+	for c := 0; c < m.cols; c++ {
+		pc := int(perm[c])
+		for k := m.colPtr[c]; k < m.colPtr[c+1]; k++ {
+			d := int(perm[m.rowIdx[k]]) - pc
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,210 @@
+package sparse
+
+// TiledMulti is the batched (SpMM) form of the tiled kernel: one
+// traversal of the compressed tiles updates B score vectors at once,
+// exactly as FusedStochasticMulti does over CSR. Score blocks are
+// row-major N×B in the layout's storage (permuted) space. Lanes are
+// processed in register chunks of eight inside the row loop (see the
+// FusedStochasticMulti note on why the accumulators must live in
+// registers); each row's window-local column words are decoded into
+// absolute storage ids once per row, then every chunk pass gathers
+// through the decoded ids, so the decode cost is amortized across lanes
+// just like the CSR kernel's column stream.
+//
+// Every lane is bit-identical to the single-vector TiledStochastic.Step
+// at the same partition count: same per-row ascending-original-column
+// accumulation, same sequential dangling gather per lane, same combine
+// expression, and residual partials tree-reduced over the same tile
+// partition (shared with the parent via its partition cache).
+type TiledMulti struct {
+	t *TiledStochastic
+}
+
+// N returns the matrix dimension.
+func (m *TiledMulti) N() int { return m.t.rows }
+
+// Step computes, for every lane j < B,
+//
+//	next[·*B+j] = alpha[j]·S·x[·*B+j] + beta[j]·att[j] + gamma[j]·rec[j]
+//
+// in one pass over the tiles, writing lane j's L1 residual into
+// resid[j]. Semantics, layouts, and aliasing rules match
+// FusedStochasticMulti.Step; all vectors are in storage (permuted)
+// space.
+func (m *TiledMulti) Step(next, x []float64, att, rec [][]float64, alpha, beta, gamma, resid []float64, parts int) {
+	t := m.t
+	n := t.rows
+	b := len(alpha)
+	if len(beta) != b || len(gamma) != b || len(resid) != b || len(att) != b || len(rec) != b {
+		panic("sparse: TiledMulti.Step per-lane slice length mismatch")
+	}
+	if len(x) != n*b || len(next) != n*b {
+		panic("sparse: TiledMulti.Step block size mismatch")
+	}
+	hasDangling := len(t.dangling) > 0
+	share := make([]float64, b)
+	if hasDangling {
+		for _, c := range t.dangling {
+			base := int(c) * b
+			for j := 0; j < b; j++ {
+				share[j] += x[base+j]
+			}
+		}
+		for j := range share {
+			share[j] /= float64(n)
+		}
+	}
+	if parts <= 1 || t.pool == nil {
+		m.stepTiles(0, len(t.tiles), next, x, att, rec, alpha, beta, gamma, share, hasDangling, resid)
+		return
+	}
+	// A single compacted range still runs on the pool — the strided tree
+	// sum over one partial is the identity, so bits match the direct
+	// call (see TiledStochastic.Step).
+	bounds := t.partition(parts)
+	nparts := len(bounds) - 1
+	partial := make([]float64, nparts*b)
+	t.pool.Run(nparts, func(i int) {
+		m.stepTiles(int(bounds[i]), int(bounds[i+1]),
+			next, x, att, rec, alpha, beta, gamma, share, hasDangling, partial[i*b:(i+1)*b])
+	})
+	for j := 0; j < b; j++ {
+		resid[j] = treeSumStrided(partial, j, b, nparts)
+	}
+}
+
+// stepTiles is the per-worker kernel over tiles [tLo, tHi): the fused
+// B-lane update and per-lane partial residuals, register-chunked like
+// FusedStochasticMulti.stepRange. Each row's columns are decoded to
+// absolute storage ids once (window base + local word, walking the
+// window runs in order), and its values materialized alongside (gathered
+// from the per-column value on the uniform layout, copied from the
+// per-entry array on the fallback — the same bit patterns either way);
+// then the chunked lane loops gather through both, so the decode cost is
+// amortized across lanes just like the CSR kernel's column stream.
+func (m *TiledMulti) stepTiles(tLo, tHi int, next, x []float64, att, rec [][]float64, alpha, beta, gamma, share []float64, hasDangling bool, resid []float64) {
+	t := m.t
+	b := len(alpha)
+	for j := range resid {
+		resid[j] = 0
+	}
+	var tmp [8]float64
+	var colScratch []int32   // per-row decoded absolute columns
+	var valScratch []float64 // per-row materialized values
+	for ti := tLo; ti < tHi; ti++ {
+		h := &t.tiles[ti]
+		for r := int(h.rowLo); r < int(h.rowHi); r++ {
+			a, e := t.rowPtr[r], t.rowPtr[r+1]
+			if cap(colScratch) < int(e-a) {
+				colScratch = make([]int32, e-a)
+				valScratch = make([]float64, e-a)
+			}
+			cols := colScratch[:e-a]
+			vals := valScratch[:e-a]
+			if t.windows == 2 {
+				// Two-window fast path (the 100k benchmark shape): the
+				// split plane replaces the per-window run walk.
+				mid, b0, b1 := t.splits[0][r], t.wbase[0], t.wbase[1]
+				for k := a; k < mid; k++ {
+					cols[k-a] = b0 + int32(t.cols[k])
+				}
+				for k := mid; k < e; k++ {
+					cols[k-a] = b1 + int32(t.cols[k])
+				}
+			} else {
+				k := int(a)
+				for j := 0; j < len(t.wbase); j++ {
+					segEnd := int(e)
+					if j < len(t.splits) {
+						segEnd = int(t.splits[j][r])
+					}
+					base := t.wbase[j]
+					for ; k < segEnd; k++ {
+						cols[k-int(a)] = base + int32(t.cols[k])
+					}
+				}
+			}
+			if t.uniform {
+				for i, c := range cols {
+					vals[i] = t.colVal[c]
+				}
+			} else {
+				copy(vals, t.val[a:e])
+			}
+			rowBase := r * b
+			for c0 := 0; c0 < b; {
+				cw := b - c0
+				switch {
+				case cw >= 8:
+					cw = 8
+					var s0, s1, s2, s3, s4, s5, s6, s7 float64
+					for k := a; k < e; k++ {
+						v := vals[k-a]
+						c := int(cols[k-a])
+						xr := x[c*b+c0:]
+						xr = xr[:8:8]
+						s0 += v * xr[0]
+						s1 += v * xr[1]
+						s2 += v * xr[2]
+						s3 += v * xr[3]
+						s4 += v * xr[4]
+						s5 += v * xr[5]
+						s6 += v * xr[6]
+						s7 += v * xr[7]
+					}
+					tmp[0], tmp[1], tmp[2], tmp[3] = s0, s1, s2, s3
+					tmp[4], tmp[5], tmp[6], tmp[7] = s4, s5, s6, s7
+				case cw >= 4:
+					cw = 4
+					var s0, s1, s2, s3 float64
+					for k := a; k < e; k++ {
+						v := vals[k-a]
+						c := int(cols[k-a])
+						xr := x[c*b+c0:]
+						xr = xr[:4:4]
+						s0 += v * xr[0]
+						s1 += v * xr[1]
+						s2 += v * xr[2]
+						s3 += v * xr[3]
+					}
+					tmp[0], tmp[1], tmp[2], tmp[3] = s0, s1, s2, s3
+				case cw >= 2:
+					cw = 2
+					var s0, s1 float64
+					for k := a; k < e; k++ {
+						v := vals[k-a]
+						c := int(cols[k-a])
+						xr := x[c*b+c0:]
+						xr = xr[:2:2]
+						s0 += v * xr[0]
+						s1 += v * xr[1]
+					}
+					tmp[0], tmp[1] = s0, s1
+				default:
+					cw = 1
+					s := 0.0
+					for k := a; k < e; k++ {
+						c := int(cols[k-a])
+						s += vals[k-a] * x[c*b+c0]
+					}
+					tmp[0] = s
+				}
+				for i := 0; i < cw; i++ {
+					j := c0 + i
+					s := tmp[i]
+					if hasDangling {
+						s += share[j]
+					}
+					v := alpha[j]*s + beta[j]*att[j][r] + gamma[j]*rec[j][r]
+					next[rowBase+j] = v
+					d := v - x[rowBase+j]
+					if d < 0 {
+						d = -d
+					}
+					resid[j] += d
+				}
+				c0 += cw
+			}
+		}
+	}
+}

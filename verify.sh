@@ -37,7 +37,7 @@ go vet ./...
 
 if [ "${1:-}" = "quick" ]; then
 	echo "==> go test -race -short (kernel packages)"
-	go test -race -short -run 'Parallel|Fused|Multi|Operator|Pool|Partition|RankBatch' \
+	go test -race -short -run 'Parallel|Fused|Multi|Operator|Pool|Partition|RankBatch|Tiled|RCM|Relabel|Window|Degree' \
 		./internal/sparse/ ./internal/core/
 	echo "==> go test -race (scratch metrics bit-equality)"
 	go test -race -run 'Scratch|Ordering|Ranks' ./internal/metrics/
@@ -70,5 +70,8 @@ go test -race -shuffle=on ./...
 echo "==> attrank-bench -sweep smoke (one rep, small network)"
 GOMAXPROCS=1 go run ./cmd/attrank-bench -sweep -sweep-papers 20000 -sweep-reps 1 \
 	-sweep-out /tmp/BENCH_sweep_smoke.json
+
+echo "==> attrank-bench -smoke (tiled vs csr fused vs serial bit-equality, seeded 10k graph)"
+go run ./cmd/attrank-bench -smoke
 
 echo "verify.sh: all checks passed"
