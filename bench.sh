@@ -10,8 +10,10 @@
 # shed rates at 1x/2x/4x saturation, graceful-shutdown drain),
 # BENCH_cluster.json (a leader plus three WAL-shipping followers on
 # loopback: read throughput per replica added, and follower
-# crash-recovery bit-equality), and then runs the go-test
-# microbenchmarks for the per-iteration kernels.
+# crash-recovery bit-equality), BENCH_ingest.json (single-citation
+# incremental push re-rank vs a warm full re-rank on the 100k network,
+# with reconciliation bit-equality and staleness-bound checks), and then
+# runs the go-test microbenchmarks for the per-iteration kernels.
 #
 # The committed BENCH_core.json and BENCH_sweep.json are generated at
 # GOMAXPROCS=1 (single-core kernel merit, no scheduler noise). Each is
@@ -37,6 +39,9 @@ go run ./cmd/attrank-bench -serve -serve-out BENCH_service.json
 
 echo "==> attrank-bench -cluster (replicated tier -> BENCH_cluster.json)"
 go run ./cmd/attrank-bench -cluster -cluster-out BENCH_cluster.json
+
+echo "==> attrank-bench -ingest, GOMAXPROCS=1 (incremental push vs warm full re-rank -> BENCH_ingest.json)"
+GOMAXPROCS=1 go run ./cmd/attrank-bench -ingest -ingest-out BENCH_ingest.json
 
 echo "==> go test -bench (sparse + core kernels + scratch metrics)"
 go test -run XXX -bench 'Iteration|Rank100k|Spearman|NDCG' -benchtime 10x -benchmem \

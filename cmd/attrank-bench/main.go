@@ -137,12 +137,23 @@ func main() {
 		clusterDur       = flag.Duration("cluster-dur", 3*time.Second, "duration of each -cluster load level")
 		clusterPapers    = flag.Int("cluster-papers", 20000, "corpus size for -cluster")
 		clusterFollowers = flag.Int("cluster-followers", 3, "follower count for -cluster (min 3)")
+
+		ingestB        = flag.Bool("ingest", false, "benchmark the incremental-ranking push path against warm full re-ranks, with exactness and bit-equality gates (exits non-zero on any violation)")
+		ingestOut      = flag.String("ingest-out", "BENCH_ingest.json", "output JSON path for -ingest")
+		ingestPapers   = flag.Int("ingest-papers", 100000, "corpus size for -ingest")
+		ingestWrites   = flag.Int("ingest-writes", 400, "single-citation writes pushed through one pusher in -ingest")
+		ingestFullReps = flag.Int("ingest-full-reps", 25, "warm full single-citation re-ranks timed in -ingest")
+		ingestCheck    = flag.Int("ingest-check-every", 50, "push writes between exact-deviation checks in -ingest (0 disables)")
+		ingestLiveWr   = flag.Int("ingest-live-writes", 150, "live rank-per-write Ingester writes per arm in -ingest")
+		ingestPushTol  = flag.Float64("ingest-push-tol", core.DefaultPushTol, "push settle tolerance for -ingest")
 	)
 	flag.Parse()
 	var err error
 	switch {
 	case *smoke:
 		err = runSmoke(*smokePapers, *profile)
+	case *ingestB:
+		err = runIngest(*ingestPapers, *ingestWrites, *ingestFullReps, *ingestCheck, *ingestLiveWr, *profile, *ingestOut, *ingestPushTol)
 	case *cluster:
 		err = runCluster(*clusterPapers, *clusterFollowers, *clusterOut, *clusterDur)
 	case *serve:

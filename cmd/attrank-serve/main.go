@@ -102,6 +102,8 @@ func main() {
 		rerankAfter   = flag.Int("rerank-after", ingest.DefaultRerankAfter, "live mode: re-rank after this many pending mutations")
 		rerankEvery   = flag.Duration("rerank-every", ingest.DefaultRerankEvery, "live mode: re-rank at most this long after a mutation")
 		snapshotEvery = flag.Int("snapshot-every", ingest.DefaultSnapshotEvery, "live mode: snapshot after this many compacted mutations (negative disables)")
+		pushTol       = flag.Float64("push-tol", 0, "live mode: enable incremental (push) re-ranks settled to this residual L1 tolerance, e.g. 1e-6 (0 disables: every epoch is a full re-rank)")
+		pushReconcile = flag.Int("push-reconcile", ingest.DefaultReconcileEvery, "live mode: force a full reconciling re-rank after this many consecutive push epochs (negative disables the cadence cap)")
 
 		role   = flag.String("role", "", "replication role: empty (standalone), \"leader\" (requires -wal) or \"follower\" (requires -peers and -wal as the local state directory)")
 		peers  = flag.String("peers", "", "follower mode: the leader's base URL, e.g. http://leader:8080")
@@ -158,7 +160,7 @@ func main() {
 			srv = service.NewReplica(fol, *maxLag)
 		}
 	case *wal != "":
-		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery)
+		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery, *pushTol, *pushReconcile)
 		if err == nil {
 			defer func() {
 				if err := ing.Close(); err != nil {
@@ -248,7 +250,7 @@ func build(in string, alpha, beta, gamma float64, y int, w float64, now, workers
 // buildLive opens the ingestion subsystem over the durable state in dir.
 // The seed corpus (-in) is only consulted when dir holds no snapshot yet;
 // on restart the snapshot plus the WAL tail are authoritative.
-func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, workers, rerankAfter int, rerankEvery time.Duration, snapshotEvery int) (*ingest.Ingester, error) {
+func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, workers, rerankAfter int, rerankEvery time.Duration, snapshotEvery int, pushTol float64, pushReconcile int) (*ingest.Ingester, error) {
 	var seed *graph.Network
 	if in != "" {
 		var err error
@@ -279,11 +281,13 @@ func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now
 		Params: core.Params{
 			Alpha: alpha, Beta: beta, Gamma: gamma, AttentionYears: y, W: w, Workers: workers,
 		},
-		Now:           now,
-		RerankAfter:   rerankAfter,
-		RerankEvery:   rerankEvery,
-		SnapshotEvery: snapshotEvery,
-		Logf:          log.Printf,
+		Now:            now,
+		RerankAfter:    rerankAfter,
+		RerankEvery:    rerankEvery,
+		SnapshotEvery:  snapshotEvery,
+		PushTol:        pushTol,
+		ReconcileEvery: pushReconcile,
+		Logf:           log.Printf,
 	})
 }
 

@@ -111,7 +111,7 @@ func TestBuildLiveAndServe(t *testing.T) {
 	seedPath := writeSynthTSV(t, 150)
 	dir := t.TempDir()
 
-	ing, err := buildLive(seedPath, dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery)
+	ing, err := buildLive(seedPath, dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestBuildLiveAndServe(t *testing.T) {
 
 	// Restart over the same directory with NO seed: state must come back
 	// from the snapshot + WAL.
-	re, err := buildLive("", dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery)
+	re, err := buildLive("", dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestBuildLiveAndServe(t *testing.T) {
 }
 
 func TestBuildLiveEmptyCorpus(t *testing.T) {
-	ing, err := buildLive("", t.TempDir(), 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1)
+	ing, err := buildLive("", t.TempDir(), 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestBuildLiveEmptyCorpus(t *testing.T) {
 
 func TestBuildLiveBadSeed(t *testing.T) {
 	if _, err := buildLive(filepath.Join(t.TempDir(), "nope.tsv"), t.TempDir(),
-		0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1); err == nil {
+		0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0); err == nil {
 		t.Error("missing seed accepted")
 	}
 }

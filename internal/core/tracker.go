@@ -43,8 +43,13 @@ func (t *Tracker) Tracked() int { return len(t.last) }
 // the leader's published scores for the same network, every subsequent
 // Update starts from the same vector the leader's does and therefore
 // reproduces the leader's results bit for bit.
+// A length mismatch — scores from a different (e.g. pre-compaction)
+// vertex count — clears the carried state before erroring: the stale
+// vector must not silently warm-start the next Update, which instead
+// re-seeds itself from its own exact result.
 func (t *Tracker) Seed(net *graph.Network, scores []float64) error {
 	if net.N() != len(scores) {
+		t.last = make(map[string]float64)
 		return fmt.Errorf("core: tracker seed: %d scores for %d papers", len(scores), net.N())
 	}
 	t.last = make(map[string]float64, len(scores))

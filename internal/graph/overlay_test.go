@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func overlayBase(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder()
+	for i, y := range []int{1990, 1994, 1996, 1996} {
+		if _, err := b.AddPaper(fmt.Sprintf("p%d", i), y, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]int32{{1, 0}, {2, 0}, {2, 1}, {3, 2}} {
+		b.AddEdgeByIndex(e[0], e[1])
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func refList(o *Overlay, v int32) []int32 {
+	var out []int32
+	o.References(v, func(r int32) { out = append(out, r) })
+	return out
+}
+
+// TestOverlayMirrorsBase: a fresh overlay is a transparent view of the
+// base network.
+func TestOverlayMirrorsBase(t *testing.T) {
+	base := overlayBase(t)
+	o := NewOverlay(base)
+	if o.N() != base.N() || o.ExtraPapers() != 0 || o.ExtraEdges() != 0 {
+		t.Fatalf("fresh overlay: N=%d extra=%d/%d", o.N(), o.ExtraPapers(), o.ExtraEdges())
+	}
+	for i := int32(0); int(i) < base.N(); i++ {
+		if o.Year(i) != base.Year(i) {
+			t.Fatalf("node %d: year %d vs base %d", i, o.Year(i), base.Year(i))
+		}
+		if o.OutDegree(i) != int(base.OutDegree(i)) {
+			t.Fatalf("node %d: outdeg %d vs base %d", i, o.OutDegree(i), base.OutDegree(i))
+		}
+		var baseRefs []int32
+		base.References(i, func(r int32) { baseRefs = append(baseRefs, r) })
+		got := refList(o, i)
+		if len(got) != len(baseRefs) {
+			t.Fatalf("node %d: %d refs vs base %d", i, len(got), len(baseRefs))
+		}
+		for j := range got {
+			if got[j] != baseRefs[j] {
+				t.Fatalf("node %d ref %d: %d vs base %d (order must match)", i, j, got[j], baseRefs[j])
+			}
+		}
+	}
+	if !o.HasEdge(1, 0) || o.HasEdge(0, 1) {
+		t.Fatal("HasEdge does not mirror the base")
+	}
+}
+
+// TestOverlayMutations: fringe papers and edges extend the view, with
+// base references first and fringe references in arrival order.
+func TestOverlayMutations(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	p := o.AddPaper(1997)
+	if p != 4 || o.N() != 5 || o.Year(p) != 1997 || o.OutDegree(p) != 0 {
+		t.Fatalf("AddPaper: idx=%d N=%d year=%d deg=%d", p, o.N(), o.Year(p), o.OutDegree(p))
+	}
+	for _, e := range [][2]int32{{p, 2}, {p, 0}, {3, 0}} {
+		if err := o.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := refList(o, p); len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("fringe refs of %d = %v, want [2 0] (arrival order)", p, got)
+	}
+	if got := refList(o, 3); len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("refs of 3 = %v, want [2 0] (base then fringe)", got)
+	}
+	if o.OutDegree(3) != 2 || o.ExtraEdges() != 3 {
+		t.Fatalf("outdeg(3)=%d extraEdges=%d", o.OutDegree(3), o.ExtraEdges())
+	}
+	if !o.HasEdge(p, 0) || !o.HasEdge(3, 0) || o.HasEdge(0, 3) {
+		t.Fatal("HasEdge does not see fringe edges")
+	}
+}
+
+// TestOverlayRejects: the overlay enforces the same edge rules the
+// builder's Build does, so a compaction of its mutations cannot fail.
+func TestOverlayRejects(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	if err := o.AddEdge(1, 1); err == nil {
+		t.Error("self-citation accepted")
+	}
+	if err := o.AddEdge(1, 0); err == nil {
+		t.Error("duplicate base edge accepted")
+	}
+	if err := o.AddEdge(0, 99); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := o.AddEdge(-1, 0); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := o.AddEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddEdge(3, 0); err == nil {
+		t.Error("duplicate fringe edge accepted")
+	}
+}
+
+// TestOverlayMatchesBuilderCompaction: the overlay's node indexing and
+// edge set must agree with compacting the same mutations through
+// NewBuilderFrom — the property the incremental ranker's reconciliation
+// depends on.
+func TestOverlayMatchesBuilderCompaction(t *testing.T) {
+	base := overlayBase(t)
+	o := NewOverlay(base)
+	b := NewBuilderFrom(base)
+	rng := rand.New(rand.NewSource(3))
+
+	for i := 0; i < 4; i++ {
+		year := 1995 + rng.Intn(3)
+		idx := o.AddPaper(year)
+		id := fmt.Sprintf("x%d", i)
+		if _, err := b.AddPaper(id, year, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+		if int(idx) != base.N()+i {
+			t.Fatalf("overlay idx %d for extra paper %d", idx, i)
+		}
+	}
+	added := 0
+	for tries := 0; added < 10 && tries < 200; tries++ {
+		citing, cited := int32(rng.Intn(o.N())), int32(rng.Intn(o.N()))
+		if err := o.AddEdge(citing, cited); err != nil {
+			continue
+		}
+		b.AddEdgeByIndex(citing, cited)
+		added++
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != o.N() {
+		t.Fatalf("compacted N %d, overlay N %d", net.N(), o.N())
+	}
+	for i := int32(0); int(i) < net.N(); i++ {
+		if net.Year(i) != o.Year(i) {
+			t.Fatalf("node %d: compacted year %d, overlay year %d", i, net.Year(i), o.Year(i))
+		}
+		if int(net.OutDegree(i)) != o.OutDegree(i) {
+			t.Fatalf("node %d: compacted outdeg %d, overlay %d", i, net.OutDegree(i), o.OutDegree(i))
+		}
+		// Same edge set (order may differ across the compaction).
+		want := map[int32]bool{}
+		net.References(i, func(r int32) { want[r] = true })
+		o.References(i, func(r int32) {
+			if !want[r] {
+				t.Fatalf("node %d: overlay edge →%d missing after compaction", i, r)
+			}
+			delete(want, r)
+		})
+		if len(want) != 0 {
+			t.Fatalf("node %d: compaction has %d edges the overlay lacks", i, len(want))
+		}
+	}
+}

@@ -23,6 +23,10 @@ const (
 	DefaultRerankAfter   = 256
 	DefaultRerankEvery   = 2 * time.Second
 	DefaultSnapshotEvery = 4096
+	// Incremental-ranking policy defaults (PushTol zero keeps the push
+	// path disabled; these govern it once enabled).
+	DefaultReconcileEvery = 16
+	DefaultPushMaxBacklog = 4096
 )
 
 // Config configures an Ingester.
@@ -47,6 +51,25 @@ type Config struct {
 	// many mutations. DefaultSnapshotEvery if zero; negative disables
 	// automatic snapshots.
 	SnapshotEvery int
+	// PushTol enables incremental ranking (DESIGN.md §14): citation-only
+	// batches are absorbed by a Gauss–Southwell residual push settled to
+	// this L1 tolerance instead of a full power-method re-rank, with
+	// automatic fallback to the full path when budgets are exceeded.
+	// Zero disables the push path (every epoch is a full re-rank).
+	PushTol float64
+	// PushMaxResidual caps the accumulated L1 error bound of push-mode
+	// scores; past it the scheduler reconciles with a full re-rank.
+	// core.DefaultPushMaxResidual if zero.
+	PushMaxResidual float64
+	// ReconcileEvery caps the length of a push streak: after this many
+	// consecutive push epochs the next re-rank is forced full, so drift
+	// is bounded in epochs as well as in residual mass.
+	// DefaultReconcileEvery if zero; negative disables the cap.
+	ReconcileEvery int
+	// PushMaxBacklog caps the uncompacted mutations a push streak may
+	// accumulate before forcing a full (compacting) re-rank.
+	// DefaultPushMaxBacklog if zero.
+	PushMaxBacklog int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -64,10 +87,19 @@ type Ranking struct {
 	// Positions maps node index → 0-based rank position.
 	Positions []int
 	// Stats is Net.ComputeStats(), computed once per epoch so serving it
-	// is free.
+	// is free. On an incremental epoch it is the last full epoch's stats
+	// with the edge counters advanced for the pushed citations.
 	Stats graph.Stats
 	// RankedAt is the effective ranking time tN used.
 	RankedAt int
+	// Incremental marks an epoch published by the push updater: Result
+	// holds approximate scores within Staleness of the exact rank, and
+	// Net is still the last compacted corpus (pushed citations are in
+	// the scores and Stats counters but not yet in Net's adjacency).
+	Incremental bool
+	// Staleness is the L1 bound on ‖published − exact‖ scores; 0 for a
+	// full epoch.
+	Staleness float64
 }
 
 // Status reports the ingester's operational state for monitoring.
@@ -78,8 +110,11 @@ type Status struct {
 	Pending        int           // mutations accepted but not yet ranked
 	WALBytes       int64         // current write-ahead log size
 	LastRerank     time.Duration // wall time of the last re-rank (compaction + iteration)
-	LastIterations int           // power iterations of the last re-rank
+	LastIterations int           // power iterations (or pushes) of the last re-rank
 	Snapshots      uint64        // snapshots written since Open
+	PushEpochs     uint64        // incremental (push) epochs published since Open
+	PushBacklog    int           // mutations absorbed by pushes, not yet compacted
+	Staleness      float64       // L1 error bound of the published scores (0 = exact)
 }
 
 // ItemError reports a rejected mutation inside a batch.
@@ -115,14 +150,33 @@ type Ingester struct {
 	deltaIDs      map[string]struct{} // paper IDs in delta
 	deltaEdges    map[[2]string]struct{}
 	sinceSnapshot int       // mutations compacted since the last snapshot
-	firstPending  time.Time // when the oldest uncompacted mutation arrived (zero: none)
+	firstPending  time.Time // when the oldest unranked mutation arrived (zero: none)
 	closed        bool
+
+	// Incremental-ranking state (guarded by mu; only the scheduler and
+	// Open mutate it). delta[:pushed] is the push backlog: mutations
+	// already absorbed into published scores by the push updater but not
+	// yet compacted — the next full epoch compacts the whole delta and
+	// resets pushed to 0. pusher carries the score/residual state across
+	// the epochs of one push streak; pushStreak counts them for the
+	// ReconcileEvery policy.
+	pushed     int
+	pusher     *core.Pusher
+	pushStreak int
 
 	ranking atomic.Pointer[Ranking]
 	lastDur atomic.Int64 // last re-rank wall time, ns
 	lastIt  atomic.Int64 // last re-rank iterations
 	epoch   atomic.Uint64
 	snaps   atomic.Uint64
+	pushEp  atomic.Uint64 // push epochs published since Open
+
+	// fullRank/fullCursor anchor replication bootstrap at the last FULL
+	// epoch boundary: a follower seeds its warm-start chain from exact
+	// scores and replays any subsequent push epochs from the WAL, so
+	// push-mode publication never ships approximate state as a seed.
+	fullRank   atomic.Pointer[Ranking]
+	fullCursor atomic.Pointer[ReplCursor]
 
 	// claimed is the highest epoch number committed to the WAL as a
 	// marker (the scheduler claims the epoch before ranking it, so the
@@ -164,6 +218,18 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.PushTol < 0 {
+		return nil, fmt.Errorf("ingest: negative PushTol %v", cfg.PushTol)
+	}
+	if cfg.PushMaxResidual == 0 {
+		cfg.PushMaxResidual = core.DefaultPushMaxResidual
+	}
+	if cfg.ReconcileEvery == 0 {
+		cfg.ReconcileEvery = DefaultReconcileEvery
+	}
+	if cfg.PushMaxBacklog <= 0 {
+		cfg.PushMaxBacklog = DefaultPushMaxBacklog
 	}
 	tracker, err := core.NewTracker(cfg.Params)
 	if err != nil {
@@ -262,7 +328,7 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 
 	ing.storeCursor()
 	if ing.base.N() > 0 || len(ing.delta) > 0 {
-		if err := ing.rerank(); err != nil {
+		if err := ing.rerank(true); err != nil {
 			wal.Close()
 			return nil, fmt.Errorf("ingest: initial ranking: %w", err)
 		}
@@ -282,16 +348,21 @@ func (ing *Ingester) Params() core.Params { return ing.cfg.Params }
 func (ing *Ingester) Status() Status {
 	ing.mu.Lock()
 	st := Status{
-		Papers:    ing.base.N() + len(ing.deltaIDs),
-		Citations: ing.base.Edges() + len(ing.deltaEdges),
-		Pending:   len(ing.delta),
-		WALBytes:  ing.wal.Size(),
+		Papers:      ing.base.N() + len(ing.deltaIDs),
+		Citations:   ing.base.Edges() + len(ing.deltaEdges),
+		Pending:     len(ing.delta) - ing.pushed,
+		PushBacklog: ing.pushed,
+		WALBytes:    ing.wal.Size(),
 	}
 	ing.mu.Unlock()
 	st.Epoch = ing.epoch.Load()
 	st.LastRerank = time.Duration(ing.lastDur.Load())
 	st.LastIterations = int(ing.lastIt.Load())
 	st.Snapshots = ing.snaps.Load()
+	st.PushEpochs = ing.pushEp.Load()
+	if r := ing.ranking.Load(); r != nil {
+		st.Staleness = r.Staleness
+	}
 	return st
 }
 
@@ -369,12 +440,14 @@ func (ing *Ingester) ApplyBatch(muts []Mutation) (BatchResult, error) {
 		}
 		return BatchResult{}, err
 	}
-	if len(ing.delta) == 0 {
+	if len(ing.delta) == ing.pushed {
+		// No unranked mutations were pending (push-absorbed backlog does
+		// not count: its scores are already published).
 		ing.firstPending = time.Now()
 	}
 	ing.delta = append(ing.delta, accepted...)
 	mMutationsTotal.Add(int64(len(accepted)))
-	mPending.Set(float64(len(ing.delta)))
+	mPending.Set(float64(len(ing.delta) - ing.pushed))
 	res.Accepted = len(accepted)
 	select {
 	case ing.kick <- struct{}{}:
@@ -459,12 +532,14 @@ func (ing *Ingester) applyToDelta(m Mutation) {
 }
 
 // Pending returns the number of mutations accepted but not yet
-// compacted into a published ranking — the signal the service layer's
-// write backpressure keys off.
+// reflected in a published ranking — the signal the service layer's
+// write backpressure keys off. Mutations absorbed by an incremental
+// push epoch no longer count (their scores are live), even though they
+// remain uncompacted until the next full epoch.
 func (ing *Ingester) Pending() int {
 	ing.mu.Lock()
 	defer ing.mu.Unlock()
-	return len(ing.delta)
+	return len(ing.delta) - ing.pushed
 }
 
 // Flush forces a synchronous compaction + re-rank and returns once the
@@ -532,10 +607,10 @@ func (ing *Ingester) loop() {
 	pending := func() int {
 		ing.mu.Lock()
 		defer ing.mu.Unlock()
-		return len(ing.delta)
+		return len(ing.delta) - ing.pushed
 	}
 	runRerank := func() {
-		if err := ing.rerank(); err != nil {
+		if err := ing.rerank(false); err != nil {
 			ing.logf("ingest: rerank: %v", err)
 		}
 		ing.maybeSnapshot()
@@ -555,8 +630,10 @@ func (ing *Ingester) loop() {
 			armed = false
 			runRerank()
 		case done := <-ing.flushCh:
+			// Flush promises a reconciled view: force the full path so
+			// the caller observes exact, compacted state.
 			disarm()
-			err := ing.rerank()
+			err := ing.rerank(true)
 			ing.maybeSnapshot()
 			done <- err
 		case <-ing.stopCh:
@@ -566,17 +643,25 @@ func (ing *Ingester) loop() {
 	}
 }
 
-// rerank compacts the delta into a fresh immutable network, ranks it
-// (warm-started by the tracker), publishes the new epoch, and swaps the
-// compacted network in as the new base. Readers are never blocked: they
-// keep using the previous Ranking until the atomic pointer swap.
+// rerank publishes a new epoch. With the push path enabled and
+// eligible (citation-only batch, bounded backlog and drift, same
+// corpus and clock as the last full epoch) it absorbs the batch
+// incrementally via tryPushLocked; otherwise — or when forceFull is
+// set (Open's initial rank, Flush, fallback) — it compacts the whole
+// delta into a fresh immutable network, ranks it (warm-started by the
+// tracker), publishes the new epoch, and swaps the compacted network
+// in as the new base. Readers are never blocked: they keep using the
+// previous Ranking until the atomic pointer swap.
 //
 // The epoch is claimed — and its marker appended to the WAL — inside
 // the first critical section, before any mutation arriving mid-rank can
 // reach the log: a follower replaying the log therefore sees exactly
-// this compaction's mutations ahead of the marker, which is what lets
-// it reproduce the epoch bit for bit (see internal/replication).
-func (ing *Ingester) rerank() error {
+// this epoch's mutations ahead of the marker, which is what lets it
+// reproduce the epoch bit for bit (see internal/replication). For the
+// same reason the push decision and settle run under the lock: the
+// marker's push flag and Count must describe exactly the records that
+// precede it.
+func (ing *Ingester) rerank(forceFull bool) error {
 	started := time.Now()
 	ing.mu.Lock()
 	base := ing.base
@@ -586,7 +671,7 @@ func (ing *Ingester) rerank() error {
 		return nil // nothing to rank yet
 	}
 	deltaPrefix := ing.delta[:upTo:upTo]
-	if upTo > 0 && !ing.firstPending.IsZero() {
+	if upTo > ing.pushed && !ing.firstPending.IsZero() {
 		// Debounce lag: how long the oldest mutation of this batch sat
 		// pending before a re-rank picked it up.
 		mDebounceSeconds.ObserveSince(ing.firstPending)
@@ -603,14 +688,21 @@ func (ing *Ingester) rerank() error {
 			now = m.Paper.Year
 		}
 	}
+	if !forceFull && ing.tryPushLocked(now, upTo, started) {
+		return nil // push epoch published; mu already released
+	}
+	var flags byte
+	if ing.pushStreak > 0 {
+		flags = MarkReconcile
+	}
 	e := ing.claimed.Add(1)
-	mark := Mutation{Kind: KindEpoch, Epoch: EpochMark{Epoch: e, RankedAt: now, Count: uint32(upTo)}}
+	mark := Mutation{Kind: KindEpoch, Epoch: EpochMark{Epoch: e, RankedAt: now, Count: uint32(upTo - ing.pushed), Flags: flags}}
 	if err := ing.wal.Append(mark); err != nil {
 		ing.claimed.Add(^uint64(0)) // un-claim; nothing was committed
 		ing.mu.Unlock()
 		return fmt.Errorf("epoch marker: %w", err)
 	}
-	ing.storeCursor()
+	cur := ing.storeCursor()
 	ing.mu.Unlock()
 
 	net := base
@@ -663,6 +755,12 @@ func (ing *Ingester) rerank() error {
 			ing.deltaEdges[[2]string{m.Citation.Citing, m.Citation.Cited}] = struct{}{}
 		}
 	}
+	// A full epoch reconciles: the push backlog is compacted, the streak
+	// ends, and the pusher (whose base network just changed) is dropped —
+	// the next streak re-seeds from this epoch's exact scores.
+	ing.pushed = 0
+	ing.pushStreak = 0
+	ing.pusher = nil
 	// Mutations that arrived while this re-rank ran start their pending
 	// clock now: their true arrival is unrecorded, and "since the last
 	// compaction" is the tight upper bound on their lag.
@@ -680,13 +778,160 @@ func (ing *Ingester) rerank() error {
 	}
 	mRerankSeconds.ObserveSince(started)
 	mEpoch.Set(float64(r.Epoch))
+	mPushBound.Set(0)
+	mPushBacklog.Set(0)
 	ing.lastDur.Store(int64(time.Since(started)))
 	ing.lastIt.Store(int64(res.Iterations))
+	ing.fullRank.Store(r)
+	ing.fullCursor.Store(cur)
 	ing.epoch.Store(e)
 	ing.ranking.Store(r)
 	ing.logf("ingest: epoch %d published: %d papers, %d mutations compacted, %d iterations in %s",
 		r.Epoch, net.N(), upTo, res.Iterations, time.Since(started).Round(time.Millisecond))
 	return nil
+}
+
+// tryPushLocked attempts to publish the pending mutations as an
+// incremental push epoch. It requires ing.mu held; on success it
+// publishes the epoch, releases the lock and returns true. On any
+// refusal or failure it returns false with the lock still held and the
+// corpus state untouched (a partially fed pusher is discarded — the
+// full path that follows rebuilds push state from its own exact
+// result), so the caller proceeds with the full path.
+func (ing *Ingester) tryPushLocked(now, upTo int, started time.Time) bool {
+	cfg := &ing.cfg
+	if cfg.PushTol <= 0 || ing.base.N() == 0 {
+		return false
+	}
+	newMuts := ing.delta[ing.pushed:upTo]
+	if len(newMuts) == 0 {
+		return false
+	}
+	// Pending papers force a full epoch: a push-published Ranking keeps
+	// the last compacted Net, which must contain every served paper.
+	if len(ing.deltaIDs) > 0 {
+		return false
+	}
+	for _, m := range newMuts {
+		if m.Kind != KindCitation {
+			return false
+		}
+	}
+	lastFull := ing.fullRank.Load()
+	if lastFull == nil || lastFull.Net != ing.base || lastFull.RankedAt != now {
+		// No exact anchor for this corpus at this clock (e.g. cfg.Now
+		// advanced between epochs): reconcile fully.
+		return false
+	}
+	if upTo > cfg.PushMaxBacklog {
+		return false
+	}
+	if cfg.ReconcileEvery > 0 && ing.pushStreak >= cfg.ReconcileEvery {
+		return false // cadence reconciliation
+	}
+	pu := ing.pusher
+	if pu == nil || pu.Base() != ing.base || pu.Now() != now {
+		if ing.pushed > 0 {
+			// Backlog absorbed by a pusher we no longer hold — cannot
+			// happen while the invariants hold, but never push blind.
+			return false
+		}
+		var err error
+		pcfg := core.PushConfig{Tol: cfg.PushTol, MaxResidual: cfg.PushMaxResidual}
+		pu, err = core.NewPusher(ing.base, now, cfg.Params, pcfg, lastFull.Result.Scores)
+		if err != nil {
+			ing.logf("ingest: push seed: %v", err)
+			mPushFallbacksTotal.Inc()
+			return false
+		}
+	}
+	for _, m := range newMuts {
+		ci, okc := ing.base.Lookup(m.Citation.Citing)
+		ti, okt := ing.base.Lookup(m.Citation.Cited)
+		if !okc || !okt {
+			ing.pusher = nil
+			mPushFallbacksTotal.Inc()
+			return false
+		}
+		if err := pu.AddCitation(ci, ti); err != nil {
+			ing.logf("ingest: push apply: %v", err)
+			ing.pusher = nil
+			mPushFallbacksTotal.Inc()
+			return false
+		}
+	}
+	st, err := pu.Settle()
+	if err != nil {
+		// Budget breach (core.ErrNeedFull): the exact adaptive behavior
+		// we want — large or non-local batches take the full path.
+		ing.logf("ingest: push fallback: %v", err)
+		ing.pusher = nil
+		mPushFallbacksTotal.Inc()
+		return false
+	}
+	e := ing.claimed.Add(1)
+	mark := Mutation{Kind: KindEpoch, Epoch: EpochMark{Epoch: e, RankedAt: now, Count: uint32(len(newMuts)), Flags: MarkPush}}
+	if err := ing.wal.Append(mark); err != nil {
+		ing.claimed.Add(^uint64(0)) // un-claim; nothing was committed
+		ing.pusher = nil
+		ing.logf("ingest: push epoch marker: %v", err)
+		return false // the full path re-appends and surfaces the error
+	}
+	ing.storeCursor()
+	ing.pusher = pu
+	ing.pushed = upTo
+	ing.pushStreak++
+	ing.firstPending = time.Time{}
+	scores := pu.CopyScores()
+	bound := pu.Bound()
+	ing.mu.Unlock()
+
+	positions := make([]int, len(scores))
+	for pos, idx := range metrics.Ordering(scores) {
+		positions[idx] = pos
+	}
+	// Stats: last full epoch's, with the edge counters advanced for the
+	// whole pushed backlog (degree-distribution fields stay as compacted;
+	// the reconciling full epoch recomputes everything exactly).
+	stats := lastFull.Stats
+	stats.Edges = lastFull.Stats.Edges + upTo
+	if stats.Papers > 0 {
+		stats.MeanOutDeg = float64(stats.Edges) / float64(stats.Papers)
+	}
+	res := &core.Result{
+		Scores:     scores,
+		Iterations: st.Pushes,
+		Converged:  true,
+		Residuals:  []float64{bound},
+		Attention:  lastFull.Result.Attention,
+		Recency:    lastFull.Result.Recency,
+		Duration:   time.Since(started),
+	}
+	r := &Ranking{
+		Epoch:       e,
+		Net:         lastFull.Net,
+		Result:      res,
+		Positions:   positions,
+		Stats:       stats,
+		RankedAt:    now,
+		Incremental: true,
+		Staleness:   bound,
+	}
+	mPushEpochsTotal.Inc()
+	mPushSeconds.ObserveSince(started)
+	mPushPushes.Observe(float64(st.Pushes))
+	mPushBound.Set(bound)
+	mPushBacklog.Set(float64(upTo))
+	mPending.Set(0)
+	mEpoch.Set(float64(e))
+	ing.lastDur.Store(int64(time.Since(started)))
+	ing.lastIt.Store(int64(st.Pushes))
+	ing.pushEp.Add(1)
+	ing.epoch.Store(e)
+	ing.ranking.Store(r)
+	ing.logf("ingest: epoch %d published incrementally: %d citations absorbed, %d pushes, residual bound %.2g in %s",
+		e, len(newMuts), st.Pushes, bound, time.Since(started).Round(time.Microsecond))
+	return true
 }
 
 // maybeSnapshot writes a snapshot and resets the WAL when the policy says
@@ -730,7 +975,12 @@ func (ing *Ingester) snapshotLocked() error {
 	if err := ing.wal.Reset(); err != nil {
 		return err
 	}
-	ing.storeCursor()
+	cur := ing.storeCursor()
+	// The delta is empty, so the last epoch was a full one; re-anchor
+	// the replication bootstrap cursor in the fresh WAL generation.
+	if r := ing.fullRank.Load(); r != nil && r.Epoch == cur.Epoch {
+		ing.fullCursor.Store(cur)
+	}
 	ing.sinceSnapshot = 0
 	ing.snaps.Add(1)
 	mSnapshotsTotal.Inc()

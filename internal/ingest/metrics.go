@@ -38,4 +38,18 @@ var (
 		"Most recently published ranking epoch.")
 	mPending = obs.NewGauge("attrank_ingest_pending_mutations",
 		"Mutations accepted but not yet compacted into a published ranking.")
+	mPushEpochsTotal = obs.NewCounter("attrank_ingest_push_epochs_total",
+		"Epochs published by the incremental push updater (no full power iteration).")
+	mPushFallbacksTotal = obs.NewCounter("attrank_ingest_push_fallbacks_total",
+		"Push attempts that fell back to a full re-rank (budget breach, clock advance, apply failure).")
+	mPushSeconds = obs.NewHistogram("attrank_ingest_push_seconds",
+		"Wall time of one incremental push re-rank (seed + settle + publish).",
+		obs.ExpBuckets(1e-6, 2, 24))
+	mPushPushes = obs.NewHistogram("attrank_ingest_push_pushes",
+		"Residual pushes performed per incremental re-rank.",
+		obs.ExpBuckets(1, 2, 20))
+	mPushBound = obs.NewGauge("attrank_ingest_push_residual_bound",
+		"Current L1 error bound of the published incremental scores vs the exact rank (0 after a full epoch).")
+	mPushBacklog = obs.NewGauge("attrank_ingest_push_backlog",
+		"Mutations absorbed by pushes but not yet compacted (cleared by the next reconciling full epoch).")
 )

@@ -59,6 +59,19 @@ type CitationMut struct {
 	Citing, Cited string
 }
 
+// Epoch marker flag bits (EpochMark.Flags). Part of the on-disk format;
+// never renumber.
+const (
+	// MarkPush marks an epoch published by the incremental push updater
+	// instead of a full power-method rank. A follower replays it with
+	// core.Pusher over its buffered mutations rather than compacting.
+	MarkPush byte = 1 << 0
+	// MarkReconcile marks a full epoch that reconciles a preceding push
+	// streak — its scores are exact again and the follower discards its
+	// push state at this boundary.
+	MarkReconcile byte = 1 << 1
+)
+
 // EpochMark is the payload of a KindEpoch marker record.
 type EpochMark struct {
 	// Epoch is the ranking epoch this marker commits.
@@ -68,8 +81,13 @@ type EpochMark struct {
 	// with it every score) diverges.
 	RankedAt int
 	// Count is how many mutations since the previous marker belong to
-	// this epoch's compaction.
+	// this epoch. For a full epoch they are compacted; for a push epoch
+	// (MarkPush) they stay buffered and are absorbed incrementally.
 	Count uint32
+	// Flags carries the push/full decision (MarkPush, MarkReconcile) so
+	// follower replay reproduces the leader's chain bit for bit. Markers
+	// written before this field decode with Flags == 0, i.e. full epochs.
+	Flags byte
 }
 
 // Mutation is one write: exactly one of Paper, Citation or Epoch is
@@ -124,6 +142,7 @@ func (m Mutation) encode(buf []byte) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, m.Epoch.Epoch)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.Epoch.RankedAt)))
 		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch.Count)
+		buf = append(buf, m.Epoch.Flags)
 	default:
 		return nil, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
 	}
@@ -216,6 +235,12 @@ func decodeMutation(payload []byte) (Mutation, error) {
 		m.Epoch.RankedAt = int(int32(binary.LittleEndian.Uint32(payload[pos+8:])))
 		m.Epoch.Count = binary.LittleEndian.Uint32(payload[pos+12:])
 		pos += 16
+		// Markers written before the push path carried no flags byte;
+		// they decode as Flags == 0 (a plain full epoch).
+		if pos < len(payload) {
+			m.Epoch.Flags = payload[pos]
+			pos++
+		}
 	default:
 		return m, fmt.Errorf("ingest: unknown mutation kind %d", m.Kind)
 	}

@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlushDebounceRace hammers the write path under -race: concurrent
+// writers, FlushContext callers with expiring and cancelled contexts,
+// and readers asserting the epoch never goes backwards — all while the
+// debounce timer is live and the push path is enabled. Afterwards the
+// WAL must still satisfy the marker invariant (each epoch marker's
+// Count equals the mutations logged since the previous marker, epochs
+// strictly consecutive) and the directory must recover cleanly.
+func TestFlushDebounceRace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir:           dir,
+		Params:        testParams(),
+		RerankAfter:   4,
+		RerankEvery:   2 * time.Millisecond,
+		SnapshotEvery: -1, // keep the whole history in wal.log for the scan
+		PushTol:       1e-8,
+	}
+	ing := mustOpen(t, pushSeedNet(t), cfg)
+
+	const (
+		writers  = 3
+		flushers = 3
+		readers  = 2
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writes atomic.Int64
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if i%4 == 0 {
+					_, err = ing.AddPaper(PaperMut{ID: fmt.Sprintf("r%d-%d", g, i), Year: 2000 + rng.Intn(9)})
+				} else {
+					// Citations among the static corpus; duplicates are
+					// accepted no-ops, self/invalid never constructed.
+					a, b := rng.Intn(200), rng.Intn(200)
+					if a == b {
+						continue
+					}
+					_, err = ing.AddCitation(CitationMut{Citing: fmt.Sprintf("s%d", a), Cited: fmt.Sprintf("s%d", b)})
+				}
+				if err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(g)
+	}
+
+	for g := 0; g < flushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var ctx context.Context
+				var cancel context.CancelFunc
+				switch i % 3 {
+				case 0: // completes
+					ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+				case 1: // likely expires mid-rank
+					ctx, cancel = context.WithTimeout(context.Background(), 50*time.Microsecond)
+				default: // already cancelled
+					ctx, cancel = context.WithCancel(context.Background())
+					cancel()
+				}
+				err := ing.FlushContext(ctx)
+				cancel()
+				if err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+					t.Errorf("flusher %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := ing.Status()
+				if st.Epoch < last {
+					t.Errorf("reader %d: epoch went backwards: %d after %d", g, st.Epoch, last)
+					return
+				}
+				last = st.Epoch
+				if r := ing.Ranking(); r != nil && r.Epoch > 0 {
+					// Push epochs only publish with no pending papers, so the
+					// score vector always matches the served corpus.
+					if len(r.Result.Scores) != r.Net.N() {
+						t.Errorf("reader %d: epoch %d: %d scores for %d papers", g, r.Epoch, len(r.Result.Scores), r.Net.N())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(350 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	t.Logf("hammered %d writes", writes.Load())
+
+	// A final flush reconciles everything that made it into the WAL.
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ing.Status(); st.Pending != 0 || st.PushBacklog != 0 || st.Staleness != 0 {
+		t.Fatalf("after final flush: %+v", st)
+	}
+	finalEpoch := ing.Status().Epoch
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL marker invariant: every marker covers exactly the mutations
+	// appended since the previous one, and epochs are consecutive.
+	var sinceMark uint32
+	var lastMark uint64
+	scan, err := OpenWALAt(filepath.Join(dir, "wal.log"), WALHeaderSize, func(m Mutation) error {
+		if m.Kind != KindEpoch {
+			sinceMark++
+			return nil
+		}
+		if m.Epoch.Epoch != lastMark+1 {
+			return fmt.Errorf("marker %d follows %d", m.Epoch.Epoch, lastMark)
+		}
+		if m.Epoch.Count != sinceMark {
+			return fmt.Errorf("marker %d claims %d mutations, %d logged", m.Epoch.Epoch, m.Epoch.Count, sinceMark)
+		}
+		lastMark = m.Epoch.Epoch
+		sinceMark = 0
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan.Close()
+	if lastMark != finalEpoch {
+		t.Fatalf("last WAL marker %d, final epoch %d", lastMark, finalEpoch)
+	}
+	if sinceMark != 0 {
+		t.Fatalf("%d mutations after the final flush marker", sinceMark)
+	}
+
+	// And the directory recovers.
+	re := mustOpen(t, nil, cfg)
+	waitFor(t, "recovered ranking", func() bool { return re.Ranking() != nil && re.Ranking().Epoch > 0 })
+	r := re.Ranking()
+	if len(r.Result.Scores) != r.Net.N() {
+		t.Fatalf("recovered: %d scores for %d papers", len(r.Result.Scores), r.Net.N())
+	}
+}

@@ -42,15 +42,17 @@ type ReplCursor struct {
 var ErrWALRotated = errors.New("ingest: wal generation rotated")
 
 // storeCursor publishes the replication cursor for the current WAL
-// position and claimed epoch. Requires ing.mu (or the single-threaded
-// sections of Open).
-func (ing *Ingester) storeCursor() {
-	ing.cursor.Store(&ReplCursor{
+// position and claimed epoch, and returns it. Requires ing.mu (or the
+// single-threaded sections of Open).
+func (ing *Ingester) storeCursor() *ReplCursor {
+	c := &ReplCursor{
 		Instance: ing.instance,
 		Gen:      ing.wal.Gen(),
 		Offset:   ing.wal.Size(),
 		Epoch:    ing.claimed.Load(),
-	})
+	}
+	ing.cursor.Store(c)
+	return c
 }
 
 // ReplCursor returns the current replication cursor.
@@ -61,33 +63,45 @@ func (ing *Ingester) ReplCursor() ReplCursor {
 	return ReplCursor{Instance: ing.instance}
 }
 
-// ReplState returns the published ranking together with the cursor that
-// matches it: the cursor's epoch equals the ranking's epoch, so a
+// ReplState returns the last FULL (exact-rank) ranking together with
+// the cursor that matches it: the cursor's epoch equals the ranking's
+// epoch and its offset points right after that epoch's marker, so a
 // follower seeded from this pair streams from exactly the offset where
-// its state ends. A re-rank in flight makes the two momentarily
-// disagree (the marker commits before the ranking publishes); ReplState
-// waits the handful of milliseconds until they line up again.
+// its state ends. Bootstrap is anchored at full boundaries on purpose —
+// a follower seeds its warm-start chain from exact scores and replays
+// any later push-mode epochs itself from the shipped WAL, so
+// approximate state is never used as a seed. A publish in flight makes
+// the pair momentarily disagree; ReplState waits the handful of
+// milliseconds until they line up again.
 func (ing *Ingester) ReplState() (*Ranking, ReplCursor, error) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		c := ing.ReplCursor()
-		r := ing.ranking.Load()
-		if r != nil && r.Epoch == c.Epoch && ing.ReplCursor() == c {
-			return r, c, nil
+		r := ing.fullRank.Load()
+		c := ing.fullCursor.Load()
+		if r != nil && c != nil && r.Epoch == c.Epoch {
+			return r, *c, nil
 		}
-		if r == nil && c.Epoch == 0 {
-			return nil, c, fmt.Errorf("ingest: no ranking published yet (corpus empty)")
+		if r == nil && ing.ReplCursor().Epoch == 0 {
+			return nil, ing.ReplCursor(), fmt.Errorf("ingest: no ranking published yet (corpus empty)")
 		}
 		if time.Now().After(deadline) {
-			var have uint64
+			var have, want uint64
 			if r != nil {
 				have = r.Epoch
 			}
-			return nil, c, fmt.Errorf("ingest: no consistent replication state (ranking epoch %d, cursor epoch %d)", have, c.Epoch)
+			if c != nil {
+				want = c.Epoch
+			}
+			return nil, ing.ReplCursor(), fmt.Errorf("ingest: no consistent replication state (full-rank epoch %d, cursor epoch %d)", have, want)
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// PushTol returns the incremental-ranking settle tolerance (0 = push
+// path disabled). The replication leader ships it to followers so their
+// push replay settles to the same tolerance and stays bit-identical.
+func (ing *Ingester) PushTol() float64 { return ing.cfg.PushTol }
 
 // ReadWALAt copies durable log bytes from generation gen at offset off
 // into p. It returns io.EOF when off is the current durable end (poll

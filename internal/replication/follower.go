@@ -100,11 +100,23 @@ type Follower struct {
 	pend            []byte // shipped bytes not yet forming a whole record
 	streamOff       int64  // leader offset after the last applied record
 	localWALOff     int64  // local WAL offset after the last applied record
-	markerLeaderOff int64  // leader offset after the last applied marker
-	markerLocalOff  int64  // local WAL offset after the last applied marker
+	markerLeaderOff int64  // leader offset after the last applied FULL marker
+	markerLocalOff  int64  // local WAL offset after the last applied FULL marker
 	epochV          uint64 // last applied epoch
 	rankedAt        int
 	rng             *rand.Rand
+
+	// Push-replay state (DESIGN.md §14): the leader's push-mode epochs
+	// are replayed with core.Pusher rather than compaction. delta[:applied]
+	// has been absorbed into push scores; the next full marker compacts
+	// the whole delta and resets applied. lastFull anchors the replay —
+	// the exact scores and Ranking of the last full epoch — and the
+	// durable save point stays at that full boundary (markerLeaderOff /
+	// markerLocalOff above), so recovery replays push epochs itself.
+	applied  int
+	pusher   *core.Pusher
+	lastFull *ingest.Ranking
+	pushTol  float64
 
 	params      atomic.Pointer[core.Params]
 	ranking     atomic.Pointer[ingest.Ranking]
@@ -366,6 +378,7 @@ func (f *Follower) bootstrap() error {
 	f.wal = wal
 	f.pend = nil
 	f.instance, f.gen = hdr.Instance, hdr.Gen
+	f.pushTol = hdr.PushTol
 	f.streamOff, f.markerLeaderOff = hdr.Offset, hdr.Offset
 	f.localWALOff, f.markerLocalOff = wal.Size(), wal.Size()
 	f.localOffA.Store(hdr.Offset)
@@ -493,16 +506,21 @@ func (f *Follower) applyRecord(m ingest.Mutation, size int64, live bool) error {
 }
 
 // applyMarker is the follower half of the determinism contract (see
-// ingest.KindEpoch): compact exactly Count buffered mutations, rank at
-// the marker's RankedAt with the seeded tracker, publish the marker's
-// epoch. Any disagreement with the local chain means the stream and the
-// state have diverged — resync rather than guess.
+// ingest.KindEpoch): for a full marker, compact exactly Count buffered
+// mutations, rank at the marker's RankedAt with the seeded tracker, and
+// publish the marker's epoch; for a push marker (MarkPush), replay the
+// leader's incremental update over the same mutations instead. Any
+// disagreement with the local chain means the stream and the state have
+// diverged — resync rather than guess.
 func (f *Follower) applyMarker(mark ingest.EpochMark) error {
 	if mark.Epoch != f.epochV+1 {
 		return resyncf("marker for epoch %d after local epoch %d", mark.Epoch, f.epochV)
 	}
-	if int(mark.Count) != len(f.delta) {
-		return resyncf("marker for epoch %d covers %d mutations, %d buffered", mark.Epoch, mark.Count, len(f.delta))
+	if mark.Flags&ingest.MarkPush != 0 {
+		return f.applyPushMarker(mark)
+	}
+	if int(mark.Count) != len(f.delta)-f.applied {
+		return resyncf("marker for epoch %d covers %d mutations, %d buffered", mark.Epoch, mark.Count, len(f.delta)-f.applied)
 	}
 	net := f.base
 	if len(f.delta) > 0 {
@@ -531,18 +549,105 @@ func (f *Follower) applyMarker(mark ingest.EpochMark) error {
 		positions[idx] = pos
 	}
 	f.base, f.delta = net, nil
+	f.applied, f.pusher = 0, nil
 	f.epochV, f.rankedAt = mark.Epoch, mark.RankedAt
 	f.markerLeaderOff, f.markerLocalOff = f.streamOff, f.localWALOff
-	f.ranking.Store(&ingest.Ranking{
+	r := &ingest.Ranking{
 		Epoch:     mark.Epoch,
 		Net:       net,
 		Result:    res,
 		Positions: positions,
 		Stats:     net.ComputeStats(),
 		RankedAt:  mark.RankedAt,
+	}
+	f.lastFull = r
+	f.ranking.Store(r)
+	f.localEpochA.Store(mark.Epoch)
+	mEpochsApplied.Inc()
+	f.observeLag()
+	return nil
+}
+
+// applyPushMarker replays one incremental (push) epoch: feed the new
+// buffered citations to a core.Pusher seeded from the last full epoch's
+// exact scores, settle to the leader's shipped tolerance, and publish.
+// The pusher is deterministic and serial, so the published scores are
+// bit-identical to the leader's. The durable save point deliberately
+// stays at the last full boundary — recovery re-replays push epochs
+// from the local WAL, so approximate state is never the anchor.
+func (f *Follower) applyPushMarker(mark ingest.EpochMark) error {
+	newMuts := f.delta[f.applied:]
+	if int(mark.Count) != len(newMuts) {
+		return resyncf("push marker for epoch %d covers %d mutations, %d buffered", mark.Epoch, mark.Count, len(newMuts))
+	}
+	if mark.RankedAt != f.rankedAt {
+		return resyncf("push marker for epoch %d moves ranking time %d → %d", mark.Epoch, f.rankedAt, mark.RankedAt)
+	}
+	if f.pushTol <= 0 {
+		return resyncf("push marker for epoch %d but no push tolerance from bootstrap", mark.Epoch)
+	}
+	if f.pusher == nil {
+		if f.applied != 0 || f.lastFull == nil || f.lastFull.Net != f.base {
+			return resyncf("push marker for epoch %d without a full-epoch anchor", mark.Epoch)
+		}
+		pu, err := core.NewPusher(f.base, f.rankedAt, f.wp.params(f.cfg.Workers), core.ReplayPushConfig(f.pushTol), f.lastFull.Result.Scores)
+		if err != nil {
+			return resyncf("push seed for epoch %d: %v", mark.Epoch, err)
+		}
+		f.pusher = pu
+	}
+	for _, m := range newMuts {
+		if m.Kind != ingest.KindCitation {
+			return resyncf("push marker for epoch %d covers a non-citation mutation", mark.Epoch)
+		}
+		ci, okc := f.base.Lookup(m.Citation.Citing)
+		ti, okt := f.base.Lookup(m.Citation.Cited)
+		if !okc || !okt {
+			return resyncf("push epoch %d cites unknown paper %q→%q", mark.Epoch, m.Citation.Citing, m.Citation.Cited)
+		}
+		if err := f.pusher.AddCitation(ci, ti); err != nil {
+			return resyncf("push epoch %d: %v", mark.Epoch, err)
+		}
+	}
+	st, err := f.pusher.Settle()
+	if err != nil {
+		return resyncf("push epoch %d settle: %v", mark.Epoch, err)
+	}
+	scores := f.pusher.CopyScores()
+	bound := f.pusher.Bound()
+	positions := make([]int, len(scores))
+	for pos, idx := range metrics.Ordering(scores) {
+		positions[idx] = pos
+	}
+	f.applied = len(f.delta)
+	f.epochV = mark.Epoch
+	// Mirror the leader's push publication (ingest.tryPushLocked) so the
+	// whole Ranking — not just the scores — matches.
+	stats := f.lastFull.Stats
+	stats.Edges = f.lastFull.Stats.Edges + f.applied
+	if stats.Papers > 0 {
+		stats.MeanOutDeg = float64(stats.Edges) / float64(stats.Papers)
+	}
+	f.ranking.Store(&ingest.Ranking{
+		Epoch: mark.Epoch,
+		Net:   f.lastFull.Net,
+		Result: &core.Result{
+			Scores:     scores,
+			Iterations: st.Pushes,
+			Converged:  true,
+			Residuals:  []float64{bound},
+			Attention:  f.lastFull.Result.Attention,
+			Recency:    f.lastFull.Result.Recency,
+		},
+		Positions:   positions,
+		Stats:       stats,
+		RankedAt:    mark.RankedAt,
+		Incremental: true,
+		Staleness:   bound,
 	})
 	f.localEpochA.Store(mark.Epoch)
 	mEpochsApplied.Inc()
+	mPushEpochsApplied.Inc()
 	f.observeLag()
 	return nil
 }

@@ -87,6 +87,7 @@ func (l *Leader) handleState(w http.ResponseWriter, r *http.Request) {
 		RankedAt: rank.RankedAt,
 		Papers:   rank.Net.N(),
 		Params:   wireParamsOf(l.ing.Params()),
+		PushTol:  l.ing.PushTol(),
 	}
 	if err := writeHeader(w, hdr); err != nil {
 		return // client gone; nothing to clean up

@@ -18,6 +18,8 @@ var (
 		"Shipped WAL records applied by the follower (markers included).")
 	mEpochsApplied = obs.NewCounter("attrank_repl_epochs_applied_total",
 		"Epoch markers ranked and published by the follower.")
+	mPushEpochsApplied = obs.NewCounter("attrank_repl_push_epochs_applied_total",
+		"Push-mode epoch markers replayed incrementally by the follower (subset of epochs applied).")
 	mReconnects = obs.NewCounter("attrank_repl_reconnects_total",
 		"Follower stream reconnect attempts after an error or disconnect.")
 	mFullResyncs = obs.NewCounter("attrank_repl_full_resyncs_total",

@@ -46,12 +46,17 @@ type diskState struct {
 	LocalWALOffset int64      `json:"local_wal_offset"`
 	Papers         int        `json:"papers"`
 	Params         wireParams `json:"params"`
+	PushTol        float64    `json:"push_tol,omitempty"`
 }
 
-// saveState persists the follower's last marker boundary: corpus, the
-// three ranking vectors, then state.json as the commit record.
+// saveState persists the follower's last FULL marker boundary: corpus,
+// the three exact ranking vectors, then state.json as the commit
+// record. Push-mode epochs past that boundary are deliberately not the
+// anchor — their scores are approximate and their mutations are still
+// in the local WAL, so recovery replays them through the same push
+// path the stream used.
 func (f *Follower) saveState() error {
-	r := f.ranking.Load()
+	r := f.lastFull
 	if r == nil || f.base == nil {
 		return fmt.Errorf("replication: no state to save")
 	}
@@ -71,11 +76,12 @@ func (f *Follower) saveState() error {
 		Instance:       f.instance,
 		Gen:            f.gen,
 		LeaderOffset:   f.markerLeaderOff,
-		Epoch:          f.epochV,
-		RankedAt:       f.rankedAt,
+		Epoch:          r.Epoch,
+		RankedAt:       r.RankedAt,
 		LocalWALOffset: f.markerLocalOff,
 		Papers:         f.base.N(),
 		Params:         f.wp,
+		PushTol:        f.pushTol,
 	}
 	js, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
@@ -123,6 +129,7 @@ func (f *Follower) recover() error {
 		return err
 	}
 	f.instance, f.gen = st.Instance, st.Gen
+	f.pushTol = st.PushTol
 	f.markerLeaderOff, f.markerLocalOff = st.LeaderOffset, st.LocalWALOffset
 	f.streamOff, f.localWALOff = st.LeaderOffset, st.LocalWALOffset
 
@@ -168,17 +175,22 @@ func (f *Follower) seedChain(net *graph.Network, wp wireParams, scores, att, rec
 		positions[idx] = pos
 	}
 	f.base, f.delta, f.tracker = net, nil, tracker
+	f.applied, f.pusher = 0, nil
 	f.wp = wp
 	f.params.Store(&params)
 	f.epochV, f.rankedAt = epoch, rankedAt
-	f.ranking.Store(&ingest.Ranking{
+	r := &ingest.Ranking{
 		Epoch:     epoch,
 		Net:       net,
 		Result:    res,
 		Positions: positions,
 		Stats:     net.ComputeStats(),
 		RankedAt:  rankedAt,
-	})
+	}
+	// The seeded state is always a full (exact) boundary: ReplState
+	// anchors bootstraps there, and saveState anchors recovery there.
+	f.lastFull = r
+	f.ranking.Store(r)
 	f.localEpochA.Store(epoch)
 	return nil
 }
@@ -199,6 +211,7 @@ func (f *Follower) wipe() {
 	}
 	f.instance, f.gen = 0, 0
 	f.base, f.delta, f.tracker = nil, nil, nil
+	f.applied, f.pusher, f.lastFull, f.pushTol = 0, nil, nil, 0
 	f.pend = nil
 	f.streamOff, f.localWALOff = 0, 0
 	f.markerLeaderOff, f.markerLocalOff = 0, 0

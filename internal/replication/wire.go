@@ -138,6 +138,9 @@ func (wp wireParams) params(workersOverride int) core.Params {
 func (wp wireParams) equalRanking(other wireParams) bool { return wp == other }
 
 // stateHeader is the JSON line that precedes the bootstrap payload.
+// The bootstrap is always anchored at a FULL epoch boundary (see
+// ingest.ReplState): the shipped scores are exact, and any push-mode
+// epochs after Offset are replayed by the follower itself.
 type stateHeader struct {
 	Instance uint64     `json:"instance"`
 	Gen      uint64     `json:"gen"`
@@ -146,6 +149,11 @@ type stateHeader struct {
 	RankedAt int        `json:"ranked_at"`
 	Papers   int        `json:"papers"`
 	Params   wireParams `json:"params"`
+	// PushTol is the leader's incremental-ranking settle tolerance
+	// (ingest.Config.PushTol; 0 = push path disabled). A follower
+	// replaying a push-mode epoch marker must settle to the same
+	// tolerance or its scores diverge from the leader's.
+	PushTol float64 `json:"push_tol,omitempty"`
 }
 
 func writeHeader(w io.Writer, hdr stateHeader) error {

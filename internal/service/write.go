@@ -252,6 +252,11 @@ type epochBody struct {
 	LastRerankMs   float64 `json:"last_rerank_ms"`
 	LastIterations int     `json:"last_rerank_iterations"`
 	Snapshots      uint64  `json:"snapshots"`
+	// Incremental-ranking state (zero unless the push path is enabled;
+	// see ingest.Config.PushTol).
+	PushEpochs  uint64  `json:"push_epochs,omitempty"`
+	PushBacklog int     `json:"push_backlog,omitempty"`
+	Staleness   float64 `json:"staleness,omitempty"`
 }
 
 // handleEpoch reports the ranking epoch and ingestion pipeline state
@@ -275,6 +280,9 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 			LastRerankMs:   float64(st.LastRerank) / float64(time.Millisecond),
 			LastIterations: st.LastIterations,
 			Snapshots:      st.Snapshots,
+			PushEpochs:     st.PushEpochs,
+			PushBacklog:    st.PushBacklog,
+			Staleness:      st.Staleness,
 		})
 		return
 	}

@@ -47,6 +47,9 @@ if [ "${1:-}" = "quick" ]; then
 	go test -race -run 'Admission|Backpressure|Deadline|Replica|RateLimiter|MaxRPS' ./internal/service/
 	echo "==> go test -race -short (replication follower)"
 	go test -race -short -run 'Follower' ./internal/replication/
+	echo "==> go test -race (incremental push path: kernel, overlay, metamorphic, ingest, replication)"
+	go test -race -run 'Push|Pusher|Overlay|Incremental|FlushDebounceRace|EpochMarkerLegacy' \
+		./internal/sparse/ ./internal/graph/ ./internal/core/ ./internal/ingest/ ./internal/replication/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
@@ -73,5 +76,12 @@ GOMAXPROCS=1 go run ./cmd/attrank-bench -sweep -sweep-papers 20000 -sweep-reps 1
 
 echo "==> attrank-bench -smoke (tiled vs csr fused vs serial bit-equality, seeded 10k graph)"
 go run ./cmd/attrank-bench -smoke
+
+echo "==> attrank-bench -ingest smoke (push-vs-exact reconciliation bit-equality, 20k graph)"
+# Exits non-zero if a reconciliation epoch is not bit-identical to the
+# exact rank, if interim push scores drift past their residual bound, or
+# if follower-style replay diverges.
+GOMAXPROCS=1 go run ./cmd/attrank-bench -ingest -ingest-papers 20000 -ingest-writes 128 \
+	-ingest-full-reps 5 -ingest-live-writes 40 -ingest-out /tmp/BENCH_ingest_smoke.json
 
 echo "verify.sh: all checks passed"
