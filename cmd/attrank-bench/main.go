@@ -39,6 +39,12 @@
 // fused kernel and the serial CSC reference must produce bit-identical
 // iterates, and the operator's parallel path must match its serial path
 // bit-for-bit. Exits non-zero on any mismatch.
+//
+// With -impact it runs the impact-layer smoke: an in-process server with
+// -indicators over a seeded corpus, every served indicator score and
+// C1–C5 class cross-checked bit-for-bit against an independent
+// in-process recompute through internal/impact. Exits non-zero on any
+// mismatch.
 package main
 
 import (
@@ -132,6 +138,9 @@ func main() {
 		smoke       = flag.Bool("smoke", false, "run the bit-equality smoke (tiled vs csr fused vs serial on a seeded graph) and exit non-zero on mismatch")
 		smokePapers = flag.Int("smoke-papers", 10000, "synthetic network size for -smoke")
 
+		impactB      = flag.Bool("impact", false, "run the impact-layer smoke: serve a seeded corpus with -indicators and cross-check every served score and class against an in-process recompute (exits non-zero on mismatch)")
+		impactPapers = flag.Int("impact-papers", 2000, "corpus size for -impact")
+
 		cluster          = flag.Bool("cluster", false, "benchmark a replicated cluster (leader + followers over loopback): read scaling per replica and crash-recovery bit-equality")
 		clusterOut       = flag.String("cluster-out", "BENCH_cluster.json", "output JSON path for -cluster")
 		clusterDur       = flag.Duration("cluster-dur", 3*time.Second, "duration of each -cluster load level")
@@ -152,6 +161,8 @@ func main() {
 	switch {
 	case *smoke:
 		err = runSmoke(*smokePapers, *profile)
+	case *impactB:
+		err = runImpactSmoke(*impactPapers, *profile)
 	case *ingestB:
 		err = runIngest(*ingestPapers, *ingestWrites, *ingestFullReps, *ingestCheck, *ingestLiveWr, *profile, *ingestOut, *ingestPushTol)
 	case *cluster:

@@ -6,6 +6,15 @@
 //	attrank-serve -in network.tsv [-addr :8080] [-alpha 0.2 -beta 0.5 -gamma 0.3 -y 3] [-w 0] [-pprof]
 //	attrank-serve -wal state/ [-in seed.tsv] [-rerank-after 256] [-rerank-every 2s] [-snapshot-every 4096]
 //	attrank-serve ... [-deadline 2s] [-max-inflight 0] [-queue 0] [-max-pending 4096]
+//	attrank-serve ... [-indicators [-impulse-window 3]]
+//
+// -indicators additionally serves the multi-indicator impact layer (see
+// internal/impact and DESIGN.md §15) at GET /v1/impact/{id} and POST
+// /v1/impact/batch: per-paper AttRank popularity, PageRank influence,
+// windowed-citation impulse and total citation count, each with a
+// percentile impact class (C1–C5). In live mode the indicators are
+// recomputed at every full epoch; a leader ships the configuration to
+// its followers, which reproduce the classes bit-for-bit.
 //
 // Every server runs behind the overload-protection layer (see
 // internal/service and DESIGN.md §10): at most -max-inflight requests
@@ -74,6 +83,7 @@ import (
 	"attrank/internal/core"
 	"attrank/internal/dataio"
 	"attrank/internal/graph"
+	"attrank/internal/impact"
 	"attrank/internal/ingest"
 	"attrank/internal/replication"
 	"attrank/internal/service"
@@ -105,6 +115,9 @@ func main() {
 		pushTol       = flag.Float64("push-tol", 0, "live mode: enable incremental (push) re-ranks settled to this residual L1 tolerance, e.g. 1e-6 (0 disables: every epoch is a full re-rank)")
 		pushReconcile = flag.Int("push-reconcile", ingest.DefaultReconcileEvery, "live mode: force a full reconciling re-rank after this many consecutive push epochs (negative disables the cadence cap)")
 
+		indicators    = flag.Bool("indicators", false, "serve the multi-indicator impact layer at /v1/impact/ (AttRank popularity, PageRank influence, windowed impulse, citation count, each with C1–C5 classes)")
+		impulseWindow = flag.Int("impulse-window", impact.DefaultImpulseWindow, "impulse indicator: count citations from the most recent N years")
+
 		role   = flag.String("role", "", "replication role: empty (standalone), \"leader\" (requires -wal) or \"follower\" (requires -peers and -wal as the local state directory)")
 		peers  = flag.String("peers", "", "follower mode: the leader's base URL, e.g. http://leader:8080")
 		maxLag = flag.Int("max-lag", service.DefaultMaxLag, "follower mode: shed reads when more than this many epochs behind the leader")
@@ -129,6 +142,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attrank-serve: -role leader requires -wal (followers ship the write-ahead log)")
 		os.Exit(2)
 	}
+	impactCfg := impact.Config{
+		Enabled:       *indicators,
+		ImpulseWindow: *impulseWindow,
+		Workers:       *workers,
+	}
 	var (
 		srv *service.Server
 		ing *ingest.Ingester
@@ -136,6 +154,12 @@ func main() {
 	)
 	switch {
 	case *role == "follower":
+		if *indicators {
+			// A follower reproduces the leader's epochs bit-for-bit, so the
+			// indicator configuration ships in the replication state header
+			// rather than being set locally.
+			log.Printf("attrank-serve: -indicators is inherited from the leader in follower mode")
+		}
 		// Only an explicit -workers overrides the leader's partition
 		// count (overriding voids the bit-equality guarantee).
 		followerWorkers := 0
@@ -160,7 +184,7 @@ func main() {
 			srv = service.NewReplica(fol, *maxLag)
 		}
 	case *wal != "":
-		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery, *pushTol, *pushReconcile)
+		ing, err = buildLive(*in, *wal, *alpha, *beta, *gamma, *y, *w, *now, *workers, *rerankAfter, *rerankEvery, *snapshotEvery, *pushTol, *pushReconcile, impactCfg)
 		if err == nil {
 			defer func() {
 				if err := ing.Close(); err != nil {
@@ -175,6 +199,9 @@ func main() {
 		}
 	default:
 		srv, err = build(*in, *alpha, *beta, *gamma, *y, *w, *now, *workers)
+		if err == nil && *indicators {
+			err = srv.EnableIndicators(impactCfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "attrank-serve:", err)
@@ -250,7 +277,7 @@ func build(in string, alpha, beta, gamma float64, y int, w float64, now, workers
 // buildLive opens the ingestion subsystem over the durable state in dir.
 // The seed corpus (-in) is only consulted when dir holds no snapshot yet;
 // on restart the snapshot plus the WAL tail are authoritative.
-func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, workers, rerankAfter int, rerankEvery time.Duration, snapshotEvery int, pushTol float64, pushReconcile int) (*ingest.Ingester, error) {
+func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now, workers, rerankAfter int, rerankEvery time.Duration, snapshotEvery int, pushTol float64, pushReconcile int, impactCfg impact.Config) (*ingest.Ingester, error) {
 	var seed *graph.Network
 	if in != "" {
 		var err error
@@ -287,6 +314,7 @@ func buildLive(in, dir string, alpha, beta, gamma float64, y int, w float64, now
 		SnapshotEvery:  snapshotEvery,
 		PushTol:        pushTol,
 		ReconcileEvery: pushReconcile,
+		Impact:         impactCfg,
 		Logf:           log.Printf,
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"attrank/internal/dataio"
+	"attrank/internal/impact"
 	"attrank/internal/ingest"
 	"attrank/internal/service"
 	"attrank/internal/synth"
@@ -111,7 +112,8 @@ func TestBuildLiveAndServe(t *testing.T) {
 	seedPath := writeSynthTSV(t, 150)
 	dir := t.TempDir()
 
-	ing, err := buildLive(seedPath, dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0)
+	ing, err := buildLive(seedPath, dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0,
+		impact.Config{Enabled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +146,15 @@ func TestBuildLiveAndServe(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("paper after refresh: %d", resp.StatusCode)
 	}
+	// The -indicators wiring: the live epoch carries impact state.
+	resp, err = http.Get(ts.URL + "/v1/impact/live-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("impact after refresh: %d", resp.StatusCode)
+	}
 	ts.Close()
 	if err := ing.Close(); err != nil {
 		t.Fatal(err)
@@ -151,7 +162,8 @@ func TestBuildLiveAndServe(t *testing.T) {
 
 	// Restart over the same directory with NO seed: state must come back
 	// from the snapshot + WAL.
-	re, err := buildLive("", dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0)
+	re, err := buildLive("", dir, 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, ingest.DefaultSnapshotEvery, 0, 0,
+		impact.Config{Enabled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +175,7 @@ func TestBuildLiveAndServe(t *testing.T) {
 }
 
 func TestBuildLiveEmptyCorpus(t *testing.T) {
-	ing, err := buildLive("", t.TempDir(), 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0)
+	ing, err := buildLive("", t.TempDir(), 0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0, impact.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +187,7 @@ func TestBuildLiveEmptyCorpus(t *testing.T) {
 
 func TestBuildLiveBadSeed(t *testing.T) {
 	if _, err := buildLive(filepath.Join(t.TempDir(), "nope.tsv"), t.TempDir(),
-		0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0); err == nil {
+		0.2, 0.5, 0.3, 3, 0, 0, -1, 1<<20, time.Hour, -1, 0, 0, impact.Config{}); err == nil {
 		t.Error("missing seed accepted")
 	}
 }

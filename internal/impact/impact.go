@@ -1,0 +1,313 @@
+// Package impact computes the multi-indicator view BIP! — the paper
+// authors' production service — serves per DOI: popularity (AttRank),
+// influence (PageRank), impulse (citations received in a short window
+// after publication history's tail, here the last ImpulseWindow years)
+// and raw citation count, each bucketed into percentile impact classes
+// C1–C5 (top 0.01% / 0.1% / 1% / 10% / rest).
+//
+// An Epoch is computed once per published full ranking epoch and is a
+// pure function of (network, AttRank scores, ranking time, Config): no
+// clocks, no randomness, no iteration-order dependence. That purity is
+// what lets replicated followers recompute identical classes bit for
+// bit instead of shipping them (DESIGN.md §15).
+//
+// # Threshold and tie contract
+//
+// For each indicator, scores are sorted descending and the class
+// cutoffs are taken at k_f = max(1, ⌊f·N⌋) for f ∈ {1e-4, 1e-3, 1e-2,
+// 1e-1}: Thresholds.Top[c] is the k_f-th highest score. A paper's class
+// is the FIRST class whose cutoff its score meets (score ≥ Top[c]), so
+// papers tied at a bucket boundary all take the better class — the
+// class-c bucket can hold more than k_f papers, never fewer. Cutoffs
+// are monotone non-increasing C1→C4 by construction. Because both the
+// cutoffs and the assignment depend only on the score multiset and the
+// paper's own score, classes are invariant under any score-preserving
+// permutation of paper ids. Degenerate corpora (e.g. an impulse cutoff
+// of 0 when fewer than k papers were cited in the window) collapse
+// classes upward; that is documented behavior, not prevented.
+package impact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"attrank/internal/core"
+	"attrank/internal/graph"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultImpulseWindow matches BIP!'s 3-year impulse indicator (and
+	// the serving layer's recent_citations_3y field).
+	DefaultImpulseWindow = 3
+	// DefaultPRAlpha is the PageRank damping used for the influence
+	// indicator; 0.5 follows the paper's §4.3 baseline setup for
+	// citation networks.
+	DefaultPRAlpha = 0.5
+)
+
+// Config configures per-epoch indicator computation. It is part of the
+// replication determinism contract: a leader ships its (defaulted)
+// Config at bootstrap and followers compute with exactly those values —
+// including Workers, because the PageRank stopping residual is a tree
+// reduction over kernel partitions (see core.PageRankParams).
+type Config struct {
+	// Enabled turns indicator computation on. The zero Config disables
+	// it: rankings publish with a nil Impact and the /v1/impact
+	// endpoints answer 503.
+	Enabled bool
+	// ImpulseWindow is the impulse indicator's citation window in years
+	// (citations received in [rankedAt−w+1, rankedAt]).
+	// DefaultImpulseWindow if zero.
+	ImpulseWindow int
+	// PRAlpha is the influence indicator's PageRank damping.
+	// DefaultPRAlpha if zero.
+	PRAlpha float64
+	// PRTol and PRMaxIter bound the PageRank iteration
+	// (core.DefaultTol / core.DefaultPageRankMaxIter if zero).
+	PRTol     float64
+	PRMaxIter int
+	// Workers selects the PageRank kernel exactly as core.Params.Workers
+	// (0 = serial reference).
+	Workers int
+}
+
+// WithDefaults returns cfg with zero fields resolved, so the exact
+// values — not "zero means default" conventions — cross the replication
+// wire.
+func (c Config) WithDefaults() Config {
+	if c.ImpulseWindow == 0 {
+		c.ImpulseWindow = DefaultImpulseWindow
+	}
+	if c.PRAlpha == 0 {
+		c.PRAlpha = DefaultPRAlpha
+	}
+	if c.PRTol == 0 {
+		c.PRTol = core.DefaultTol
+	}
+	if c.PRMaxIter == 0 {
+		c.PRMaxIter = core.DefaultPageRankMaxIter
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ImpulseWindow < 0 {
+		return fmt.Errorf("impact: negative impulse window %d", c.ImpulseWindow)
+	}
+	return core.PageRankParams{Alpha: c.PRAlpha, Tol: c.PRTol, MaxIter: c.PRMaxIter}.Validate()
+}
+
+// Indicator enumerates the served indicators.
+type Indicator int
+
+const (
+	// Popularity is the AttRank score — the paper's short-term impact
+	// estimate.
+	Popularity Indicator = iota
+	// Influence is the PageRank score — long-term, age-biased impact.
+	Influence
+	// Impulse is the citation count inside the trailing window.
+	Impulse
+	// CitationCount is the raw in-degree.
+	CitationCount
+
+	NumIndicators
+)
+
+func (ind Indicator) String() string {
+	switch ind {
+	case Popularity:
+		return "popularity"
+	case Influence:
+		return "influence"
+	case Impulse:
+		return "impulse"
+	case CitationCount:
+		return "cc"
+	}
+	return "unknown"
+}
+
+// ClassFractions are the percentile cutoff fractions for classes C1–C4;
+// everything below the last is C5.
+var ClassFractions = [4]float64{1e-4, 1e-3, 1e-2, 1e-1}
+
+// Class is an impact class, 1 (top 0.01%) through 5 (rest).
+type Class uint8
+
+func (c Class) String() string {
+	if c < 1 || c > 5 {
+		return "C?"
+	}
+	return [5]string{"C1", "C2", "C3", "C4", "C5"}[c-1]
+}
+
+// Thresholds are one indicator's class cutoffs: Top[c] is the minimum
+// score of class c+1 (0-indexed), monotone non-increasing.
+type Thresholds struct {
+	Top [4]float64 `json:"top"`
+}
+
+// Class assigns the class for a score under the tie contract above:
+// the first cutoff the score meets wins, boundary ties share the
+// better class.
+func (t Thresholds) Class(score float64) Class {
+	for c, thr := range t.Top {
+		if score >= thr {
+			return Class(c + 1)
+		}
+	}
+	return 5
+}
+
+// DeriveThresholds computes the percentile cutoffs for one score
+// vector. It depends only on the score multiset, never on paper order.
+func DeriveThresholds(scores []float64) Thresholds {
+	sorted := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var t Thresholds
+	for c, f := range ClassFractions {
+		k := int(f * float64(len(sorted)))
+		if k < 1 {
+			k = 1
+		}
+		t.Top[c] = sorted[k-1]
+	}
+	return t
+}
+
+// Epoch is the immutable per-epoch indicator state attached to a
+// published ingest.Ranking. Score slices are indexed by paper index in
+// the ranking's network; Scores(Popularity) aliases the AttRank score
+// vector passed to Compute rather than copying it.
+type Epoch struct {
+	// Window is the impulse window actually used (years).
+	Window int
+	// PRAlpha is the influence damping actually used.
+	PRAlpha float64
+	// PRIterations/PRConverged are the influence iteration diagnostics.
+	PRIterations int
+	PRConverged  bool
+
+	scores [NumIndicators][]float64
+	thr    [NumIndicators]Thresholds
+	// ids maps NormalizeID(paper id) → paper index for external-id
+	// (DOI-like) resolution; first paper wins on normalization clashes.
+	ids map[string]int32
+}
+
+// Scores returns the indicator's score vector. Callers must not mutate
+// it.
+func (e *Epoch) Scores(ind Indicator) []float64 { return e.scores[ind] }
+
+// Thresholds returns the indicator's class cutoffs.
+func (e *Epoch) Thresholds(ind Indicator) Thresholds { return e.thr[ind] }
+
+// Class returns paper i's class for the indicator.
+func (e *Epoch) Class(ind Indicator, i int32) Class {
+	return e.thr[ind].Class(e.scores[ind][i])
+}
+
+// Resolve maps an external (DOI-like) id to a paper index by normalized
+// form. Callers should try the network's exact Lookup first.
+func (e *Epoch) Resolve(id string) (int32, bool) {
+	idx, ok := e.ids[NormalizeID(id)]
+	return idx, ok
+}
+
+// NormalizeID canonicalizes a DOI-like external id: trim whitespace,
+// strip a scheme/host or "doi:" prefix, lowercase (DOIs are
+// case-insensitive per the DOI handbook).
+func NormalizeID(id string) string {
+	id = strings.TrimSpace(id)
+	lower := strings.ToLower(id)
+	for _, prefix := range []string{"https://doi.org/", "http://doi.org/", "https://dx.doi.org/", "http://dx.doi.org/", "doi.org/", "doi:"} {
+		if strings.HasPrefix(lower, prefix) {
+			id = id[len(prefix):]
+			lower = lower[len(prefix):]
+			break
+		}
+	}
+	return lower
+}
+
+// Compute derives the full indicator epoch for a ranked network.
+// attrank must be the published AttRank score vector of the SAME full
+// epoch (len == net.N()); rankedAt the epoch's effective ranking time.
+// The result is deterministic: equal inputs produce bit-identical
+// scores, thresholds and classes on every replica.
+func Compute(net *graph.Network, attrank []float64, rankedAt int, cfg Config) (*Epoch, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if n == 0 {
+		return nil, core.ErrEmptyNetwork
+	}
+	if len(attrank) != n {
+		return nil, fmt.Errorf("impact: %d attrank scores for %d papers", len(attrank), n)
+	}
+
+	e := &Epoch{Window: cfg.ImpulseWindow, PRAlpha: cfg.PRAlpha}
+	e.scores[Popularity] = attrank
+
+	pr, err := core.OperatorFor(net).PageRank(core.PageRankParams{
+		Alpha: cfg.PRAlpha, Tol: cfg.PRTol, MaxIter: cfg.PRMaxIter, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("impact: influence: %w", err)
+	}
+	e.scores[Influence] = pr.Scores
+	e.PRIterations = pr.Iterations
+	e.PRConverged = pr.Converged
+
+	// Impulse and citation counts are exact integers stored as float64,
+	// so every arithmetic below (sorting, comparisons) is trivially
+	// deterministic.
+	impulse := make([]float64, n)
+	cc := make([]float64, n)
+	from := rankedAt - cfg.ImpulseWindow + 1
+	for i := int32(0); int(i) < n; i++ {
+		impulse[i] = float64(net.CitationsIn(i, from, rankedAt))
+		cc[i] = float64(net.InDegree(i))
+	}
+	e.scores[Impulse] = impulse
+	e.scores[CitationCount] = cc
+
+	for ind := Indicator(0); ind < NumIndicators; ind++ {
+		e.thr[ind] = DeriveThresholds(e.scores[ind])
+	}
+
+	e.ids = make(map[string]int32, n)
+	for i := int32(0); int(i) < n; i++ {
+		norm := NormalizeID(net.Paper(i).ID)
+		if _, dup := e.ids[norm]; !dup {
+			e.ids[norm] = i
+		}
+	}
+	return e, nil
+}
+
+// ForRanking is Compute with the error funneled into a log line: the
+// ingest pipeline and the replication follower publish a nil Impact
+// rather than dropping an epoch when indicators fail. Because Compute
+// is deterministic, a leader and its followers either all publish the
+// epoch or all publish nil — the bit-for-bit guarantee holds either
+// way. Returns nil when cfg.Enabled is false.
+func ForRanking(net *graph.Network, attrank []float64, rankedAt int, cfg Config, logf func(string, ...any)) *Epoch {
+	if !cfg.Enabled {
+		return nil
+	}
+	e, err := Compute(net, attrank, rankedAt, cfg)
+	if err != nil {
+		if logf != nil {
+			logf("impact: epoch indicators skipped: %v", err)
+		}
+		return nil
+	}
+	return e
+}

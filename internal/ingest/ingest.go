@@ -14,6 +14,7 @@ import (
 	"attrank/internal/core"
 	"attrank/internal/dataio"
 	"attrank/internal/graph"
+	"attrank/internal/impact"
 	"attrank/internal/metrics"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	// accumulate before forcing a full (compacting) re-rank.
 	// DefaultPushMaxBacklog if zero.
 	PushMaxBacklog int
+	// Impact configures per-epoch multi-indicator computation
+	// (DESIGN.md §15). When Impact.Enabled, every full epoch publishes
+	// an impact.Epoch (popularity/influence/impulse/cc classes); push
+	// epochs carry the last full epoch's classes forward.
+	Impact impact.Config
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +106,12 @@ type Ranking struct {
 	// Staleness is the L1 bound on ‖published − exact‖ scores; 0 for a
 	// full epoch.
 	Staleness float64
+	// Impact holds the epoch's multi-indicator state (nil when the
+	// indicator layer is disabled or its computation failed). On an
+	// incremental epoch it is the last FULL epoch's state carried
+	// forward: classes are as-of that epoch, with staleness advertised
+	// by Incremental/Staleness above.
+	Impact *impact.Epoch
 }
 
 // Status reports the ingester's operational state for monitoring.
@@ -230,6 +242,14 @@ func Open(seed *graph.Network, cfg Config) (*Ingester, error) {
 	}
 	if cfg.PushMaxBacklog <= 0 {
 		cfg.PushMaxBacklog = DefaultPushMaxBacklog
+	}
+	if cfg.Impact.Enabled {
+		// Resolve defaults here so followers receive the exact values in
+		// use, never "zero means default" conventions (see impact.Config).
+		cfg.Impact = cfg.Impact.WithDefaults()
+		if err := cfg.Impact.Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
 	}
 	tracker, err := core.NewTracker(cfg.Params)
 	if err != nil {
@@ -740,6 +760,7 @@ func (ing *Ingester) rerank(forceFull bool) error {
 		Positions: positions,
 		Stats:     net.ComputeStats(),
 		RankedAt:  now,
+		Impact:    impact.ForRanking(net, res.Scores, now, ing.cfg.Impact, ing.logf),
 	}
 
 	ing.mu.Lock()
@@ -916,6 +937,7 @@ func (ing *Ingester) tryPushLocked(now, upTo int, started time.Time) bool {
 		RankedAt:    now,
 		Incremental: true,
 		Staleness:   bound,
+		Impact:      lastFull.Impact,
 	}
 	mPushEpochsTotal.Inc()
 	mPushSeconds.ObserveSince(started)

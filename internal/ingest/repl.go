@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"attrank/internal/impact"
 )
 
 // This file is the ingester's replication surface: the WAL doubles as a
@@ -102,6 +104,12 @@ func (ing *Ingester) ReplState() (*Ranking, ReplCursor, error) {
 // path disabled). The replication leader ships it to followers so their
 // push replay settles to the same tolerance and stays bit-identical.
 func (ing *Ingester) PushTol() float64 { return ing.cfg.PushTol }
+
+// ImpactConfig returns the (defaults-resolved) indicator configuration.
+// The replication leader ships it to followers so their per-epoch impact
+// recompute uses identical parameters — including Workers, which pins
+// the PageRank residual reduction shape — and stays bit-identical.
+func (ing *Ingester) ImpactConfig() impact.Config { return ing.cfg.Impact }
 
 // ReadWALAt copies durable log bytes from generation gen at offset off
 // into p. It returns io.EOF when off is the current durable end (poll

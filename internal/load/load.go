@@ -14,9 +14,11 @@ import (
 type Kind int
 
 const (
-	KindTop   Kind = iota // GET /v1/top
-	KindPaper             // GET /v1/paper/{id}
-	KindWrite             // POST /v1/batch
+	KindTop         Kind = iota // GET /v1/top
+	KindPaper                   // GET /v1/paper/{id}
+	KindWrite                   // POST /v1/batch
+	KindImpact                  // GET /v1/impact/{id}
+	KindImpactBatch             // POST /v1/impact/batch
 )
 
 func (k Kind) String() string {
@@ -27,6 +29,10 @@ func (k Kind) String() string {
 		return "paper"
 	case KindWrite:
 		return "write"
+	case KindImpact:
+		return "impact"
+	case KindImpactBatch:
+		return "impact_batch"
 	}
 	return "unknown"
 }
@@ -53,6 +59,11 @@ type Config struct {
 	Seed int64
 	// WriteRatio is the probability of a write-batch op (0…1).
 	WriteRatio float64
+	// ImpactRatio is the probability that a read becomes an impact
+	// lookup (0…1), split between GET /v1/impact/{id} and batch POSTs.
+	// Requires PaperIDs; zero leaves the pre-existing operation stream
+	// untouched (no extra rng draws), so older workloads replay exactly.
+	ImpactRatio float64
 	// BatchSize is the number of new papers per write batch. Default 8.
 	BatchSize int
 	// PaperIDs are known corpus IDs used for GET /v1/paper and as
@@ -139,6 +150,11 @@ func (g *opGen) next() op {
 	if g.cfg.WriteRatio > 0 && g.rng.Float64() < g.cfg.WriteRatio {
 		return g.writeOp()
 	}
+	// Impact reads ride on the read side of the split. Gated on the
+	// ratio before drawing so a zero ratio consumes no rng state.
+	if g.cfg.ImpactRatio > 0 && len(g.cfg.PaperIDs) > 0 && g.rng.Float64() < g.cfg.ImpactRatio {
+		return g.impactOp()
+	}
 	// Read mix: mostly ranking pages, some paper lookups.
 	if len(g.cfg.PaperIDs) > 0 && g.rng.Intn(10) < 3 {
 		return op{kind: KindPaper, path: "/v1/paper/" + g.cfg.PaperIDs[g.rng.Intn(len(g.cfg.PaperIDs))]}
@@ -189,6 +205,27 @@ func (g *opGen) writeOp() op {
 	}
 	b.WriteString(`]}`)
 	return op{kind: KindWrite, path: "/v1/batch", body: b.String()}
+}
+
+// impactOp renders one impact lookup: three in four are single-paper
+// GETs, the fourth is a small batch POST so the mix exercises both
+// endpoints' cost profiles.
+func (g *opGen) impactOp() op {
+	ids := g.cfg.PaperIDs
+	if g.rng.Intn(4) != 0 {
+		return op{kind: KindImpact, path: "/v1/impact/" + ids[g.rng.Intn(len(ids))]}
+	}
+	size := 3 + g.rng.Intn(6)
+	var b strings.Builder
+	b.WriteString(`{"ids":[`)
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", ids[g.rng.Intn(len(ids))])
+	}
+	b.WriteString(`]}`)
+	return op{kind: KindImpactBatch, path: "/v1/impact/batch", body: b.String()}
 }
 
 // tally is one worker's private counters, merged after the run so the
@@ -290,7 +327,7 @@ func runOne(ctx context.Context, client *http.Client, base string, cfg Config, o
 		req *http.Request
 		err error
 	)
-	if o.kind == KindWrite {
+	if o.kind == KindWrite || o.kind == KindImpactBatch {
 		req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+o.path, strings.NewReader(o.body))
 		if req != nil {
 			req.Header.Set("Content-Type", "application/json")

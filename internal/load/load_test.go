@@ -78,6 +78,61 @@ func TestOpGenWriteBody(t *testing.T) {
 	}
 }
 
+// TestOpGenImpactMix: a positive ImpactRatio yields both impact op
+// kinds with well-formed requests; a zero ratio leaves the stream
+// byte-identical to the pre-impact generator (no stolen rng draws).
+func TestOpGenImpactMix(t *testing.T) {
+	base := Config{Seed: 7, WriteRatio: 0.2, BatchSize: 3, PaperIDs: []string{"a", "b", "c"}, IDPrefix: "t"}
+	withImpact := base
+	withImpact.ImpactRatio = 0.4
+
+	g := newOpGen(withImpact, 0)
+	var singles, batches int
+	for i := 0; i < 400; i++ {
+		o := g.next()
+		switch o.kind {
+		case KindImpact:
+			singles++
+			id := strings.TrimPrefix(o.path, "/v1/impact/")
+			if id != "a" && id != "b" && id != "c" {
+				t.Fatalf("impact op targets unknown id: %q", o.path)
+			}
+			if o.body != "" {
+				t.Fatalf("single impact op has a body: %q", o.body)
+			}
+		case KindImpactBatch:
+			batches++
+			if o.path != "/v1/impact/batch" {
+				t.Fatalf("batch path = %q", o.path)
+			}
+			var req struct {
+				IDs []string `json:"ids"`
+			}
+			if err := json.Unmarshal([]byte(o.body), &req); err != nil {
+				t.Fatalf("batch body not JSON: %v\n%s", err, o.body)
+			}
+			if len(req.IDs) == 0 {
+				t.Fatal("empty batch body")
+			}
+		}
+	}
+	if singles == 0 || batches == 0 {
+		t.Fatalf("impact mix incomplete: %d singles, %d batches", singles, batches)
+	}
+
+	// The impact gate must not consume an rng draw when it cannot fire:
+	// with no PaperIDs, a positive ratio and a zero ratio must replay
+	// byte-identical streams (short-circuit before Float64).
+	noIDs, noIDsImpact := base, withImpact
+	noIDs.PaperIDs, noIDsImpact.PaperIDs = nil, nil
+	a, b := newOpGen(noIDs, 3), newOpGen(noIDsImpact, 3)
+	for i := 0; i < 200; i++ {
+		if x, y := a.next(), b.next(); x != y {
+			t.Fatalf("op %d: unfireable impact gate perturbed the stream: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
 // TestRunCounts drives a tiny stub server and checks that every status
 // class lands in the right counter and that the totals reconcile.
 func TestRunCounts(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"attrank/internal/core"
 	"attrank/internal/dataio"
 	"attrank/internal/graph"
+	"attrank/internal/impact"
 	"attrank/internal/ingest"
 	"attrank/internal/metrics"
 )
@@ -117,6 +118,13 @@ type Follower struct {
 	pusher   *core.Pusher
 	lastFull *ingest.Ranking
 	pushTol  float64
+	// impactCfg is the leader's indicator configuration (zero =
+	// disabled). Full markers recompute the impact.Epoch with it — the
+	// computation is pure, so leader and follower classes are
+	// bit-identical; push markers carry lastFull's state forward exactly
+	// as the leader does. Set before seedChain runs: the seeded full
+	// boundary computes its impact state too.
+	impactCfg impact.Config
 
 	params      atomic.Pointer[core.Params]
 	ranking     atomic.Pointer[ingest.Ranking]
@@ -363,6 +371,7 @@ func (f *Follower) bootstrap() error {
 			return fmt.Errorf("bootstrap vectors: %w", err)
 		}
 	}
+	f.impactCfg = hdr.Impact.config(f.cfg.Workers)
 	if err := f.seedChain(net, hdr.Params, vecs[0], vecs[1], vecs[2], hdr.Epoch, hdr.RankedAt); err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
 	}
@@ -559,6 +568,7 @@ func (f *Follower) applyMarker(mark ingest.EpochMark) error {
 		Positions: positions,
 		Stats:     net.ComputeStats(),
 		RankedAt:  mark.RankedAt,
+		Impact:    impact.ForRanking(net, res.Scores, mark.RankedAt, f.impactCfg, f.logf),
 	}
 	f.lastFull = r
 	f.ranking.Store(r)
@@ -644,6 +654,7 @@ func (f *Follower) applyPushMarker(mark ingest.EpochMark) error {
 		RankedAt:    mark.RankedAt,
 		Incremental: true,
 		Staleness:   bound,
+		Impact:      f.lastFull.Impact,
 	})
 	f.localEpochA.Store(mark.Epoch)
 	mEpochsApplied.Inc()

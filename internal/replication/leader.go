@@ -88,6 +88,7 @@ func (l *Leader) handleState(w http.ResponseWriter, r *http.Request) {
 		Papers:   rank.Net.N(),
 		Params:   wireParamsOf(l.ing.Params()),
 		PushTol:  l.ing.PushTol(),
+		Impact:   wireImpactOf(l.ing.ImpactConfig()),
 	}
 	if err := writeHeader(w, hdr); err != nil {
 		return // client gone; nothing to clean up

@@ -10,6 +10,7 @@ import (
 	"attrank/internal/core"
 	"attrank/internal/dataio"
 	"attrank/internal/graph"
+	"attrank/internal/impact"
 	"attrank/internal/ingest"
 	"attrank/internal/metrics"
 )
@@ -38,15 +39,16 @@ const (
 // diskState is state.json: the marker-boundary cursor for the saved
 // base + vectors pair.
 type diskState struct {
-	Instance       uint64     `json:"instance"`
-	Gen            uint64     `json:"gen"`
-	LeaderOffset   int64      `json:"leader_offset"`
-	Epoch          uint64     `json:"epoch"`
-	RankedAt       int        `json:"ranked_at"`
-	LocalWALOffset int64      `json:"local_wal_offset"`
-	Papers         int        `json:"papers"`
-	Params         wireParams `json:"params"`
-	PushTol        float64    `json:"push_tol,omitempty"`
+	Instance       uint64      `json:"instance"`
+	Gen            uint64      `json:"gen"`
+	LeaderOffset   int64       `json:"leader_offset"`
+	Epoch          uint64      `json:"epoch"`
+	RankedAt       int         `json:"ranked_at"`
+	LocalWALOffset int64       `json:"local_wal_offset"`
+	Papers         int         `json:"papers"`
+	Params         wireParams  `json:"params"`
+	PushTol        float64     `json:"push_tol,omitempty"`
+	Impact         *wireImpact `json:"impact,omitempty"`
 }
 
 // saveState persists the follower's last FULL marker boundary: corpus,
@@ -82,6 +84,7 @@ func (f *Follower) saveState() error {
 		Papers:         f.base.N(),
 		Params:         f.wp,
 		PushTol:        f.pushTol,
+		Impact:         wireImpactOf(f.impactCfg),
 	}
 	js, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
@@ -125,6 +128,10 @@ func (f *Follower) recover() error {
 			return err
 		}
 	}
+	// The saved Impact already has the Workers override applied (it is
+	// the config in effect when the state was written), so no override
+	// here.
+	f.impactCfg = st.Impact.config(0)
 	if err := f.seedChain(net, st.Params, vecs[0], vecs[1], vecs[2], st.Epoch, st.RankedAt); err != nil {
 		return err
 	}
@@ -186,6 +193,7 @@ func (f *Follower) seedChain(net *graph.Network, wp wireParams, scores, att, rec
 		Positions: positions,
 		Stats:     net.ComputeStats(),
 		RankedAt:  rankedAt,
+		Impact:    impact.ForRanking(net, scores, rankedAt, f.impactCfg, f.logf),
 	}
 	// The seeded state is always a full (exact) boundary: ReplState
 	// anchors bootstraps there, and saveState anchors recovery there.
@@ -212,6 +220,7 @@ func (f *Follower) wipe() {
 	f.instance, f.gen = 0, 0
 	f.base, f.delta, f.tracker = nil, nil, nil
 	f.applied, f.pusher, f.lastFull, f.pushTol = 0, nil, nil, 0
+	f.impactCfg = impact.Config{}
 	f.pend = nil
 	f.streamOff, f.localWALOff = 0, 0
 	f.markerLeaderOff, f.markerLocalOff = 0, 0

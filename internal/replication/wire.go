@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"attrank/internal/core"
+	"attrank/internal/impact"
 )
 
 // Wire protocol (DESIGN.md §12). Two endpoints, mounted by the service
@@ -154,6 +155,46 @@ type stateHeader struct {
 	// replaying a push-mode epoch marker must settle to the same
 	// tolerance or its scores diverge from the leader's.
 	PushTol float64 `json:"push_tol,omitempty"`
+	// Impact carries the leader's multi-indicator configuration (nil =
+	// indicators disabled). Followers recompute each full epoch's
+	// impact.Epoch from these exact values — impact.Compute is pure, so
+	// recomputation IS replication (DESIGN.md §15).
+	Impact *wireImpact `json:"impact,omitempty"`
+}
+
+// wireImpact is the defaults-resolved impact.Config exchanged at
+// bootstrap; presence implies Enabled. Workers rides along for the same
+// reason wireParams carries it: the influence PageRank's stopping
+// residual is partition-shaped.
+type wireImpact struct {
+	ImpulseWindow int     `json:"impulse_window"`
+	PRAlpha       float64 `json:"pr_alpha"`
+	PRTol         float64 `json:"pr_tol"`
+	PRMaxIter     int     `json:"pr_max_iter"`
+	Workers       int     `json:"workers,omitempty"`
+}
+
+func wireImpactOf(cfg impact.Config) *wireImpact {
+	if !cfg.Enabled {
+		return nil
+	}
+	cfg = cfg.WithDefaults()
+	return &wireImpact{ImpulseWindow: cfg.ImpulseWindow, PRAlpha: cfg.PRAlpha,
+		PRTol: cfg.PRTol, PRMaxIter: cfg.PRMaxIter, Workers: cfg.Workers}
+}
+
+// config materializes impact.Config; workersOverride mirrors
+// wireParams.params, with the same bit-equality caveat.
+func (wi *wireImpact) config(workersOverride int) impact.Config {
+	if wi == nil {
+		return impact.Config{}
+	}
+	w := wi.Workers
+	if workersOverride != 0 {
+		w = workersOverride
+	}
+	return impact.Config{Enabled: true, ImpulseWindow: wi.ImpulseWindow,
+		PRAlpha: wi.PRAlpha, PRTol: wi.PRTol, PRMaxIter: wi.PRMaxIter, Workers: w}
 }
 
 func writeHeader(w io.Writer, hdr stateHeader) error {

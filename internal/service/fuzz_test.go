@@ -1,8 +1,11 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -89,6 +92,51 @@ func FuzzPaperID(f *testing.F) {
 		// that don't parse, which would abort the fuzzer itself).
 		req := httptest.NewRequest(http.MethodGet, "/v1/paper/x", nil)
 		req.URL.Path = "/v1/paper/" + id
+		fuzzCheck(t, h, req)
+	})
+}
+
+// FuzzImpactID exercises the /v1/impact/{id} segment with malformed
+// DOI-like spellings: prefixes, case soup, traversal attempts, invalid
+// UTF-8, and the reserved "batch" word in id position.
+func FuzzImpactID(f *testing.F) {
+	for _, seed := range []string{
+		"hot", "doi:hot", "DOI:HOT", "https://doi.org/hot", "doi.org/old",
+		"doi:", "doi:doi:hot", "10.1000/../../etc", "batch", "batch/",
+		"", ".", "%2e%2e", "\x00", "\xff\xfe\xfd", "doi:ümlaut",
+		"   hot   ", "http://dx.doi.org/", strings.Repeat("x", 4096),
+	} {
+		f.Add(seed)
+	}
+	h := impactTestServer(f).Handler()
+	f.Fuzz(func(t *testing.T, id string) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/impact/x", nil)
+		req.URL.Path = "/v1/impact/" + id
+		fuzzCheck(t, h, req)
+	})
+}
+
+// FuzzImpactBatch exercises the batch endpoint's body parsing with
+// arbitrary bytes: broken JSON, huge and duplicate id lists, unknown
+// fields, nulls. The contract is bounded 4xx or item-wise errors —
+// never a panic, never a 5xx.
+func FuzzImpactBatch(f *testing.F) {
+	hugeIDs, _ := json.Marshal(map[string][]string{"ids": make([]string, 1001)})
+	f.Add([]byte(`{"ids":["hot","old"]}`))
+	f.Add([]byte(`{"ids":["hot","hot","hot"]}`))
+	f.Add([]byte(`{"ids":[]}`))
+	f.Add([]byte(`{"ids":null}`))
+	f.Add([]byte(`{"ids":["doi:HOT","https://doi.org/old"," "]}`))
+	f.Add([]byte(`{"ids":"hot"}`))
+	f.Add([]byte(`{"extra":1,"ids":["hot"]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add(hugeIDs)
+	f.Add([]byte("\xff\xfe not json"))
+	h := impactTestServer(f).Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/impact/batch", bytes.NewReader(body))
 		fuzzCheck(t, h, req)
 	})
 }

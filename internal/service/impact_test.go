@@ -1,0 +1,220 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"attrank/internal/impact"
+)
+
+// impactTestServer is testServer with the indicator layer enabled.
+func impactTestServer(t testing.TB) *Server {
+	s := testServer(t)
+	if err := s.EnableIndicators(impact.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestImpactEndpoint: the single-paper view serves all four indicators
+// with scores and class strings that match an in-process recompute of
+// the same view.
+func TestImpactEndpoint(t *testing.T) {
+	s := impactTestServer(t)
+	h := s.Handler()
+	rec, body := get(t, h, "/v1/impact/hot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	v := s.view()
+	idx, ok := v.Net.Lookup("hot")
+	if !ok {
+		t.Fatal("hot missing from view")
+	}
+	for name, ind := range map[string]impact.Indicator{
+		"popularity": impact.Popularity, "influence": impact.Influence,
+		"impulse": impact.Impulse, "cc": impact.CitationCount,
+	} {
+		got, ok := body[name].(map[string]any)
+		if !ok {
+			t.Fatalf("response missing indicator %q: %v", name, body)
+		}
+		if got["score"].(float64) != v.Impact.Scores(ind)[idx] {
+			t.Errorf("%s score = %v, want %v", name, got["score"], v.Impact.Scores(ind)[idx])
+		}
+		if got["class"].(string) != v.Impact.Class(ind, idx).String() {
+			t.Errorf("%s class = %v, want %s", name, got["class"], v.Impact.Class(ind, idx))
+		}
+	}
+	// Popularity IS the served AttRank score.
+	if body["popularity"].(map[string]any)["score"].(float64) != v.Result.Scores[idx] {
+		t.Error("popularity score diverges from the ranking score")
+	}
+	// A full static epoch is not stale.
+	if body["stale"] == true {
+		t.Error("full epoch served as stale")
+	}
+	if body["epoch"].(float64) != float64(v.Epoch) {
+		t.Errorf("epoch = %v, want %d", body["epoch"], v.Epoch)
+	}
+}
+
+// TestImpactIDNormalization: DOI-like spellings of a known id resolve
+// to the same paper. Full-URL spellings go through the batch body —
+// the "//" in a GET path would be collapsed by ServeMux path cleaning.
+func TestImpactIDNormalization(t *testing.T) {
+	h := impactTestServer(t).Handler()
+	for _, spelled := range []string{"hot", "HOT", "doi:hot", "doi:HOT", "doi.org/hot"} {
+		rec, body := get(t, h, "/v1/impact/"+spelled)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("id %q: status = %d: %s", spelled, rec.Code, rec.Body.String())
+		}
+		if body["id"] != "hot" {
+			t.Fatalf("id %q resolved to %v, want hot", spelled, body["id"])
+		}
+	}
+	rec := postJSON(t, h, "/v1/impact/batch",
+		`{"ids":["https://doi.org/hot","http://dx.doi.org/hot"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var batch struct {
+		Results []struct {
+			Impact *struct {
+				ID string `json:"id"`
+			} `json:"impact"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range batch.Results {
+		if res.Impact == nil || res.Impact.ID != "hot" {
+			t.Fatalf("batch result %d did not resolve to hot: %+v", i, res)
+		}
+	}
+	if rec, _ := get(t, h, "/v1/impact/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status = %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/impact/"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty id: status = %d", rec.Code)
+	}
+}
+
+// TestImpactDisabled: without EnableIndicators both endpoints answer
+// 503, not 404 — the resource exists, the layer is off.
+func TestImpactDisabled(t *testing.T) {
+	h := testServer(t).Handler()
+	if rec, _ := get(t, h, "/v1/impact/hot"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("single: status = %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/impact/batch", `{"ids":["hot"]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("batch: status = %d", rec.Code)
+	}
+}
+
+// TestImpactBatch: the batch endpoint serves many ids per round trip,
+// fails unknown ids item-wise, serves duplicates independently, and
+// bounds the batch size.
+func TestImpactBatch(t *testing.T) {
+	h := impactTestServer(t).Handler()
+	rec := postJSON(t, h, "/v1/impact/batch", `{"ids":["hot","nope","doi:OLD","hot"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Epoch   uint64 `json:"epoch"`
+		Results []struct {
+			ID     string `json:"id"`
+			Error  string `json:"error"`
+			Impact *struct {
+				ID         string `json:"id"`
+				Popularity struct {
+					Class string `json:"class"`
+				} `json:"popularity"`
+			} `json:"impact"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(body.Results))
+	}
+	if body.Results[0].Impact == nil || body.Results[0].Impact.ID != "hot" {
+		t.Fatalf("result 0: %+v", body.Results[0])
+	}
+	if body.Results[1].Error == "" || body.Results[1].Impact != nil {
+		t.Fatalf("unknown id must fail item-wise: %+v", body.Results[1])
+	}
+	if body.Results[2].Impact == nil || body.Results[2].Impact.ID != "old" {
+		t.Fatalf("DOI-spelled id did not resolve: %+v", body.Results[2])
+	}
+	if body.Results[3].Impact == nil || body.Results[3].Impact.Popularity.Class != body.Results[0].Impact.Popularity.Class {
+		t.Fatal("duplicate id served differently")
+	}
+
+	// Bounds and method discipline.
+	if rec := postJSON(t, h, "/v1/impact/batch", `{"ids":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status = %d", rec.Code)
+	}
+	huge, _ := json.Marshal(map[string][]string{"ids": make([]string, maxImpactBatch+1)})
+	if rec := postJSON(t, h, "/v1/impact/batch", string(huge)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status = %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/impact/batch", `{"nope":1}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status = %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/impact/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch: status = %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/impact/hot", `{}`); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST single: status = %d", rec.Code)
+	}
+}
+
+// TestImpactRefreshKeepsIndicators: a static /v1/refresh publishes a new
+// epoch that still carries impact state.
+func TestImpactRefreshKeepsIndicators(t *testing.T) {
+	s := impactTestServer(t)
+	h := s.Handler()
+	if rec := postJSON(t, h, "/v1/refresh", ""); rec.Code != http.StatusOK {
+		t.Fatalf("refresh: %d", rec.Code)
+	}
+	rec, body := get(t, h, "/v1/impact/hot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-refresh impact: %d", rec.Code)
+	}
+	if body["epoch"].(float64) != float64(s.view().Epoch) {
+		t.Errorf("epoch = %v, want %d", body["epoch"], s.view().Epoch)
+	}
+}
+
+// TestImpactRouteLabels pins the metrics cardinality bound for the new
+// subtree.
+func TestImpactRouteLabels(t *testing.T) {
+	cases := map[string]string{
+		"/v1/impact/batch":       "/v1/impact/batch",
+		"/v1/impact/hot":         "/v1/impact/{id}",
+		"/v1/impact/doi:10.1/x":  "/v1/impact/{id}",
+		"/v1/impact/":            "/v1/impact/{id}",
+		"/v1/impact/batch/extra": "/v1/impact/{id}",
+		"/v1/impactother":        "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -45,6 +45,10 @@ func routeLabel(path string) string {
 		return "/v1/paper/{id}"
 	case strings.HasPrefix(path, "/v1/related/"):
 		return "/v1/related/{id}"
+	case path == "/v1/impact/batch":
+		return path
+	case strings.HasPrefix(path, "/v1/impact/"):
+		return "/v1/impact/{id}"
 	}
 	switch path {
 	case "/v1/stats", "/v1/top", "/v1/compare", "/v1/refresh", "/v1/authors",

@@ -49,6 +49,7 @@ import (
 	"attrank/internal/authors"
 	"attrank/internal/core"
 	"attrank/internal/graph"
+	"attrank/internal/impact"
 	"attrank/internal/ingest"
 	"attrank/internal/metrics"
 	"attrank/internal/obs"
@@ -75,6 +76,11 @@ type Server struct {
 	// wire endpoints mounted under /repl/ (AttachReplication).
 	repl        *replicaState
 	replHandler http.Handler
+
+	// impactCfg enables the /v1/impact indicator layer in static mode
+	// (EnableIndicators); live and replica servers get impact state from
+	// the published Rankings instead.
+	impactCfg impact.Config
 
 	// Static-mode state: the network is fixed, but /v1/refresh still
 	// re-ranks (warm-started) and publishes a new epoch view.
@@ -171,6 +177,7 @@ func (s *Server) refreshStatic() error {
 		Positions: positions,
 		Stats:     s.net.ComputeStats(),
 		RankedAt:  s.now,
+		Impact:    impact.ForRanking(s.net, res.Scores, s.now, s.impactCfg, s.logf),
 	})
 	return nil
 }
@@ -288,6 +295,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/papers", s.handleAddPaper)
 	mux.HandleFunc("/v1/citations", s.handleAddCitation)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/impact/", s.handleImpact)
 	mux.HandleFunc("/v1/epoch", s.handleEpoch)
 	mux.Handle("/metrics", obs.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)

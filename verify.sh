@@ -11,9 +11,9 @@
 #                       ranking hot path (sparse pool/fused/multi kernels,
 #                       core operator/parallel/RankBatch tests, scratch
 #                       metrics), the ingest WAL tests, the
-#                       admission-control tests and the replication
-#                       follower tests — seconds instead of minutes, for
-#                       tight iteration
+#                       admission-control tests, the replication
+#                       follower tests and the impact-indicator suites —
+#                       seconds instead of minutes, for tight iteration
 #   ./verify.sh fuzz    short coverage-guided fuzz sessions for the
 #                       dataio readers and HTTP query parsing
 #
@@ -50,6 +50,9 @@ if [ "${1:-}" = "quick" ]; then
 	echo "==> go test -race (incremental push path: kernel, overlay, metamorphic, ingest, replication)"
 	go test -race -run 'Push|Pusher|Overlay|Incremental|FlushDebounceRace|EpochMarkerLegacy' \
 		./internal/sparse/ ./internal/graph/ ./internal/core/ ./internal/ingest/ ./internal/replication/
+	echo "==> go test -race (impact indicators: classes, PageRank bit-equality, endpoints, replication)"
+	go test -race -run 'Impact|Class|Indicator|PageRank|Threshold|Impulse|NormalizeID|Golden' \
+		./internal/impact/ ./internal/core/ ./internal/ingest/ ./internal/service/ ./internal/replication/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
@@ -59,7 +62,7 @@ if [ "${1:-}" = "fuzz" ]; then
 		echo "==> go test -fuzz $target (dataio)"
 		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 5s ./internal/dataio/
 	done
-	for target in FuzzTopQuery FuzzCompareQuery FuzzPaperID; do
+	for target in FuzzTopQuery FuzzCompareQuery FuzzPaperID FuzzImpactID FuzzImpactBatch; do
 		echo "==> go test -fuzz $target (service)"
 		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 5s ./internal/service/
 	done
@@ -83,5 +86,10 @@ echo "==> attrank-bench -ingest smoke (push-vs-exact reconciliation bit-equality
 # if follower-style replay diverges.
 GOMAXPROCS=1 go run ./cmd/attrank-bench -ingest -ingest-papers 20000 -ingest-writes 128 \
 	-ingest-full-reps 5 -ingest-live-writes 40 -ingest-out /tmp/BENCH_ingest_smoke.json
+
+echo "==> attrank-bench -impact smoke (served indicator classes vs in-process recompute, 2k corpus)"
+# Exits non-zero if any score or C1–C5 class served by /v1/impact differs
+# from an independent recompute through internal/impact.
+go run ./cmd/attrank-bench -impact -impact-papers 2000
 
 echo "verify.sh: all checks passed"
