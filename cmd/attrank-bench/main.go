@@ -53,6 +53,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"attrank/internal/core"
@@ -112,10 +113,17 @@ type report struct {
 
 	// Observability overhead: the same fixed-iteration rank with the
 	// obs metric sites live vs turned into no-ops (obs.SetEnabled),
-	// normalized per power iteration. The budget is < 2%.
-	IterInstrumentedNS   int64   `json:"iter_instrumented_ns"`
-	IterUninstrumentedNS int64   `json:"iter_uninstrumented_ns"`
-	MetricsOverheadPct   float64 `json:"metrics_overhead_pct"`
+	// normalized per power iteration. The budget is < 2%. The measured
+	// delta on a quiet machine is routinely smaller than run-to-run
+	// timing noise and can come out negative; the headline figure is
+	// therefore clamped at zero, with the raw measurement and the
+	// noise floor (the rep spread, per arm: (median−min)/min) reported
+	// alongside so the clamp is auditable.
+	IterInstrumentedNS         int64   `json:"iter_instrumented_ns"`
+	IterUninstrumentedNS       int64   `json:"iter_uninstrumented_ns"`
+	MetricsOverheadPct         float64 `json:"metrics_overhead_pct"`
+	MetricsOverheadMeasuredPct float64 `json:"metrics_overhead_measured_pct"`
+	MetricsOverheadNoisePct    float64 `json:"metrics_overhead_noise_pct"`
 }
 
 func main() {
@@ -155,10 +163,18 @@ func main() {
 		ingestCheck    = flag.Int("ingest-check-every", 50, "push writes between exact-deviation checks in -ingest (0 disables)")
 		ingestLiveWr   = flag.Int("ingest-live-writes", 150, "live rank-per-write Ingester writes per arm in -ingest")
 		ingestPushTol  = flag.Float64("ingest-push-tol", core.DefaultPushTol, "push settle tolerance for -ingest")
+
+		shardB      = flag.Bool("shard", false, "benchmark sharded ranking over in-process loopback shard workers, with a bit-equality gate against the single-process kernel (exits non-zero on the first differing bit)")
+		shardOut    = flag.String("shard-out", "BENCH_shard.json", "output JSON path for -shard")
+		shardPapers = flag.Int("shard-papers", 100000, "synthetic network size for -shard")
+		shardCounts = flag.String("shard-counts", "1,2,4", "comma-separated shard counts for -shard")
+		shardReps   = flag.Int("shard-reps", 5, "timing repetitions per shard count in -shard (best-of)")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *shardB:
+		err = runShard(*shardPapers, *profile, *shardOut, *shardCounts, *shardReps)
 	case *smoke:
 		err = runSmoke(*smokePapers, *profile)
 	case *impactB:
@@ -326,26 +342,35 @@ func run(papers int, profile, out string, reps int) error {
 	// Interleave the enabled/disabled reps so thermal and scheduler
 	// drift hits both sides equally instead of biasing whichever batch
 	// ran second.
-	bestOn, bestOff := int64(1<<63-1), int64(1<<63-1)
+	onNS := make([]int64, 0, reps)
+	offNS := make([]int64, 0, reps)
 	for i := 0; i < reps; i++ {
 		obs.SetEnabled(true)
 		t0 := time.Now()
 		rankFixed()
-		if d := time.Since(t0).Nanoseconds(); d < bestOn {
-			bestOn = d
-		}
+		onNS = append(onNS, time.Since(t0).Nanoseconds())
 		obs.SetEnabled(false)
 		t0 = time.Now()
 		rankFixed()
-		if d := time.Since(t0).Nanoseconds(); d < bestOff {
-			bestOff = d
-		}
+		offNS = append(offNS, time.Since(t0).Nanoseconds())
 	}
 	obs.SetEnabled(true)
+	bestOn, noiseOn := repSpread(onNS)
+	bestOff, noiseOff := repSpread(offNS)
 	r.IterInstrumentedNS = bestOn / fixedIters
 	r.IterUninstrumentedNS = bestOff / fixedIters
-	r.MetricsOverheadPct = 100 * (float64(r.IterInstrumentedNS) - float64(r.IterUninstrumentedNS)) /
+	r.MetricsOverheadMeasuredPct = 100 * (float64(r.IterInstrumentedNS) - float64(r.IterUninstrumentedNS)) /
 		float64(r.IterUninstrumentedNS)
+	r.MetricsOverheadNoisePct = noiseOn
+	if noiseOff > noiseOn {
+		r.MetricsOverheadNoisePct = noiseOff
+	}
+	// A negative measured overhead only means the delta drowned in
+	// scheduler noise — report the true cost as zero, never negative.
+	r.MetricsOverheadPct = r.MetricsOverheadMeasuredPct
+	if r.MetricsOverheadPct < 0 {
+		r.MetricsOverheadPct = 0
+	}
 
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -368,8 +393,9 @@ func run(papers int, profile, out string, reps int) error {
 		r.FusedVsLegacy, r.FusedVsSerial, r.TiledVsCSR)
 	fmt.Printf("full rank: cold=%s (%d iters) warm=%s (%d iters)\n",
 		time.Duration(r.RankColdNS), r.RankColdIters, time.Duration(r.RankWarmNS), r.RankWarmIters)
-	fmt.Printf("metrics overhead: instrumented=%s/iter uninstrumented=%s/iter (%+.2f%%)\n",
-		time.Duration(r.IterInstrumentedNS), time.Duration(r.IterUninstrumentedNS), r.MetricsOverheadPct)
+	fmt.Printf("metrics overhead: instrumented=%s/iter uninstrumented=%s/iter measured %+.2f%% ±%.2f%% noise -> reported %.2f%%\n",
+		time.Duration(r.IterInstrumentedNS), time.Duration(r.IterUninstrumentedNS),
+		r.MetricsOverheadMeasuredPct, r.MetricsOverheadNoisePct, r.MetricsOverheadPct)
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }
@@ -395,4 +421,19 @@ func best(reps int, fn func()) int64 {
 		}
 	}
 	return bestNS
+}
+
+// repSpread reduces one arm's rep timings to its minimum and a noise
+// floor: the median's relative distance from that minimum, in percent.
+// A measured delta between two arms smaller than either arm's spread is
+// indistinguishable from scheduler noise.
+func repSpread(ns []int64) (min int64, noisePct float64) {
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	min = sorted[0]
+	median := sorted[len(sorted)/2]
+	if min > 0 {
+		noisePct = 100 * float64(median-min) / float64(min)
+	}
+	return min, noisePct
 }

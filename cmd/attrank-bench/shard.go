@@ -1,0 +1,320 @@
+package main
+
+// The -shard mode: benchmark the row-partitioned distributed ranking
+// path (internal/shard, DESIGN.md §16) over in-process loopback
+// workers, which exercise the exact HTTP wire protocol a multi-process
+// deployment uses. For each shard count it measures the per-iteration
+// wall clock, the boundary bytes exchanged per iteration, and the
+// per-shard resident matrix footprint — and gates the run on bitwise
+// equality between the sharded rank (cold and warm-started) and the
+// single-process kernel at the same partition count, exiting non-zero
+// on the first differing bit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"attrank/internal/core"
+	"attrank/internal/graph"
+	"attrank/internal/shard"
+	"attrank/internal/synth"
+)
+
+type shardReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Profile     string `json:"profile"`
+	Papers      int    `json:"papers"`
+	Edges       int    `json:"edges"`
+	Reps        int    `json:"reps"`
+
+	Arms []shardArm `json:"shards"`
+}
+
+type shardArm struct {
+	// Shards is the requested worker count; Blocks is what the partition
+	// actually deployed (small corpora compact, leaving workers idle).
+	Shards int `json:"shards"`
+	Blocks int `json:"blocks"`
+
+	// Per-iteration wall clock (best of reps): the sharded exchange
+	// round vs the single-process tiled kernel at the same partition
+	// count, both pinned to a fixed iteration count.
+	IterNS      int64 `json:"iter_ns"`
+	IterLocalNS int64 `json:"iter_local_ns"`
+
+	// The exchange bill per iteration: coordinator→shard span payloads,
+	// shard→coordinator own-segment payloads, and the span float64
+	// count they carry. Constant for a deployment's life.
+	SendBytesPerIter int64 `json:"boundary_send_bytes_per_iter"`
+	RecvBytesPerIter int64 `json:"boundary_recv_bytes_per_iter"`
+	BoundaryFloats   int   `json:"boundary_floats_per_iter"`
+
+	// Per-shard resident matrix bytes — the memory the partition frees
+	// on each box. Sum is ~constant, max shrinks ~linearly with blocks.
+	ResidentBytes []int64 `json:"resident_bytes_per_shard"`
+	ResidentMax   int64   `json:"resident_bytes_max"`
+
+	// Cold rank (includes block shipping) and warm-started rank through
+	// the provider path, plus their iteration counts.
+	RankColdNS    int64 `json:"rank_cold_ns"`
+	RankWarmNS    int64 `json:"rank_warm_ns"`
+	RankColdIters int   `json:"rank_cold_iterations"`
+	RankWarmIters int   `json:"rank_warm_iterations"`
+
+	// BitIdentical records the gate this mode exists for: every score
+	// and residual of the sharded cold and warm ranks `==` the local
+	// kernel's. The run aborts non-zero if it would be false.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+func runShard(papers int, profile, out, countsSpec string, reps int) error {
+	var counts []int
+	for _, f := range strings.Split(countsSpec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return fmt.Errorf("-shard-counts: bad count %q", f)
+		}
+		counts = append(counts, c)
+	}
+	prof, err := synth.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	prof = prof.Scale(float64(papers) / float64(prof.Papers))
+	fmt.Printf("generating %s network with %d papers…\n", prof.Name, prof.Papers)
+	net, err := synth.Generate(prof)
+	if err != nil {
+		return err
+	}
+	r := shardReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Profile:     prof.Name,
+		Papers:      net.N(),
+		Edges:       net.Edges(),
+		Reps:        reps,
+	}
+	for _, s := range counts {
+		arm, err := shardArmRun(net, s, reps)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", s, err)
+		}
+		r.Arms = append(r.Arms, *arm)
+		fmt.Printf("shards=%d blocks=%d iter=%s local=%s boundary=%s+%s/iter resident(max)=%s cold=%s warm=%s bit-identical=%v\n",
+			arm.Shards, arm.Blocks, time.Duration(arm.IterNS), time.Duration(arm.IterLocalNS),
+			fmtBytes(arm.SendBytesPerIter), fmtBytes(arm.RecvBytesPerIter), fmtBytes(arm.ResidentMax),
+			time.Duration(arm.RankColdNS), time.Duration(arm.RankWarmNS), arm.BitIdentical)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// shardArmRun measures one shard count end to end. The order matters:
+// the bit-equality gate runs first through the real provider hook (so a
+// silent local fallback cannot masquerade as a passing gate — the
+// worker step cursors and the fallback counter are both checked), and
+// only then is a dedicated coordinator deployed for the fixed-iteration
+// exchange timing.
+func shardArmRun(net *graph.Network, shards, reps int) (*shardArm, error) {
+	lw, err := shard.StartLocalWorkers(shards, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer lw.Close()
+
+	now := net.MaxYear()
+	p := core.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2, AttentionYears: 3, W: -0.16, Workers: shards}
+	arm := &shardArm{Shards: shards}
+
+	fallbacksBefore := core.ShardFallbacks()
+	core.SetShardProvider(shard.Provider(nil, lw.Peers, nil))
+	defer core.SetShardProvider(nil)
+
+	opShard := core.Compile(net)
+	coldDur, cold, err := rankOnce(opShard, now, p)
+	if err != nil {
+		return nil, err
+	}
+	pw := p
+	pw.Start = cold.Scores
+	warmDur, warm, err := rankOnce(opShard, now+1, pw)
+	if err != nil {
+		return nil, err
+	}
+	arm.RankColdNS, arm.RankColdIters = coldDur, cold.Iterations
+	arm.RankWarmNS, arm.RankWarmIters = warmDur, warm.Iterations
+	if n := core.ShardFallbacks() - fallbacksBefore; n > 0 {
+		return nil, fmt.Errorf("rank fell back to the local kernel %d time(s) — the gate would not be testing the distributed path", n)
+	}
+	stepped, err := shardsStepped(lw.Peers)
+	if err != nil {
+		return nil, err
+	}
+	if stepped == 0 {
+		return nil, fmt.Errorf("no shard worker processed a step — rank did not take the distributed path")
+	}
+
+	// The single-process reference at the same partition count.
+	core.SetShardProvider(nil)
+	opLocal := core.Compile(net)
+	_, localCold, err := rankOnce(opLocal, now, p)
+	if err != nil {
+		return nil, err
+	}
+	pl := p
+	pl.Start = localCold.Scores
+	_, localWarm, err := rankOnce(opLocal, now+1, pl)
+	if err != nil {
+		return nil, err
+	}
+	if err := compareResults("cold", cold, localCold); err != nil {
+		return nil, err
+	}
+	if err := compareResults("warm", warm, localWarm); err != nil {
+		return nil, err
+	}
+	arm.BitIdentical = true
+
+	// Fixed-iteration timing: drive the coordinator directly so the
+	// exchange accounting is readable. The deployment re-ships blocks
+	// under a fresh instance (new instance wins), which is fine — the
+	// provider gate above is done with the workers.
+	ti, release, err := opShard.TiledKernel()
+	if err != nil {
+		return nil, err
+	}
+	c, err := shard.Deploy(nil, lw.Peers, ti, nil)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	arm.Blocks = c.Shards()
+	n := ti.N()
+	x := make([]float64, n)
+	next := make([]float64, n)
+	att := make([]float64, n)
+	rec := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+		att[i] = float64(i%101) / 101
+		rec[i] = float64(i%97) / 97
+	}
+	if err := c.BeginRank(x, att, rec, p.Alpha, p.Beta, p.Gamma); err != nil {
+		release()
+		return nil, err
+	}
+	const fixedIters = 10
+	step := func() error {
+		for i := 0; i < fixedIters; i++ {
+			if _, err := c.StepRank(next, x); err != nil {
+				return err
+			}
+			x, next = next, x
+		}
+		return nil
+	}
+	if err := step(); err != nil { // warm the exchange buffers
+		c.EndRank()
+		release()
+		return nil, err
+	}
+	arm.IterNS = best(reps, func() {
+		if err := step(); err != nil {
+			panic(err)
+		}
+	}) / fixedIters
+	c.EndRank()
+	st := c.ExchangeStats()
+	arm.SendBytesPerIter = int64(st.SentBytes / st.Steps)
+	arm.RecvBytesPerIter = int64(st.RecvBytes / st.Steps)
+	arm.BoundaryFloats = st.BoundaryFloat
+	arm.ResidentBytes = st.ResidentBytes
+	for _, rb := range st.ResidentBytes {
+		if rb > arm.ResidentMax {
+			arm.ResidentMax = rb
+		}
+	}
+
+	// The same fixed iterations through the single-process kernel (the
+	// release handle is still held, so Step may use the worker pool).
+	arm.IterLocalNS = best(reps, func() {
+		for i := 0; i < fixedIters; i++ {
+			ti.Step(next, x, att, rec, p.Alpha, p.Beta, p.Gamma, shards)
+			x, next = next, x
+		}
+	}) / fixedIters
+	release()
+	return arm, nil
+}
+
+// shardsStepped counts workers whose status cursor shows at least one
+// completed block step — the proof the distributed path served the
+// rank rather than a silent fallback.
+func shardsStepped(peers []string) (int, error) {
+	stepped := 0
+	for _, peer := range peers {
+		resp, err := http.Get(peer + "/shard/status")
+		if err != nil {
+			return 0, err
+		}
+		var st struct {
+			StepSeq uint64 `json:"step_seq"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if st.StepSeq > 0 {
+			stepped++
+		}
+	}
+	return stepped, nil
+}
+
+// compareResults enforces bitwise equality between two rank results:
+// iteration counts, every residual, every score.
+func compareResults(label string, got, want *core.Result) error {
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		return fmt.Errorf("%s rank: iterations/converged %d/%v, want %d/%v",
+			label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	for i := range want.Residuals {
+		if got.Residuals[i] != want.Residuals[i] {
+			return fmt.Errorf("%s rank: residual %d = %x, want %x",
+				label, i, got.Residuals[i], want.Residuals[i])
+		}
+	}
+	for i := range want.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			return fmt.Errorf("%s rank: score %d = %x, want %x (first differing bit)",
+				label, i, got.Scores[i], want.Scores[i])
+		}
+	}
+	return nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -55,6 +55,12 @@ type Operator struct {
 	// goes idle, instead of waiting for the finalizer.
 	inflight int
 	evicted  bool
+
+	// The sharded-ranking stepper cache lives under its own lock: the
+	// provider calls back into TiledKernel (op.mu) and eviction holds
+	// op.mu, so sharing the mutex would deadlock (see shard.go).
+	shardMu sync.Mutex
+	stepper ShardStepper
 }
 
 // CompileStats records the cost and shape of the parallel kernel
@@ -560,6 +566,21 @@ func (op *Operator) Rank(now int, p Params) (*Result, error) {
 		recP := op.permutedRecency(now, p.W)
 		xp := next // reuse the spare buffer as the permuted iterate
 		permuteInto(xp, x, perm)
+		// Sharded deployment, when configured: the same chain driven over
+		// the row-block shards (bit-identical at equal partition counts —
+		// DESIGN.md §16). Any failure falls through to the local loop with
+		// res restored, so a dying shard costs one rank of latency only.
+		if fin, ok := op.rankSharded(res, xp, attP, recP, p, tol); ok {
+			copy(xp, fin)
+			release()
+			for i := range x {
+				x[i] = xp[perm[i]]
+			}
+			res.Scores = x
+			res.Duration = time.Since(started)
+			op.observeRank(res, p)
+			return res, nil
+		}
 		nextP := make([]float64, n)
 		parts := p.Workers
 		if parts < 0 {

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+
+	"attrank/internal/obs"
+	"attrank/internal/sparse"
+)
+
+// The sharded-ranking seam (DESIGN.md §16). core knows nothing about the
+// exchange wire protocol; it exposes an interface a deployment driver
+// (internal/shard) implements and a process-wide provider hook the
+// command layer wires up. When a provider is installed, parallel Ranks
+// run their power iterations through the stepper — each shard holding
+// one row block of the tiled layout — and any failure falls back to the
+// local kernel, which is bit-identical at equal partition counts, so a
+// dying shard costs availability of nothing and latency of one rank.
+
+// ShardStepper drives one warm-startable power-iteration chain on a
+// sharded deployment. All vectors are in the tiled layout's storage
+// (permuted) space. The contract mirrors the local loop exactly:
+// BeginRank establishes the start iterate and the epoch's attention and
+// recency vectors; each StepRank advances one fused step, filling next
+// and returning the tree-reduced L1 residual; EndRank closes the chain.
+// x passed to StepRank must be the next of the previous step (or the
+// BeginRank iterate for the first) — shards double-buffer their own
+// segments and only boundary windows cross the wire.
+type ShardStepper interface {
+	BeginRank(x, att, rec []float64, alpha, beta, gamma float64) error
+	StepRank(next, x []float64) (float64, error)
+	EndRank()
+}
+
+// ShardProvider builds (or reuses) a stepper for an operator — typically
+// by shipping the operator's row blocks to shard peers. A provider is
+// process-wide: SetShardProvider installs it once at startup.
+type ShardProvider func(op *Operator) (ShardStepper, error)
+
+var (
+	shardProvMu sync.RWMutex
+	shardProv   ShardProvider
+)
+
+// SetShardProvider installs the process-wide shard provider (nil
+// disables sharded ranking). Intended for startup wiring and tests.
+func SetShardProvider(p ShardProvider) {
+	shardProvMu.Lock()
+	shardProv = p
+	shardProvMu.Unlock()
+}
+
+func shardProvider() ShardProvider {
+	shardProvMu.RLock()
+	p := shardProv
+	shardProvMu.RUnlock()
+	return p
+}
+
+var mShardFallbacks = obs.NewCounter("attrank_core_shard_fallbacks_total",
+	"Parallel ranks that fell back to the local kernel after a sharded deployment or step failed.")
+
+// ShardFallbacks reports how many ranks have fallen back from a sharded
+// deployment to the local kernel since process start. Diagnostic hook
+// for the failure-path tests; operators watch the counter metric.
+func ShardFallbacks() int64 { return mShardFallbacks.Value() }
+
+// TiledKernel compiles (on first use) and returns the operator's tiled
+// kernel plus a release handle for the in-flight accounting, exactly as
+// the parallel Rank path acquires it. Deployment drivers use it to
+// extract shard blocks and the partition plan. The kernel's pure layout
+// accessors (ShardBounds, ExtractBlock, DanglingShare, PremultiplyY)
+// remain valid after release; only Step with parts > 1 needs the pool.
+func (op *Operator) TiledKernel() (*sparse.TiledStochastic, func(), error) {
+	return op.acquireTiled()
+}
+
+// stepperFor returns the cached stepper for this operator, asking the
+// provider on first use. The stepper cache has its own lock: providers
+// call back into op.TiledKernel (which takes op.mu), and eviction holds
+// op.mu, so guarding the stepper with op.mu would deadlock or order
+// locks ABBA. A nil, nil return means sharding is not configured.
+func (op *Operator) stepperFor() (ShardStepper, error) {
+	prov := shardProvider()
+	if prov == nil {
+		return nil, nil
+	}
+	op.shardMu.Lock()
+	defer op.shardMu.Unlock()
+	if op.stepper != nil {
+		return op.stepper, nil
+	}
+	st, err := prov(op)
+	if err != nil {
+		return nil, err
+	}
+	op.stepper = st
+	return st, nil
+}
+
+// dropStepper forgets a failed stepper so the next rank redeploys
+// through the provider (shards that restarted bootstrap fresh state).
+func (op *Operator) dropStepper(st ShardStepper) {
+	op.shardMu.Lock()
+	if op.stepper == st {
+		op.stepper = nil
+	}
+	op.shardMu.Unlock()
+}
+
+// rankSharded runs the power-iteration chain through the stepper,
+// operating on private copies so a mid-chain shard failure leaves the
+// caller's iterate untouched for the local retry. On success it returns
+// the converged permuted iterate and true; on any failure it restores
+// res to its pre-chain state, counts the fallback, and returns false.
+func (op *Operator) rankSharded(res *Result, xp, attP, recP []float64, p Params, tol float64) ([]float64, bool) {
+	st, err := op.stepperFor()
+	if err != nil {
+		mShardFallbacks.Inc()
+		return nil, false
+	}
+	if st == nil {
+		return nil, false
+	}
+	n := len(xp)
+	x := make([]float64, n)
+	copy(x, xp)
+	next := make([]float64, n)
+	if err := st.BeginRank(x, attP, recP, p.Alpha, p.Beta, p.Gamma); err != nil {
+		op.dropStepper(st)
+		mShardFallbacks.Inc()
+		return nil, false
+	}
+	defer st.EndRank()
+	for iter := 1; iter <= p.maxIter(); iter++ {
+		resid, err := st.StepRank(next, x)
+		if err != nil {
+			op.dropStepper(st)
+			mShardFallbacks.Inc()
+			res.Residuals = res.Residuals[:0]
+			res.Iterations = 0
+			res.Converged = false
+			return nil, false
+		}
+		res.Residuals = append(res.Residuals, resid)
+		mIterationResidual.Observe(resid)
+		x, next = next, x
+		res.Iterations = iter
+		if resid < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, true
+}

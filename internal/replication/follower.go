@@ -428,7 +428,7 @@ func (f *Follower) stream() error {
 	f.pend = f.pend[:0]
 	var buf []byte
 	for {
-		typ, payload, nbuf, err := readFrame(resp.Body, buf)
+		typ, payload, nbuf, err := ReadFrame(resp.Body, buf)
 		buf = nbuf
 		if err != nil {
 			if f.ctx.Err() != nil {

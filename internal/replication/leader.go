@@ -148,7 +148,7 @@ func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
 	lastBeat := time.Time{}
 	beat := func() bool {
 		c := l.ing.ReplCursor()
-		if err := writeFrame(w, frameHeartbeat, heartbeatPayload(c.Epoch, c.Offset)); err != nil {
+		if err := WriteFrame(w, frameHeartbeat, heartbeatPayload(c.Epoch, c.Offset)); err != nil {
 			return false
 		}
 		if flusher != nil {
@@ -167,7 +167,7 @@ func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
 		}
 		n, err := l.ing.ReadWALAt(gen, off, buf)
 		if n > 0 {
-			if werr := writeFrame(w, frameData, buf[:n]); werr != nil {
+			if werr := WriteFrame(w, frameData, buf[:n]); werr != nil {
 				return
 			}
 			if flusher != nil {

@@ -37,14 +37,18 @@ const (
 
 	frameData      byte = 'd'
 	frameHeartbeat byte = 'h'
-
-	// maxFramePayload bounds one frame; the leader chunks well below
-	// this, the follower rejects anything above it as corruption.
-	maxFramePayload = 1 << 24
 )
 
-// writeFrame emits one CRC-framed protocol frame.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// MaxFramePayload bounds one CRC frame; writers chunk well below this,
+// readers reject anything above it as corruption.
+const MaxFramePayload = 1 << 24
+
+// WriteFrame emits one CRC-framed protocol frame:
+// [type byte][u32 payloadLen][u32 crc32(payload)][payload], integers
+// little-endian. The framing is shared beyond replication — the sharded
+// ranking exchange (internal/shard) speaks the same frames over its own
+// endpoints.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [9]byte
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
@@ -56,16 +60,23 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, verifying its CRC. The returned payload
-// aliases buf when it fits; callers must copy bytes they keep.
-func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, _ []byte, err error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// ReadFrame reads one frame, verifying its CRC. The returned payload
+// aliases buf when it fits; callers must copy bytes they keep. The
+// header is read into buf too (a stack header array would escape
+// through the io.Reader interface and allocate per frame, which the
+// sharded exchange's zero-allocation steady state cannot afford).
+func ReadFrame(r io.Reader, buf []byte) (typ byte, payload []byte, _ []byte, err error) {
+	if cap(buf) < 9 {
+		buf = make([]byte, 64)
+	}
+	hdr := buf[:9]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, buf, err
 	}
+	typ = hdr[0]
 	n := binary.LittleEndian.Uint32(hdr[1:5])
 	want := binary.LittleEndian.Uint32(hdr[5:9])
-	if n > maxFramePayload {
+	if n > MaxFramePayload {
 		return 0, nil, buf, fmt.Errorf("replication: implausible frame of %d bytes", n)
 	}
 	if cap(buf) < int(n) {
@@ -78,7 +89,7 @@ func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, _ []byte, err
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return 0, nil, buf, fmt.Errorf("replication: frame crc mismatch (got %08x, want %08x)", got, want)
 	}
-	return hdr[0], payload, buf, nil
+	return typ, payload, buf, nil
 }
 
 // heartbeatPayload encodes the leader's committed epoch and boundary

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"attrank/internal/core"
+	"attrank/internal/replication"
+	"attrank/internal/sparse"
+)
+
+// exchangeRig drives the exchange core — request encode, worker
+// scatter/step, response encode/decode, tree reduction — without the
+// HTTP layer, so the allocation guarantee of the steady-state path
+// (ISSUE 10 S2) is measurable in isolation. Every buffer is persistent;
+// a round must not allocate.
+type exchangeRig struct {
+	ti       *sparse.TiledStochastic
+	workers  []*Worker
+	spans    [][][2]int
+	lo, hi   []int32
+	x, next  []float64
+	y        []float64
+	reqBufs  []*bytes.Buffer
+	respBuf  *bytes.Buffer
+	scratch  [][]byte
+	rdr      *bytes.Reader
+	fw       frameWriter
+	hb       []byte
+	partials []float64
+}
+
+func newExchangeRig(tb testing.TB, size, shards int) *exchangeRig {
+	tb.Helper()
+	net := buildNet(tb, int64(1000+size+shards), size)
+	op := core.Compile(net)
+	ti, release, err := op.TiledKernel()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	release()
+
+	bounds := ti.ShardBounds(shards)
+	nb := len(bounds) - 1
+	n := ti.N()
+	rig := &exchangeRig{
+		ti:       ti,
+		x:        make([]float64, n),
+		next:     make([]float64, n),
+		y:        make([]float64, n),
+		respBuf:  &bytes.Buffer{},
+		rdr:      bytes.NewReader(nil),
+		partials: make([]float64, nb),
+	}
+	rng := rand.New(rand.NewSource(99))
+	att := make([]float64, n)
+	rec := make([]float64, n)
+	for i := range rig.x {
+		rig.x[i] = 1 / float64(n)
+		att[i] = rng.Float64()
+		rec[i] = rng.Float64()
+	}
+
+	for i := 0; i < nb; i++ {
+		blk := ti.ExtractBlock(bounds, i)
+		if err := blk.Validate(); err != nil {
+			tb.Fatal(err)
+		}
+		hdr := loadHeader{
+			N: blk.N, RowLo: blk.RowLo, RowHi: blk.RowHi, Windows: blk.Windows,
+			Uniform: blk.Uniform, HasDangling: blk.HasDangling, NNZ: blk.NNZ(),
+			Shard: i, Shards: nb, Instance: "bench", Gen: 1,
+		}
+		wk := NewWorker(nil)
+		wk.install(hdr, blk)
+
+		var body bytes.Buffer
+		var pb [24]byte
+		p := appendF64(pb[:0], 0.5)
+		p = appendF64(p, 0.3)
+		p = appendF64(p, 0.2)
+		replication.WriteFrame(&body, frameHeader, p)
+		_ = p
+		var sc []byte
+		lo, hi := blk.RowLo, blk.RowHi
+		for _, fv := range []struct {
+			typ byte
+			v   []float64
+		}{{frameAtt, att[lo:hi]}, {frameRec, rec[lo:hi]}, {frameIter, rig.x[lo:hi]}} {
+			if sc, err = writeVecFrames(&body, fv.typ, fv.v, sc, &rig.fw); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		replication.WriteFrame(&body, frameEnd, nil)
+		if err := wk.beginRank(bytes.NewReader(body.Bytes()), 1); err != nil {
+			tb.Fatal(err)
+		}
+
+		rig.workers = append(rig.workers, wk)
+		rig.spans = append(rig.spans, blk.BoundarySpans())
+		rig.lo = append(rig.lo, lo)
+		rig.hi = append(rig.hi, hi)
+		rig.reqBufs = append(rig.reqBufs, &bytes.Buffer{})
+		rig.scratch = append(rig.scratch, nil)
+	}
+	return rig
+}
+
+// round advances one full sharded iteration through the exchange core.
+// It panics on protocol errors — impossible by construction here, and a
+// panic keeps the function usable under testing.AllocsPerRun.
+func (r *exchangeRig) round() {
+	share, _ := r.ti.DanglingShare(r.x)
+	src := r.x
+	if r.ti.Uniform() {
+		r.ti.PremultiplyY(r.y, r.x)
+		src = r.y
+	}
+	for i, wk := range r.workers {
+		buf := r.reqBufs[i]
+		buf.Reset()
+		r.hb = appendF64(r.hb[:0], share)
+		r.fw.write(buf, frameHeader, r.hb)
+		sc := r.scratch[i]
+		for _, sp := range r.spans[i] {
+			for lo, hi := sp[0], sp[1]; lo < hi; {
+				nn := hi - lo
+				if nn > chunkFloats {
+					nn = chunkFloats
+				}
+				sc = appendU32(sc[:0], uint32(lo))
+				sc = appendF64s(sc, src[lo:lo+nn])
+				r.fw.write(buf, frameSpan, sc)
+				lo += nn
+			}
+		}
+		r.fw.write(buf, frameEnd, nil)
+
+		r.rdr.Reset(buf.Bytes())
+		resid, err := wk.doStep(r.rdr)
+		if err != nil {
+			panic(err)
+		}
+		r.respBuf.Reset()
+		if wk.wbuf, err = writeStepResponse(r.respBuf, resid, wk.xOwn, wk.wbuf, &wk.fw); err != nil {
+			panic(err)
+		}
+		r.rdr.Reset(r.respBuf.Bytes())
+		if r.partials[i], sc, err = readStepResponse(r.rdr, sc, r.next[r.lo[i]:r.hi[i]]); err != nil {
+			panic(err)
+		}
+		r.scratch[i] = sc
+	}
+	sparse.TreeSum(r.partials)
+	r.x, r.next = r.next, r.x
+}
+
+// TestShardExchangeZeroAlloc is the S2 gate: after warm-up, a full
+// exchange round — boundary encode, worker scatter + block step,
+// response round-trip — performs zero allocations.
+func TestShardExchangeZeroAlloc(t *testing.T) {
+	rig := newExchangeRig(t, 6_000, 2)
+	rig.round()
+	rig.round()
+	if allocs := testing.AllocsPerRun(20, rig.round); allocs != 0 {
+		t.Fatalf("exchange round allocates %.1f objects/op, want 0 (run with -benchmem on BenchmarkShardExchangeStep for bytes)", allocs)
+	}
+}
+
+// BenchmarkShardExchangeStep measures one sharded iteration through the
+// exchange core at 1, 2, and 4 blocks. Run with -benchmem: steady state
+// must report 0 B/op, 0 allocs/op.
+func BenchmarkShardExchangeStep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			rig := newExchangeRig(b, 20_000, shards)
+			rig.round()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig.round()
+			}
+		})
+	}
+}

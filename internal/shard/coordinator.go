@@ -1,0 +1,464 @@
+package shard
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"attrank/internal/sparse"
+)
+
+// shardMeta is the coordinator's static per-shard plan: the owned row
+// range, the boundary spans shipped every iteration (fixed for the
+// deployment's life, which makes bytes/iteration a constant), and the
+// worker's resident matrix footprint.
+type shardMeta struct {
+	peer         string
+	rowLo, rowHi int32
+	spans        [][2]int
+	resident     int64
+}
+
+// Coordinator drives a sharded power iteration: it owns the full
+// iterate, performs the sequential dangling-mass gather and (on uniform
+// layouts) the y premultiplication — the exact arithmetic the local
+// kernel runs — fans the boundary spans out to the shard workers, and
+// tree-reduces their residual partials in shard-rank order. It
+// implements core.ShardStepper.
+type Coordinator struct {
+	client   *http.Client
+	logf     func(format string, args ...any)
+	ti       *sparse.TiledStochastic
+	bounds   []int32
+	metas    []shardMeta
+	instance string
+	gen      uint64
+	n        int
+	uniform  bool
+
+	yPool *sparse.VecPool // len n: the premultiplied-iterate buffer
+
+	// chainMu serializes rank chains: BeginRank acquires, EndRank
+	// releases, so concurrent Ranks on one operator queue instead of
+	// resetting each other's worker-side sequence state.
+	chainMu sync.Mutex
+	rankSeq uint64
+	stepSeq uint64
+
+	// Persistent per-shard encode buffers, frame writers, and frame-read
+	// scratch — the coordinator side of the zero-allocation steady state.
+	reqBufs []*bytes.Buffer
+	fws     []frameWriter
+	scratch [][]byte
+
+	statMu    sync.Mutex
+	sentBytes uint64
+	recvBytes uint64
+	steps     uint64
+}
+
+// Stats is the exchange accounting the bench reports.
+type Stats struct {
+	Shards        int
+	SentBytes     uint64 // coordinator → shards payload bytes
+	RecvBytes     uint64 // shards → coordinator payload bytes
+	Steps         uint64 // completed iteration rounds
+	ResidentBytes []int64
+	BoundaryFloat int // span float64s shipped per iteration (all shards)
+}
+
+// Deploy cuts the kernel at its own partition boundaries for len(peers)
+// shards, ships each block to its worker, and returns a ready
+// coordinator. Fewer blocks than peers (tiny corpora compact) leaves
+// trailing peers idle. The kernel reference is retained for the
+// per-step dangling/premultiply arithmetic — pure layout reads that
+// stay valid for the operator's life.
+func Deploy(client *http.Client, peers []string, ti *sparse.TiledStochastic, logf func(format string, args ...any)) (*Coordinator, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("shard: no peers")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var rb [8]byte
+	if _, err := rand.Read(rb[:]); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		client:   client,
+		logf:     logf,
+		ti:       ti,
+		bounds:   ti.ShardBounds(len(peers)),
+		instance: hex.EncodeToString(rb[:]),
+		gen:      1,
+		n:        ti.N(),
+		uniform:  ti.Uniform(),
+	}
+	nb := len(c.bounds) - 1
+	if nb < 1 || c.n == 0 {
+		return nil, fmt.Errorf("shard: empty kernel")
+	}
+	c.metas = make([]shardMeta, nb)
+	c.reqBufs = make([]*bytes.Buffer, nb)
+	c.fws = make([]frameWriter, nb)
+	c.scratch = make([][]byte, nb)
+	for i := range c.metas {
+		lo, hi := ti.RowRange(c.bounds, i)
+		c.metas[i] = shardMeta{peer: peers[i], rowLo: lo, rowHi: hi}
+		c.reqBufs[i] = &bytes.Buffer{}
+	}
+	if c.uniform {
+		c.yPool = sparse.NewVecPool(c.n)
+	}
+	if err := c.ensureLoaded(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ensureLoaded is the resumable bootstrap: consult each worker's status
+// cursor and ship a block only where the worker does not already hold
+// this deployment's. Safe to call again after worker restarts.
+func (c *Coordinator) ensureLoaded() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.metas))
+	for i := range c.metas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.ensureShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, c.metas[i].peer, err)
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) ensureShard(i int) error {
+	m := &c.metas[i]
+	if st, err := c.status(m.peer); err == nil &&
+		st.Instance == c.instance && st.Gen == c.gen && st.Loaded &&
+		st.Shard == i && st.RowLo == m.rowLo && st.RowHi == m.rowHi {
+		// The worker still holds this deployment's block: resume without
+		// reshipping (the replication bootstrap-cursor convention).
+		if m.spans == nil {
+			b := c.ti.ExtractBlock(c.bounds, i)
+			m.spans, m.resident = b.BoundarySpans(), b.ResidentBytes()
+		}
+		return nil
+	}
+	return c.ship(i)
+}
+
+func (c *Coordinator) status(peer string) (*statusReply, error) {
+	resp, err := c.client.Get(peer + "/shard/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status: %s", resp.Status)
+	}
+	var st statusReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ship extracts shard i's block and streams it to its worker: the JSON
+// header line, then the index and value arrays as chunked CRC frames.
+func (c *Coordinator) ship(i int) error {
+	m := &c.metas[i]
+	b := c.ti.ExtractBlock(c.bounds, i)
+	m.spans, m.resident = b.BoundarySpans(), b.ResidentBytes()
+	hdr := loadHeader{
+		N: b.N, RowLo: b.RowLo, RowHi: b.RowHi, Windows: b.Windows,
+		Uniform: b.Uniform, HasDangling: b.HasDangling, NNZ: b.NNZ(),
+		Shard: i, Shards: len(c.metas), Instance: c.instance, Gen: c.gen,
+	}
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(hdr); err != nil {
+		return err
+	}
+	var fw frameWriter
+	var scratch []byte
+	writeI32 := func(typ byte, vs []int32, prefix []byte) error {
+		for len(vs) > 0 {
+			n := len(vs)
+			if n > chunkFloats {
+				n = chunkFloats
+			}
+			scratch = append(scratch[:0], prefix...)
+			scratch = appendI32s(scratch, vs[:n])
+			if err := fw.write(&body, typ, scratch); err != nil {
+				return err
+			}
+			vs = vs[n:]
+		}
+		return nil
+	}
+	if err := writeI32(frameWBase, b.WBase, nil); err != nil {
+		return err
+	}
+	if err := writeI32(frameRowPtr, b.RowPtr, nil); err != nil {
+		return err
+	}
+	for j, sp := range b.Splits {
+		var pfx [4]byte
+		if err := writeI32(frameSplit, sp, appendU32(pfx[:0], uint32(j))); err != nil {
+			return err
+		}
+	}
+	for cols := b.Cols; len(cols) > 0; {
+		n := len(cols)
+		if n > chunkFloats {
+			n = chunkFloats
+		}
+		scratch = appendU16s(scratch[:0], cols[:n])
+		if err := fw.write(&body, frameCols, scratch); err != nil {
+			return err
+		}
+		cols = cols[n:]
+	}
+	var err error
+	if b.Uniform {
+		scratch, err = writeVecFrames(&body, frameColVal, b.ColVal, scratch, &fw)
+	} else {
+		scratch, err = writeVecFrames(&body, frameVal, b.Val, scratch, &fw)
+	}
+	if err != nil {
+		return err
+	}
+	if err := fw.write(&body, frameEnd, nil); err != nil {
+		return err
+	}
+	resp, err := c.client.Post(m.peer+"/shard/load?"+c.session().Encode(), "application/octet-stream", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: %s: %s", resp.Status, bytes.TrimSpace(reply))
+	}
+	mDeploys.Inc()
+	c.logf("shard: shipped block %d/%d rows [%d,%d) (%d resident bytes) to %s",
+		i, len(c.metas), b.RowLo, b.RowHi, m.resident, m.peer)
+	return nil
+}
+
+func (c *Coordinator) session() url.Values {
+	return url.Values{"instance": {c.instance}, "gen": {fmt.Sprint(c.gen)}}
+}
+
+// BeginRank opens a rank chain: ships the epoch's parameters and each
+// shard's own-range attention/recency/start segments, and holds the
+// chain lock until EndRank.
+func (c *Coordinator) BeginRank(x, att, rec []float64, alpha, beta, gamma float64) error {
+	c.chainMu.Lock()
+	if len(x) != c.n {
+		c.chainMu.Unlock()
+		return fmt.Errorf("shard: iterate has %d entries for n=%d", len(x), c.n)
+	}
+	c.rankSeq++
+	c.stepSeq = 0
+	err := c.fanOut(func(i int) error {
+		m := &c.metas[i]
+		buf := c.reqBufs[i]
+		fw := &c.fws[i]
+		buf.Reset()
+		var hdr [24]byte
+		p := appendF64(hdr[:0], alpha)
+		p = appendF64(p, beta)
+		p = appendF64(p, gamma)
+		if err := fw.write(buf, frameHeader, p); err != nil {
+			return err
+		}
+		var scratch []byte
+		var err error
+		for _, fv := range []struct {
+			typ byte
+			v   []float64
+		}{{frameAtt, att}, {frameRec, rec}, {frameIter, x}} {
+			if scratch, err = writeVecFrames(buf, fv.typ, fv.v[m.rowLo:m.rowHi], scratch, fw); err != nil {
+				return err
+			}
+		}
+		if err := fw.write(buf, frameEnd, nil); err != nil {
+			return err
+		}
+		q := c.session()
+		q.Set("rank", fmt.Sprint(c.rankSeq))
+		resp, err := c.client.Post(m.peer+"/shard/rank?"+q.Encode(), "application/octet-stream", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("rank: %s", resp.Status)
+		}
+		return nil
+	})
+	if err != nil {
+		c.chainMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// EndRank closes the chain opened by a successful BeginRank.
+func (c *Coordinator) EndRank() { c.chainMu.Unlock() }
+
+// StepRank advances one fused iteration: the sequential dangling gather
+// and y premultiplication (bit-for-bit the local kernel's arithmetic),
+// the span fan-out, the shards' block steps, and the rank-order tree
+// reduction of their residual partials. next is assembled from the
+// shards' own segments; x must be the previous step's next.
+func (c *Coordinator) StepRank(next, x []float64) (float64, error) {
+	started := time.Now()
+	c.stepSeq++
+	share, _ := c.ti.DanglingShare(x)
+	spanSrc := x
+	if c.uniform {
+		y := c.yPool.Get()
+		defer c.yPool.Put(y)
+		c.ti.PremultiplyY(y, x)
+		spanSrc = y
+	}
+	partials := make([]float64, len(c.metas))
+	var sent, recv uint64
+	err := c.fanOut(func(i int) error {
+		m := &c.metas[i]
+		buf := c.reqBufs[i]
+		fw := &c.fws[i]
+		buf.Reset()
+		var hdr [8]byte
+		if err := fw.write(buf, frameHeader, appendF64(hdr[:0], share)); err != nil {
+			return err
+		}
+		scratch := c.scratch[i]
+		for _, sp := range m.spans {
+			for lo, hi := sp[0], sp[1]; lo < hi; {
+				n := hi - lo
+				if n > chunkFloats {
+					n = chunkFloats
+				}
+				scratch = appendU32(scratch[:0], uint32(lo))
+				scratch = appendF64s(scratch, spanSrc[lo:lo+n])
+				if err := fw.write(buf, frameSpan, scratch); err != nil {
+					return err
+				}
+				lo += n
+			}
+		}
+		if err := fw.write(buf, frameEnd, nil); err != nil {
+			return err
+		}
+		q := c.session()
+		q.Set("rank", fmt.Sprint(c.rankSeq))
+		q.Set("step", fmt.Sprint(c.stepSeq))
+		resp, err := c.client.Post(m.peer+"/shard/step?"+q.Encode(), "application/octet-stream", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("step: %s", resp.Status)
+		}
+		cr := &countingReader{r: resp.Body}
+		resid, rbuf, err := readStepResponse(cr, scratch, next[m.rowLo:m.rowHi])
+		c.scratch[i] = rbuf
+		if err != nil {
+			return err
+		}
+		partials[i] = resid
+		atomic.AddUint64(&sent, uint64(buf.Len()))
+		atomic.AddUint64(&recv, uint64(cr.n))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.statMu.Lock()
+	c.sentBytes += sent
+	c.recvBytes += recv
+	c.steps++
+	c.statMu.Unlock()
+	mExchangeBytes.With("send").Add(int64(sent))
+	mExchangeBytes.With("recv").Add(int64(recv))
+	mRoundSeconds.Observe(time.Since(started).Seconds())
+	return sparse.TreeSum(partials), nil
+}
+
+// fanOut runs fn for every shard concurrently and returns the first
+// error by shard rank.
+func (c *Coordinator) fanOut(fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.metas))
+	for i := range c.metas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, c.metas[i].peer, err)
+		}
+	}
+	return nil
+}
+
+// countingReader counts payload bytes drained from a response.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// ExchangeStats snapshots the deployment's exchange accounting.
+func (c *Coordinator) ExchangeStats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	st := Stats{
+		Shards:    len(c.metas),
+		SentBytes: c.sentBytes,
+		RecvBytes: c.recvBytes,
+		Steps:     c.steps,
+	}
+	for _, m := range c.metas {
+		st.ResidentBytes = append(st.ResidentBytes, m.resident)
+		for _, sp := range m.spans {
+			st.BoundaryFloat += sp[1] - sp[0]
+		}
+	}
+	return st
+}
+
+// Shards returns the deployment's true shard count (compaction can make
+// it smaller than the peer list).
+func (c *Coordinator) Shards() int { return len(c.metas) }

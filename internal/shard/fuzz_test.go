@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"attrank/internal/replication"
+)
+
+// FuzzShardFrame throws arbitrary bytes at every exchange-stream decoder
+// (step request, step response, block load). Decoders must return an
+// error on garbage — truncation, corrupt CRCs, oversized length claims,
+// frame-order violations — and never panic; memory stays bounded by the
+// frame and stream caps because nothing is preallocated from claimed
+// sizes. Wired into verify.sh's fuzz mode.
+func FuzzShardFrame(f *testing.F) {
+	frame := func(typ byte, payload []byte) []byte {
+		var b bytes.Buffer
+		replication.WriteFrame(&b, typ, payload)
+		return b.Bytes()
+	}
+	cat := func(parts ...[]byte) []byte {
+		var b []byte
+		for _, p := range parts {
+			b = append(b, p...)
+		}
+		return b
+	}
+	f64 := func(v float64) []byte { return appendF64(nil, v) }
+
+	// Valid streams for every decoder.
+	validReq := cat(
+		frame(frameHeader, f64(0.125)),
+		frame(frameSpan, cat(appendU32(nil, 2), f64(1), f64(2), f64(3))),
+		frame(frameEnd, nil))
+	validResp := cat(
+		frame(frameResid, f64(0.5)),
+		frame(frameNext, cat(f64(1), f64(2), f64(3), f64(4))),
+		frame(frameEnd, nil))
+	validLoad := cat(
+		frame(frameWBase, appendI32s(nil, []int32{0})),
+		frame(frameRowPtr, appendI32s(nil, []int32{0, 1, 2})),
+		frame(frameCols, appendU16s(nil, []uint16{1, 0})),
+		frame(frameVal, cat(f64(0.5), f64(0.5))),
+		frame(frameEnd, nil))
+	f.Add(validReq)
+	f.Add(validResp)
+	f.Add(validLoad)
+	// Truncations, a flipped CRC byte, and an implausible length claim.
+	f.Add(validReq[:len(validReq)-3])
+	f.Add(cat(validResp[:7], []byte{validResp[7] ^ 0x40}, validResp[8:]))
+	f.Add([]byte{frameHeader, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(frame(frameSpan, appendU32(nil, ^uint32(0))))
+	f.Add(frame(frameEnd, []byte("unexpected payload")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 64
+		_, _, _, _ = readStepRequest(bytes.NewReader(data), nil, nil,
+			func(off int, vals []float64) error {
+				if off < 0 || off+len(vals) > n {
+					return fmt.Errorf("span out of range")
+				}
+				return nil
+			})
+		next := make([]float64, 4)
+		_, _, _ = readStepResponse(bytes.NewReader(data), nil, next)
+		hdr := loadHeader{N: n, RowLo: 0, RowHi: 2, Windows: 1, NNZ: 2}
+		_, _ = readBlock(bytes.NewReader(data), nil, hdr)
+	})
+}

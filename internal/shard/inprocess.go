@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// LocalWorkers is the in-process harness: n shard workers, each served
+// by a real HTTP listener on a loopback port, so benches and tests
+// exercise the exact wire path a multi-process deployment uses without
+// spawning processes.
+type LocalWorkers struct {
+	Peers   []string
+	workers []*Worker
+	servers []*http.Server
+}
+
+// StartLocalWorkers boots n loopback shard workers and returns their
+// base URLs in rank order. Close shuts them down.
+func StartLocalWorkers(n int, logf func(format string, args ...any)) (*LocalWorkers, error) {
+	lw := &LocalWorkers{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lw.Close()
+			return nil, fmt.Errorf("shard: local worker %d: %w", i, err)
+		}
+		wk := NewWorker(logf)
+		srv := &http.Server{Handler: wk}
+		go srv.Serve(ln)
+		lw.workers = append(lw.workers, wk)
+		lw.servers = append(lw.servers, srv)
+		lw.Peers = append(lw.Peers, "http://"+ln.Addr().String())
+	}
+	return lw, nil
+}
+
+// Worker returns the i-th worker (tests reach into state directly).
+func (lw *LocalWorkers) Worker(i int) *Worker { return lw.workers[i] }
+
+// Stop shuts down worker i only — the harness's shard-death lever.
+func (lw *LocalWorkers) Stop(i int) {
+	if lw.servers[i] != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		lw.servers[i].Shutdown(ctx)
+		cancel()
+		lw.servers[i] = nil
+	}
+}
+
+// Close shuts down every worker.
+func (lw *LocalWorkers) Close() {
+	var wg sync.WaitGroup
+	for i := range lw.servers {
+		if lw.servers[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lw.Stop(i)
+		}(i)
+	}
+	wg.Wait()
+}

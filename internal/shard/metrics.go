@@ -1,0 +1,18 @@
+package shard
+
+import "attrank/internal/obs"
+
+// Exchange telemetry (DESIGN.md §16): the bytes crossing shard
+// boundaries per direction and the wall time of one all-gather round —
+// the two numbers that decide whether a deployment is compute- or
+// exchange-bound.
+var (
+	mExchangeBytes = obs.NewCounterVec("attrank_shard_exchange_bytes_total",
+		"Boundary-exchange payload bytes by direction (send = coordinator→shards, recv = shards→coordinator).",
+		"dir")
+	mRoundSeconds = obs.NewHistogram("attrank_shard_round_seconds",
+		"Wall time of one sharded iteration round (span fan-out through partial reduction).",
+		obs.ExpBuckets(1e-5, 2, 20))
+	mDeploys = obs.NewCounter("attrank_shard_deploys_total",
+		"Block deployments shipped to shard workers (bootstrap and re-bootstrap).")
+)

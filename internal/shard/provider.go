@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"net/http"
+	"sync"
+
+	"attrank/internal/core"
+)
+
+// Provider adapts a peer list into the core.ShardProvider hook. It
+// keeps one Coordinator per operator: the first rank deploys blocks,
+// later ranks reuse the deployment, and when core drops a failed
+// stepper the next call re-enters here and resumes — ensureLoaded
+// consults each worker's status cursor and reships only blocks the
+// worker lost, so a transient network blip costs no bootstrap traffic.
+//
+// Wire it at startup:
+//
+//	core.SetShardProvider(shard.Provider(nil, peers, log.Printf))
+func Provider(client *http.Client, peers []string, logf func(format string, args ...any)) core.ShardProvider {
+	var mu sync.Mutex
+	deployed := make(map[*core.Operator]*Coordinator)
+	return func(op *core.Operator) (core.ShardStepper, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := deployed[op]; ok {
+			if err := c.ensureLoaded(); err == nil {
+				return c, nil
+			}
+			delete(deployed, op)
+		}
+		ti, release, err := op.TiledKernel()
+		if err != nil {
+			return nil, err
+		}
+		// The deployment keeps only pure layout accessors of the kernel
+		// (ShardBounds/ExtractBlock/DanglingShare/PremultiplyY), which
+		// stay valid after release — see Operator.TiledKernel.
+		release()
+		c, err := Deploy(client, peers, ti, logf)
+		if err != nil {
+			return nil, err
+		}
+		deployed[op] = c
+		return c, nil
+	}
+}

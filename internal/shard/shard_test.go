@@ -1,0 +1,337 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"attrank/internal/core"
+	"attrank/internal/graph"
+	"attrank/internal/replication"
+)
+
+// buildNet generates a random citation network large enough to span
+// several tiles (core's test builders are package-private, so the shard
+// tests grow their own).
+func buildNet(t testing.TB, seed int64, size int) *graph.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < size; i++ {
+		if _, err := b.AddPaper(fmt.Sprintf("p%d", i), 1990+i/3, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < size; i++ {
+		for r := rng.Intn(3); r > 0; r-- {
+			b.AddEdgeByIndex(int32(i), int32(rng.Intn(i)))
+		}
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func netNow(size int) int { return 1990 + (size-1)/3 }
+
+func testParams(workers int) core.Params {
+	return core.Params{Alpha: 0.5, Beta: 0.3, Gamma: 0.2,
+		AttentionYears: 3, W: -0.16, Workers: workers}
+}
+
+// requireEqualResults asserts bitwise equality of two rank results:
+// every score, every residual, and the convergence diagnostics.
+func requireEqualResults(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("%s: iterations/converged = %d/%v, want %d/%v",
+			label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if len(got.Residuals) != len(want.Residuals) {
+		t.Fatalf("%s: %d residuals, want %d", label, len(got.Residuals), len(want.Residuals))
+	}
+	for i := range want.Residuals {
+		if got.Residuals[i] != want.Residuals[i] {
+			t.Fatalf("%s: residual %d = %x, want %x", label, i, got.Residuals[i], want.Residuals[i])
+		}
+	}
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got.Scores), len(want.Scores))
+	}
+	for i := range want.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			t.Fatalf("%s: score %d = %x, want %x (first differing bit)",
+				label, i, got.Scores[i], want.Scores[i])
+		}
+	}
+}
+
+// TestShardedRankBitIdentical is the tentpole acceptance gate: a rank
+// driven through 2 and 4 HTTP loopback shard workers must be
+// bit-identical — every score float64 `==` — to the single-process
+// parallel kernel at the same partition count, for the cold rank and for
+// a warm-start chain across epochs.
+func TestShardedRankBitIdentical(t *testing.T) {
+	const size = 10_000 // ~5 tiles, so 4 shards get distinct blocks
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			net := buildNet(t, int64(100+shards), size)
+			now := netNow(size)
+			p := testParams(shards)
+
+			lw, err := StartLocalWorkers(shards, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lw.Close()
+			core.SetShardProvider(Provider(nil, lw.Peers, t.Logf))
+			defer core.SetShardProvider(nil)
+
+			opShard := core.Compile(net)
+			shardCold, err := opShard.Rank(now, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pw := p
+			pw.Start = shardCold.Scores
+			shardWarm, err := opShard.Rank(now+1, pw)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The distributed path, not a silent fallback, must have
+			// served both chains.
+			stepped := 0
+			for i := 0; i < shards; i++ {
+				wk := lw.Worker(i)
+				wk.mu.Lock()
+				if wk.rankSeq > 0 && wk.stepSeq > 0 {
+					stepped++
+				}
+				wk.mu.Unlock()
+			}
+			if stepped == 0 {
+				t.Fatal("no shard worker processed any step — rank fell back to the local kernel")
+			}
+
+			core.SetShardProvider(nil)
+			opLocal := core.Compile(net)
+			localCold, err := opLocal.Rank(now, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := p
+			pl.Start = localCold.Scores
+			localWarm, err := opLocal.Rank(now+1, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			requireEqualResults(t, "cold", shardCold, localCold)
+			requireEqualResults(t, "warm", shardWarm, localWarm)
+		})
+	}
+}
+
+// TestShardedRankFallback kills a shard mid-deployment: the next rank
+// must still succeed, bit-identical to the local kernel, with the
+// fallback counter incremented — a dying shard costs availability of
+// nothing.
+func TestShardedRankFallback(t *testing.T) {
+	const size = 6_000
+	net := buildNet(t, 7, size)
+	now := netNow(size)
+	p := testParams(2)
+
+	lw, err := StartLocalWorkers(2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Close()
+	core.SetShardProvider(Provider(nil, lw.Peers, t.Logf))
+	defer core.SetShardProvider(nil)
+
+	opShard := core.Compile(net)
+	if _, err := opShard.Rank(now, p); err != nil {
+		t.Fatal(err)
+	}
+
+	before := core.ShardFallbacks()
+	// Kill shard 0 — rank 0 always exists even when partition compaction
+	// leaves trailing peers idle.
+	lw.Stop(0)
+	got, err := opShard.Rank(now, p)
+	if err != nil {
+		t.Fatalf("rank after shard death: %v", err)
+	}
+	if core.ShardFallbacks() == before {
+		t.Fatal("shard death did not register a fallback")
+	}
+	// And again: the provider's redeploy attempt also fails (the worker
+	// is gone for good), which must keep falling back, not error out.
+	got2, err := opShard.Rank(now, p)
+	if err != nil {
+		t.Fatalf("second rank after shard death: %v", err)
+	}
+
+	core.SetShardProvider(nil)
+	opLocal := core.Compile(net)
+	want, err := opLocal.Rank(now, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "post-death", got, want)
+	requireEqualResults(t, "post-death-2", got2, want)
+}
+
+// TestShardedRankResume verifies the resumable bootstrap: dropping the
+// coordinator (as core does after any failure) and re-providing against
+// live workers must reuse their loaded blocks instead of reshipping.
+func TestShardedRankResume(t *testing.T) {
+	const size = 6_000
+	net := buildNet(t, 11, size)
+
+	lw, err := StartLocalWorkers(2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Close()
+
+	op := core.Compile(net)
+	ti, release, err := op.TiledKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	workerSession := func() (string, uint64) {
+		wk := lw.Worker(0)
+		wk.mu.Lock()
+		defer wk.mu.Unlock()
+		return wk.instance, wk.gen
+	}
+
+	c1, err := Deploy(nil, lw.Peers, ti, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gen1 := workerSession()
+
+	// Same coordinator, ensureLoaded again: status cursor matches, no
+	// reship, generation unchanged.
+	if err := c1.ensureLoaded(); err != nil {
+		t.Fatal(err)
+	}
+	if _, g := workerSession(); g != gen1 {
+		t.Fatalf("resume reshipped: gen %d, want %d", g, gen1)
+	}
+
+	// A fresh Deploy is a NEW instance: it must win over the old one.
+	c2, err := Deploy(nil, lw.Peers, ti, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst, _ := workerSession(); inst != c2.instance {
+		t.Fatalf("worker kept old instance %s, want %s", inst, c2.instance)
+	}
+	// The displaced coordinator's chains must now be rejected.
+	x := make([]float64, ti.N())
+	att := make([]float64, ti.N())
+	rec := make([]float64, ti.N())
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	if err := c1.BeginRank(x, att, rec, 0.5, 0.3, 0.2); err == nil {
+		c1.EndRank()
+		t.Fatal("stale coordinator BeginRank succeeded")
+	} else if !strings.Contains(err.Error(), "409") && !strings.Contains(err.Error(), "Conflict") {
+		t.Fatalf("stale coordinator rejected with %v, want a 409", err)
+	}
+}
+
+// TestWorkerSessionGuards drives the worker endpoints directly and
+// checks every 409 path: unknown instance, stale generation, unknown
+// rank chain, and an out-of-order step.
+func TestWorkerSessionGuards(t *testing.T) {
+	const size = 4_000
+	net := buildNet(t, 13, size)
+	lw, err := StartLocalWorkers(1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Close()
+
+	op := core.Compile(net)
+	ti, release, err := op.TiledKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	c, err := Deploy(nil, lw.Peers, ti, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peer := lw.Peers[0]
+	post := func(path string) int {
+		t.Helper()
+		resp, err := http.Post(peer+path, "application/octet-stream", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post("/shard/step?instance=bogus&gen=1&rank=1&step=1"); code != http.StatusConflict {
+		t.Fatalf("unknown instance: %d, want 409", code)
+	}
+	if code := post("/shard/rank?instance=" + c.instance + "&gen=999&rank=1"); code != http.StatusConflict {
+		t.Fatalf("wrong generation: %d, want 409", code)
+	}
+	// No rank chain open yet: any step is an unknown chain.
+	q := c.session().Encode()
+	if code := post("/shard/step?" + q + "&rank=1&step=1"); code != http.StatusConflict {
+		t.Fatalf("unknown rank chain: %d, want 409", code)
+	}
+
+	// Open a real chain, advance one step, then replay and skip.
+	n := ti.N()
+	x := make([]float64, n)
+	att := make([]float64, n)
+	rec := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	if err := c.BeginRank(x, att, rec, 0.5, 0.3, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	defer c.EndRank()
+	next := make([]float64, n)
+	if _, err := c.StepRank(next, x); err != nil {
+		t.Fatal(err)
+	}
+	if code := post("/shard/step?" + q + "&rank=1&step=1"); code != http.StatusConflict {
+		t.Fatalf("replayed step: %d, want 409", code)
+	}
+	if code := post("/shard/step?" + q + "&rank=1&step=5"); code != http.StatusConflict {
+		t.Fatalf("skipped step: %d, want 409", code)
+	}
+	// A stale same-instance load must be refused too.
+	var body bytes.Buffer
+	fmt.Fprintf(&body, `{"instance":%q,"gen":0}`+"\n", c.instance)
+	replication.WriteFrame(&body, frameEnd, nil)
+	resp, err := http.Post(peer+"/shard/load?"+q, "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale load: %d, want 409", resp.StatusCode)
+	}
+}

@@ -1,0 +1,283 @@
+// Package shard distributes the AttRank/PageRank power iteration across
+// row-block shard processes (DESIGN.md §16). The compiled tiled layout
+// is cut at its own nnz-balanced partition boundaries
+// (sparse.TiledStochastic.ShardBounds); each shard worker holds one
+// sparse.TileBlock — a contiguous row range with its compressed indices
+// — and per iteration receives only the boundary window segments its
+// columns reference, computes its block of the fused step, and returns
+// its next segment plus an L1-residual partial. The coordinator owns the
+// full iterate, performs the dangling-mass gather and (on uniform
+// layouts) the y premultiplication exactly as the local kernel would,
+// and tree-reduces the partials in shard-rank order, so an S-shard rank
+// is bit-identical to a single-process rank at parts = S.
+//
+// Transport is HTTP with the CRC framing proven in internal/replication:
+// every stream is a sequence of [type][u32 len][u32 crc][payload]
+// frames terminated by an 'e' frame, preceded for bootstrap endpoints by
+// one JSON header line. Instance/generation query parameters guard
+// against stale peers (mismatch answers 409, the replication
+// convention), and bootstrap is resumable: the coordinator consults
+// /shard/status and reships a block only to workers that lost it.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"attrank/internal/replication"
+)
+
+// Frame types. Load streams ship the block ('w' wbase, 'p' rowPtr, 's'
+// split plane, 'c' column words, 'v' uniform column values, 'V'
+// per-entry values); rank streams ship the epoch vectors ('h' params,
+// 'a' attention, 't' recency, 'x' start iterate); step requests carry
+// the dangling share ('h') and boundary spans ('b'); step responses
+// carry the residual partial ('r') and the next segment ('d'). Every
+// stream ends with 'e'.
+const (
+	frameWBase  byte = 'w'
+	frameRowPtr byte = 'p'
+	frameSplit  byte = 's'
+	frameCols   byte = 'c'
+	frameColVal byte = 'v'
+	frameVal    byte = 'V'
+	frameHeader byte = 'h'
+	frameAtt    byte = 'a'
+	frameRec    byte = 't'
+	frameIter   byte = 'x'
+	frameSpan   byte = 'b'
+	frameResid  byte = 'r'
+	frameNext   byte = 'd'
+	frameEnd    byte = 'e'
+)
+
+// chunkFloats bounds one vector frame: 64Ki float64s (512 KiB), well
+// under replication.MaxFramePayload.
+const chunkFloats = 1 << 16
+
+// maxStreamFrames bounds any one stream; combined with the per-frame
+// payload cap it limits what a corrupt or malicious stream can make a
+// decoder accumulate. The largest legitimate stream (a block load for a
+// multi-million-row shard) stays far below it.
+const maxStreamFrames = 1 << 20
+
+var errTooManyFrames = fmt.Errorf("shard: stream exceeds %d frames", maxStreamFrames)
+
+// appendU32 / appendF64 are the little-endian wire primitives.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	u := math.Float64bits(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func appendF64s(b []byte, vs []float64) []byte {
+	for _, v := range vs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+func appendU16s(b []byte, vs []uint16) []byte {
+	for _, v := range vs {
+		b = append(b, byte(v), byte(v>>8))
+	}
+	return b
+}
+
+func getU32(b []byte) uint32  { return binary.LittleEndian.Uint32(b) }
+func getF64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// parseF64s decodes a whole payload of float64s, appending to dst.
+func parseF64s(dst []float64, p []byte) ([]float64, error) {
+	if len(p)%8 != 0 {
+		return dst, fmt.Errorf("shard: float payload of %d bytes", len(p))
+	}
+	for ; len(p) >= 8; p = p[8:] {
+		dst = append(dst, getF64(p))
+	}
+	return dst, nil
+}
+
+func parseI32s(dst []int32, p []byte) ([]int32, error) {
+	if len(p)%4 != 0 {
+		return dst, fmt.Errorf("shard: int32 payload of %d bytes", len(p))
+	}
+	for ; len(p) >= 4; p = p[4:] {
+		dst = append(dst, int32(getU32(p)))
+	}
+	return dst, nil
+}
+
+func parseU16s(dst []uint16, p []byte) ([]uint16, error) {
+	if len(p)%2 != 0 {
+		return dst, fmt.Errorf("shard: uint16 payload of %d bytes", len(p))
+	}
+	for ; len(p) >= 2; p = p[2:] {
+		dst = append(dst, binary.LittleEndian.Uint16(p))
+	}
+	return dst, nil
+}
+
+// frameWriter emits CRC frames through a persistent header buffer.
+// replication.WriteFrame builds its header in a stack array that
+// escapes through the io.Writer interface — one 9-byte allocation per
+// frame — so the hot exchange paths write through one of these embedded
+// in a long-lived struct instead.
+type frameWriter struct {
+	hdr [9]byte
+}
+
+func (fw *frameWriter) write(w io.Writer, typ byte, payload []byte) error {
+	fw.hdr[0] = typ
+	binary.LittleEndian.PutUint32(fw.hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeVecFrames chunks a float64 vector into frames of one type.
+func writeVecFrames(w io.Writer, typ byte, vs []float64, scratch []byte, fw *frameWriter) ([]byte, error) {
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > chunkFloats {
+			n = chunkFloats
+		}
+		scratch = appendF64s(scratch[:0], vs[:n])
+		if err := fw.write(w, typ, scratch); err != nil {
+			return scratch, err
+		}
+		vs = vs[n:]
+	}
+	return scratch, nil
+}
+
+// readStepRequest decodes a step-request stream: one 'h' frame carrying
+// the dangling share, then 'b' span frames ([u32 absolute offset]
+// [float64 values…]) delivered to onSpan (vals alias the fbuf scratch —
+// scatter before returning), then 'e'. Returns the share and the
+// possibly-grown byte and float scratch buffers, which callers thread
+// back in so steady-state steps never allocate. Never panics on corrupt
+// input; memory is bounded by the frame and stream caps.
+func readStepRequest(r io.Reader, buf []byte, fbuf []float64, onSpan func(offset int, vals []float64) error) (share float64, _ []byte, _ []float64, err error) {
+	sawHeader := false
+	for frames := 0; ; frames++ {
+		if frames >= maxStreamFrames {
+			return 0, buf, fbuf, errTooManyFrames
+		}
+		var typ byte
+		var p []byte
+		typ, p, buf, err = replication.ReadFrame(r, buf)
+		if err != nil {
+			return 0, buf, fbuf, err
+		}
+		switch typ {
+		case frameHeader:
+			if sawHeader || len(p) != 8 {
+				return 0, buf, fbuf, fmt.Errorf("shard: bad step header")
+			}
+			share = getF64(p)
+			sawHeader = true
+		case frameSpan:
+			if !sawHeader {
+				return 0, buf, fbuf, fmt.Errorf("shard: span before step header")
+			}
+			if len(p) < 4 || (len(p)-4)%8 != 0 {
+				return 0, buf, fbuf, fmt.Errorf("shard: bad span frame of %d bytes", len(p))
+			}
+			off := int(int32(getU32(p)))
+			var perr error
+			if fbuf, perr = parseF64s(fbuf[:0], p[4:]); perr != nil {
+				return 0, buf, fbuf, perr
+			}
+			if err := onSpan(off, fbuf); err != nil {
+				return 0, buf, fbuf, err
+			}
+		case frameEnd:
+			if !sawHeader {
+				return 0, buf, fbuf, fmt.Errorf("shard: step stream missing header")
+			}
+			return share, buf, fbuf, nil
+		default:
+			return 0, buf, fbuf, fmt.Errorf("shard: unexpected frame %q in step request", typ)
+		}
+	}
+}
+
+// writeStepResponse emits the worker's reply: 'r' residual partial, 'd'
+// chunks of the next segment, 'e'.
+func writeStepResponse(w io.Writer, resid float64, next []float64, scratch []byte, fw *frameWriter) ([]byte, error) {
+	scratch = appendF64(scratch[:0], resid)
+	if err := fw.write(w, frameResid, scratch); err != nil {
+		return scratch, err
+	}
+	var err error
+	if scratch, err = writeVecFrames(w, frameNext, next, scratch, fw); err != nil {
+		return scratch, err
+	}
+	return scratch, fw.write(w, frameEnd, nil)
+}
+
+// readStepResponse decodes a worker reply into next (which must be the
+// shard's exact row count); the 'd' chunks fill it sequentially and must
+// end exactly at its length.
+func readStepResponse(r io.Reader, buf []byte, next []float64) (resid float64, _ []byte, err error) {
+	sawResid := false
+	fill := 0
+	for frames := 0; ; frames++ {
+		if frames >= maxStreamFrames {
+			return 0, buf, errTooManyFrames
+		}
+		var typ byte
+		var p []byte
+		typ, p, buf, err = replication.ReadFrame(r, buf)
+		if err != nil {
+			return 0, buf, err
+		}
+		switch typ {
+		case frameResid:
+			if sawResid || len(p) != 8 {
+				return 0, buf, fmt.Errorf("shard: bad residual frame")
+			}
+			resid = getF64(p)
+			sawResid = true
+		case frameNext:
+			if !sawResid {
+				return 0, buf, fmt.Errorf("shard: next segment before residual")
+			}
+			if len(p)%8 != 0 || fill+len(p)/8 > len(next) {
+				return 0, buf, fmt.Errorf("shard: next segment overflows %d rows", len(next))
+			}
+			for ; len(p) >= 8; p = p[8:] {
+				next[fill] = getF64(p)
+				fill++
+			}
+		case frameEnd:
+			if !sawResid || fill != len(next) {
+				return 0, buf, fmt.Errorf("shard: short step response (%d of %d rows)", fill, len(next))
+			}
+			return resid, buf, nil
+		default:
+			return 0, buf, fmt.Errorf("shard: unexpected frame %q in step response", typ)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"attrank/internal/replication"
+	"attrank/internal/sparse"
+)
+
+// loadHeader is the JSON line that precedes a block-load frame stream.
+// The counts let the worker cross-check the assembled block before
+// trusting it; nothing is preallocated from them (frames accumulate
+// incrementally), so a lying header cannot reserve memory it never
+// sends.
+type loadHeader struct {
+	N           int    `json:"n"`
+	RowLo       int32  `json:"row_lo"`
+	RowHi       int32  `json:"row_hi"`
+	Windows     int    `json:"windows"`
+	Uniform     bool   `json:"uniform"`
+	HasDangling bool   `json:"has_dangling"`
+	NNZ         int    `json:"nnz"`
+	Shard       int    `json:"shard"`
+	Shards      int    `json:"shards"`
+	Instance    string `json:"instance"`
+	Gen         uint64 `json:"gen"`
+}
+
+// statusReply is the /shard/status answer — the resumable-bootstrap
+// cursor: a coordinator that finds its own instance/gen here skips
+// reshipping the block.
+type statusReply struct {
+	Instance      string `json:"instance"`
+	Gen           uint64 `json:"gen"`
+	Shard         int    `json:"shard"`
+	Shards        int    `json:"shards"`
+	Loaded        bool   `json:"loaded"`
+	RowLo         int32  `json:"row_lo"`
+	RowHi         int32  `json:"row_hi"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	RankSeq       uint64 `json:"rank_seq"`
+	StepSeq       uint64 `json:"step_seq"`
+}
+
+// Worker is one shard process's state: the resident TileBlock, the
+// current rank chain's vectors, and the persistent exchange buffers. It
+// serves the /shard/* endpoints; one Worker backs one shard id. All
+// float buffers lease from sparse.VecPools so steady-state stepping
+// performs zero allocations (ISSUE 10 S2).
+type Worker struct {
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	instance string
+	gen      uint64
+	shardID  int
+	shards   int
+	block    *sparse.TileBlock
+
+	// Rank-chain state (valid while rankSeq > 0).
+	rankSeq            uint64
+	stepSeq            uint64
+	alpha, beta, gamma float64
+	att, rec           []float64 // own-range epoch vectors
+	xOwn, nextOwn      []float64 // double-buffered own iterate segments
+	win                [][]float64
+
+	// Persistent scratch: CRC-frame read buffer, span decode buffer,
+	// response encode buffer, and the vector pools behind the leases
+	// above. onSpan is the span-scatter callback, built once per load —
+	// a literal closure in doStep would allocate every step.
+	rbuf    []byte
+	fbuf    []float64
+	wbuf    []byte
+	fw      frameWriter
+	onSpan  func(offset int, vals []float64) error
+	rowPool *sparse.VecPool // len = own rows
+	winPool *sparse.VecPool // len = window length
+}
+
+// NewWorker returns an empty worker; logf (nil allowed) receives
+// lifecycle lines.
+func NewWorker(logf func(format string, args ...any)) *Worker {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Worker{logf: logf}
+}
+
+// ServeHTTP routes the shard endpoints.
+func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/shard/status" && r.Method == http.MethodGet:
+		wk.handleStatus(w, r)
+	case r.URL.Path == "/shard/load" && r.Method == http.MethodPost:
+		wk.handleLoad(w, r)
+	case r.URL.Path == "/shard/rank" && r.Method == http.MethodPost:
+		wk.handleRank(w, r)
+	case r.URL.Path == "/shard/step" && r.Method == http.MethodPost:
+		wk.handleStep(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (wk *Worker) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	wk.mu.Lock()
+	st := statusReply{
+		Instance: wk.instance,
+		Gen:      wk.gen,
+		Shard:    wk.shardID,
+		Shards:   wk.shards,
+		Loaded:   wk.block != nil,
+		RankSeq:  wk.rankSeq,
+		StepSeq:  wk.stepSeq,
+	}
+	if wk.block != nil {
+		st.RowLo, st.RowHi = wk.block.RowLo, wk.block.RowHi
+		st.ResidentBytes = wk.block.ResidentBytes()
+	}
+	wk.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// checkSession validates the instance/gen query pair against the loaded
+// state, answering 409 on mismatch (the replication convention: the
+// caller's state is meaningless and it must re-bootstrap).
+func (wk *Worker) checkSession(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	gen, _ := strconv.ParseUint(q.Get("gen"), 10, 64)
+	if q.Get("instance") != wk.instance || gen != wk.gen || wk.block == nil {
+		http.Error(w, "shard: unknown instance/generation", http.StatusConflict)
+		return false
+	}
+	return true
+}
+
+func (wk *Worker) handleLoad(w http.ResponseWriter, r *http.Request) {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	br := bufio.NewReaderSize(r.Body, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		http.Error(w, "shard: load header: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var hdr loadHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		http.Error(w, "shard: load header: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if hdr.Instance == wk.instance && hdr.Gen < wk.gen {
+		// Same deployment going backwards: a stale coordinator. A NEW
+		// instance is always accepted — the latest deploy wins.
+		http.Error(w, fmt.Sprintf("shard: stale generation %d < %d", hdr.Gen, wk.gen), http.StatusConflict)
+		return
+	}
+	block, err := readBlock(br, wk.rbuf, hdr)
+	if err != nil {
+		http.Error(w, "shard: load: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	wk.install(hdr, block)
+	wk.logf("shard %d/%d loaded rows [%d,%d) of n=%d (%d entries, %d resident bytes) instance=%s gen=%d",
+		hdr.Shard, hdr.Shards, block.RowLo, block.RowHi, block.N, block.NNZ(), block.ResidentBytes(), hdr.Instance, hdr.Gen)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ok": true, "resident_bytes": block.ResidentBytes()})
+}
+
+// install swaps in a freshly validated block, re-leasing every pooled
+// buffer at the new geometry. Requires wk.mu.
+func (wk *Worker) install(hdr loadHeader, block *sparse.TileBlock) {
+	wk.instance, wk.gen = hdr.Instance, hdr.Gen
+	wk.shardID, wk.shards = hdr.Shard, hdr.Shards
+	wk.block = block
+	wk.rankSeq, wk.stepSeq = 0, 0
+	if wk.onSpan == nil {
+		wk.onSpan = func(off int, vals []float64) error {
+			b := wk.block
+			if off < 0 || off+len(vals) > b.N {
+				return fmt.Errorf("span [%d,%d) outside n=%d", off, off+len(vals), b.N)
+			}
+			b.ScatterSpan(wk.win, off, vals)
+			return nil
+		}
+	}
+	rows := block.Rows()
+	if wk.rowPool == nil || wk.rowPool.Len() != rows {
+		wk.rowPool = sparse.NewVecPool(rows)
+		wk.att, wk.rec, wk.xOwn, wk.nextOwn = nil, nil, nil, nil
+	}
+	wl := block.WindowLen()
+	if wk.winPool == nil || wk.winPool.Len() != wl {
+		wk.winPool = sparse.NewVecPool(wl)
+		wk.win = nil
+	}
+	// Window buffers for every referenced window, leased once per load
+	// and retained across the whole deployment.
+	if len(wk.win) != block.Windows {
+		for _, w := range wk.win {
+			if w != nil {
+				wk.winPool.Put(w)
+			}
+		}
+		wk.win = make([][]float64, block.Windows)
+	}
+	for j := range wk.win {
+		switch {
+		case j < len(block.Ref) && block.Ref[j] && wk.win[j] == nil:
+			wk.win[j] = wk.winPool.Get()
+		case (j >= len(block.Ref) || !block.Ref[j]) && wk.win[j] != nil:
+			wk.winPool.Put(wk.win[j])
+			wk.win[j] = nil
+		}
+	}
+}
+
+// readBlock assembles a TileBlock from the load frame stream,
+// cross-checks it against the header, and validates its structure.
+func readBlock(r io.Reader, buf []byte, hdr loadHeader) (*sparse.TileBlock, error) {
+	b := &sparse.TileBlock{
+		N:           hdr.N,
+		RowLo:       hdr.RowLo,
+		RowHi:       hdr.RowHi,
+		Windows:     hdr.Windows,
+		Uniform:     hdr.Uniform,
+		HasDangling: hdr.HasDangling,
+	}
+	if hdr.Windows > 1 {
+		b.Splits = make([][]int32, 0, hdr.Windows-1)
+	}
+	var err error
+	done := false
+	for frames := 0; !done; frames++ {
+		if frames >= maxStreamFrames {
+			return nil, errTooManyFrames
+		}
+		var typ byte
+		var p []byte
+		typ, p, buf, err = replication.ReadFrame(r, buf)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case frameWBase:
+			if b.WBase, err = parseI32s(b.WBase, p); err != nil {
+				return nil, err
+			}
+		case frameRowPtr:
+			if b.RowPtr, err = parseI32s(b.RowPtr, p); err != nil {
+				return nil, err
+			}
+		case frameSplit:
+			if len(p) < 4 {
+				return nil, fmt.Errorf("split frame of %d bytes", len(p))
+			}
+			plane := int(getU32(p))
+			switch {
+			case plane == len(b.Splits):
+				b.Splits = append(b.Splits, nil)
+			case plane == len(b.Splits)-1:
+				// continuation chunk of the current plane
+			default:
+				return nil, fmt.Errorf("split plane %d out of order (have %d)", plane, len(b.Splits))
+			}
+			if b.Splits[plane], err = parseI32s(b.Splits[plane], p[4:]); err != nil {
+				return nil, err
+			}
+		case frameCols:
+			if b.Cols, err = parseU16s(b.Cols, p); err != nil {
+				return nil, err
+			}
+		case frameColVal:
+			if b.ColVal, err = parseF64s(b.ColVal, p); err != nil {
+				return nil, err
+			}
+		case frameVal:
+			if b.Val, err = parseF64s(b.Val, p); err != nil {
+				return nil, err
+			}
+		case frameEnd:
+			done = true
+		default:
+			return nil, fmt.Errorf("unexpected frame %q in load stream", typ)
+		}
+	}
+	if len(b.Cols) != hdr.NNZ {
+		return nil, fmt.Errorf("block has %d entries, header says %d", len(b.Cols), hdr.NNZ)
+	}
+	// An empty Splits slice for a single-window block must be nil to
+	// match ExtractBlock's shape, and empty value arrays likewise.
+	if len(b.Splits) == 0 {
+		b.Splits = nil
+	}
+	if len(b.ColVal) == 0 {
+		b.ColVal = nil
+	}
+	if len(b.Val) == 0 {
+		b.Val = nil
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	b.ComputeRef()
+	return b, nil
+}
+
+func (wk *Worker) handleRank(w http.ResponseWriter, r *http.Request) {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if !wk.checkSession(w, r) {
+		return
+	}
+	seq, _ := strconv.ParseUint(r.URL.Query().Get("rank"), 10, 64)
+	if seq == 0 {
+		http.Error(w, "shard: rank sequence must be positive", http.StatusBadRequest)
+		return
+	}
+	if err := wk.beginRank(r.Body, seq); err != nil {
+		http.Error(w, "shard: rank: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+// beginRank decodes the rank stream ('h' params, then exactly own-range
+// 'a'/'t'/'x' vectors) into pooled buffers. Requires wk.mu.
+func (wk *Worker) beginRank(body io.Reader, seq uint64) error {
+	rows := wk.block.Rows()
+	if wk.att == nil {
+		wk.att = wk.rowPool.Get()
+	}
+	if wk.rec == nil {
+		wk.rec = wk.rowPool.Get()
+	}
+	if wk.xOwn == nil {
+		wk.xOwn = wk.rowPool.Get()
+	}
+	if wk.nextOwn == nil {
+		wk.nextOwn = wk.rowPool.Get()
+	}
+	fills := map[byte]int{}
+	sawParams := false
+	var err error
+	done := false
+	for frames := 0; !done; frames++ {
+		if frames >= maxStreamFrames {
+			return errTooManyFrames
+		}
+		var typ byte
+		var p []byte
+		typ, p, wk.rbuf, err = replication.ReadFrame(body, wk.rbuf)
+		if err != nil {
+			return err
+		}
+		var dst []float64
+		switch typ {
+		case frameHeader:
+			if sawParams || len(p) != 24 {
+				return fmt.Errorf("bad rank params frame")
+			}
+			wk.alpha, wk.beta, wk.gamma = getF64(p), getF64(p[8:]), getF64(p[16:])
+			sawParams = true
+			continue
+		case frameAtt:
+			dst = wk.att
+		case frameRec:
+			dst = wk.rec
+		case frameIter:
+			dst = wk.xOwn
+		case frameEnd:
+			done = true
+			continue
+		default:
+			return fmt.Errorf("unexpected frame %q in rank stream", typ)
+		}
+		if len(p)%8 != 0 || fills[typ]+len(p)/8 > rows {
+			return fmt.Errorf("rank vector %q overflows %d rows", typ, rows)
+		}
+		at := fills[typ]
+		for ; len(p) >= 8; p = p[8:] {
+			dst[at] = getF64(p)
+			at++
+		}
+		fills[typ] = at
+	}
+	if !sawParams || fills[frameAtt] != rows || fills[frameRec] != rows || fills[frameIter] != rows {
+		return fmt.Errorf("incomplete rank stream")
+	}
+	wk.rankSeq, wk.stepSeq = seq, 0
+	return nil
+}
+
+func (wk *Worker) handleStep(w http.ResponseWriter, r *http.Request) {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if !wk.checkSession(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	rank, _ := strconv.ParseUint(q.Get("rank"), 10, 64)
+	step, _ := strconv.ParseUint(q.Get("step"), 10, 64)
+	if rank != wk.rankSeq || wk.rankSeq == 0 {
+		http.Error(w, "shard: unknown rank chain", http.StatusConflict)
+		return
+	}
+	if step != wk.stepSeq+1 {
+		http.Error(w, fmt.Sprintf("shard: step %d out of order (at %d)", step, wk.stepSeq), http.StatusConflict)
+		return
+	}
+	resid, err := wk.doStep(r.Body)
+	if err != nil {
+		http.Error(w, "shard: step: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	wk.stepSeq = step
+	// xOwn holds the just-computed next segment after the doStep swap.
+	if wk.wbuf, err = writeStepResponse(w, resid, wk.xOwn, wk.wbuf, &wk.fw); err != nil {
+		wk.logf("shard %d: step response: %v", wk.shardID, err)
+	}
+}
+
+// doStep is the allocation-free exchange core: decode the request's
+// share and boundary spans into the window buffers, scatter the own
+// segment, run the block kernel, and swap the double buffer so xOwn
+// holds the new iterate. Requires wk.mu.
+func (wk *Worker) doStep(body io.Reader) (float64, error) {
+	b := wk.block
+	share, rbuf, fbuf, err := readStepRequest(body, wk.rbuf, wk.fbuf, wk.onSpan)
+	wk.rbuf, wk.fbuf = rbuf, fbuf
+	if err != nil {
+		return 0, err
+	}
+	b.ScatterOwn(wk.win, wk.xOwn)
+	resid := b.Step(wk.nextOwn, wk.xOwn, wk.win, wk.att, wk.rec, wk.alpha, wk.beta, wk.gamma, share)
+	wk.xOwn, wk.nextOwn = wk.nextOwn, wk.xOwn
+	return resid, nil
+}

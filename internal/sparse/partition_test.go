@@ -1,0 +1,152 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkBounds asserts the structural contract shared by every partition:
+// bounds start at 0, end at rows, and are strictly increasing (no empty
+// range survives compaction).
+func checkBounds(t *testing.T, bounds []int32, rows int) {
+	t.Helper()
+	if len(bounds) < 2 {
+		if rows == 0 && len(bounds) >= 1 {
+			return
+		}
+		t.Fatalf("bounds %v: fewer than two boundaries for %d rows", bounds, rows)
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != int32(rows) {
+		t.Fatalf("bounds %v do not span [0, %d]", bounds, rows)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds %v: empty or inverted range at %d", bounds, i)
+		}
+	}
+}
+
+// rowWork mirrors the partitioner's work model: nonzeros plus one unit of
+// dense combine per row.
+func rowWork(rowPtr []int32, lo, hi int32) int64 {
+	return int64(rowPtr[hi]-rowPtr[lo]) + int64(hi-lo)
+}
+
+// TestPartitionNNZBalance is the property test: on random degree-skewed
+// graphs, whenever the requested partition count is achievable without
+// compaction, every block's work stays within one row of the ideal — the
+// cut points are binary searches to the exact work targets, so a block
+// can exceed total/parts only by the single straddling row.
+func TestPartitionNNZBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(3000)
+		rowPtr := make([]int32, rows+1)
+		maxRow := int64(0)
+		for r := 0; r < rows; r++ {
+			deg := 0
+			switch rng.Intn(4) {
+			case 0: // empty row
+			case 1:
+				deg = rng.Intn(4)
+			case 2:
+				deg = rng.Intn(40)
+			default: // heavy tail
+				deg = rng.Intn(400)
+			}
+			rowPtr[r+1] = rowPtr[r] + int32(deg)
+			if w := int64(deg) + 1; w > maxRow {
+				maxRow = w
+			}
+		}
+		total := rowWork(rowPtr, 0, int32(rows))
+		parts := 1 + rng.Intn(16)
+		bounds := PartitionNNZ(rowPtr, parts)
+		checkBounds(t, bounds, rows)
+		got := len(bounds) - 1
+		if got > parts {
+			t.Fatalf("trial %d: %d ranges for %d requested parts", trial, got, parts)
+		}
+		if got == parts {
+			// No compaction: the balance bound holds for every block.
+			ideal := total / int64(parts)
+			for i := 0; i < got; i++ {
+				w := rowWork(rowPtr, bounds[i], bounds[i+1])
+				if w > ideal+maxRow {
+					t.Fatalf("trial %d: block %d work %d exceeds ideal %d + max row %d (bounds %v)",
+						trial, i, w, ideal, maxRow, bounds)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionNNZDegenerate pins the edge shapes the balance property
+// cannot reach: empty rows only, a single hot row holding all the work,
+// fewer nonzeros than partitions, more partitions than rows, nonsense
+// partition counts, and the empty matrix.
+func TestPartitionNNZDegenerate(t *testing.T) {
+	t.Run("all-empty-rows", func(t *testing.T) {
+		rowPtr := make([]int32, 101) // 100 rows, 0 nnz
+		bounds := PartitionNNZ(rowPtr, 4)
+		checkBounds(t, bounds, 100)
+		if len(bounds)-1 != 4 {
+			t.Fatalf("empty rows still carry combine work; want 4 ranges, got %v", bounds)
+		}
+	})
+	t.Run("single-hot-row", func(t *testing.T) {
+		// Row 50 holds all 10k entries; cuts collapse around it and must
+		// compact rather than emit empty ranges.
+		rowPtr := make([]int32, 101)
+		for r := 50; r < 100; r++ {
+			rowPtr[r+1] = 10000
+		}
+		bounds := PartitionNNZ(rowPtr, 8)
+		checkBounds(t, bounds, 100)
+		if got := len(bounds) - 1; got > 8 {
+			t.Fatalf("more ranges than requested: %v", bounds)
+		}
+	})
+	t.Run("nnz-less-than-parts", func(t *testing.T) {
+		rowPtr := []int32{0, 1, 1, 2, 2, 3} // 5 rows, 3 entries
+		bounds := PartitionNNZ(rowPtr, 16)
+		checkBounds(t, bounds, 5)
+		if got := len(bounds) - 1; got > 5 {
+			t.Fatalf("got %d ranges for 5 rows: %v", got, bounds)
+		}
+	})
+	t.Run("parts-exceed-rows", func(t *testing.T) {
+		rowPtr := []int32{0, 2, 4, 6}
+		bounds := PartitionNNZ(rowPtr, 50)
+		checkBounds(t, bounds, 3)
+		if got := len(bounds) - 1; got != 3 {
+			t.Fatalf("want one range per row, got %v", bounds)
+		}
+	})
+	t.Run("parts-zero-and-negative", func(t *testing.T) {
+		rowPtr := []int32{0, 3, 5}
+		for _, parts := range []int{0, -3} {
+			bounds := PartitionNNZ(rowPtr, parts)
+			checkBounds(t, bounds, 2)
+			if len(bounds)-1 != 1 {
+				t.Fatalf("parts=%d: want the whole matrix in one range, got %v", parts, bounds)
+			}
+		}
+	})
+	t.Run("empty-matrix", func(t *testing.T) {
+		// The zero-row matrix has no non-degenerate representation; the
+		// partitioner answers [0 0] — a single [0,0) range — and callers
+		// iterate zero rows. Pin the shape so it never grows extra ranges.
+		bounds := PartitionNNZ([]int32{0}, 4)
+		if len(bounds) != 2 || bounds[0] != 0 || bounds[1] != 0 {
+			t.Fatalf("empty matrix: want [0 0], got %v", bounds)
+		}
+	})
+	t.Run("one-row", func(t *testing.T) {
+		bounds := PartitionNNZ([]int32{0, 7}, 4)
+		checkBounds(t, bounds, 1)
+		if len(bounds)-1 != 1 {
+			t.Fatalf("one row: want one range, got %v", bounds)
+		}
+	})
+}

@@ -1,0 +1,459 @@
+package sparse
+
+// This file is the partition plane of the tiled layout: the pieces a
+// row-partitioned distributed SpMV needs to run the exact arithmetic of
+// TiledStochastic.Step across processes. A shard owns a contiguous range
+// of row tiles (cut by the same cached PartitionTiles boundaries the
+// in-process Step uses, so the per-partition residual partials — and the
+// tree-sum over them — are bit-for-bit the same numbers), holds only its
+// block's slice of the compressed index arrays, and gathers from window
+// buffers filled by a per-iteration boundary exchange instead of from a
+// resident full iterate. See internal/shard for the wire protocol and
+// DESIGN.md §16 for the determinism argument.
+
+// TreeSum reduces per-partition residual partials in partition order
+// with the same balanced binary halving Step uses internally — exported
+// so a sharded coordinator combining shard partials produces the exact
+// residual bits the in-process kernel would at equal partition counts.
+func TreeSum(partials []float64) float64 { return treeSum(partials) }
+
+// ShardBounds returns the tile-range boundaries Step would partition the
+// matrix into at the given partition count — the exact cached
+// PartitionTiles cut the in-process parallel kernel uses, which is what
+// makes an S-shard distributed rank bit-identical (including the
+// residual tree reduction) to a single-process rank at parts = S.
+// len(bounds)−1 is the true shard count; PartitionTiles compacts
+// would-be-empty ranges away.
+func (t *TiledStochastic) ShardBounds(parts int) []int32 { return t.partition(parts) }
+
+// RowRange maps shard i of a ShardBounds cut to its owned permuted row
+// range [lo, hi).
+func (t *TiledStochastic) RowRange(bounds []int32, i int) (lo, hi int32) {
+	tLo, tHi := bounds[i], bounds[i+1]
+	return t.tiles[tLo].rowLo, t.tiles[tHi-1].rowHi
+}
+
+// Uniform reports whether the layout compressed its values to one per
+// column (see the colVal note on TiledStochastic). Uniform layouts
+// exchange premultiplied y spans between shards; the per-entry fallback
+// exchanges raw x spans.
+func (t *TiledStochastic) Uniform() bool { return t.uniform }
+
+// DanglingShare computes the per-row dangling mass share for the iterate
+// x — the exact sequential gather Step performs, exported so the sharded
+// coordinator (which owns the only full view of x) produces the same
+// bits. ok is false when the matrix has no dangling columns, in which
+// case the share term must not be added at all (adding 0.0 could still
+// flip a −0.0 row sum).
+func (t *TiledStochastic) DanglingShare(x []float64) (share float64, ok bool) {
+	if len(t.dangling) == 0 {
+		return 0, false
+	}
+	mass := 0.0
+	for _, c := range t.dangling {
+		mass += x[c]
+	}
+	return mass / float64(t.rows), true
+}
+
+// PremultiplyY fills y[c] = colVal[c]·x[c] for the whole iterate — the
+// per-step premultiplication Step performs on uniform layouts, exported
+// so the coordinator's exchanged y spans carry bit-identical gather
+// operands. Panics on non-uniform layouts.
+func (t *TiledStochastic) PremultiplyY(y, x []float64) {
+	if !t.uniform {
+		panic("sparse: PremultiplyY on a non-uniform layout")
+	}
+	cv := t.colVal
+	for i, xi := range x[:len(cv)] {
+		y[i] = cv[i] * xi
+	}
+}
+
+// TileBlock is one shard's standalone slice of a tiled layout: the rows
+// of a contiguous tile range with their compressed column words, window
+// split planes and (on uniform layouts) the own-range column values —
+// everything needed to compute that block of y = A·x without the rest of
+// the matrix resident. All fields are exported because the block crosses
+// a process boundary (internal/shard serializes it); treat them as
+// read-only after construction.
+//
+// The block gathers from per-window buffers (win[j] mirrors
+// x[WBase[j] : WBase[j]+WindowLen()]) holding premultiplied y values on
+// uniform layouts and raw x values on the per-entry fallback. Its Step
+// walks rows and window runs in exactly the order stepTiles does, so the
+// block's next segment and residual partial are bitwise the numbers the
+// in-process kernel computes for the same tile range.
+type TileBlock struct {
+	N            int   // full matrix dimension
+	RowLo, RowHi int32 // owned permuted row range [RowLo, RowHi)
+	Windows      int   // column windows of the full layout
+	WBase        []int32
+	Uniform      bool
+	HasDangling  bool      // whether the full matrix adds a dangling share
+	RowPtr       []int32   // len rows+1, rebased so RowPtr[0] == 0
+	Cols         []uint16  // window-local column words of the block's entries
+	Splits       [][]int32 // len Windows−1, per block row, entry-rebased
+	ColVal       []float64 // uniform: column values for the OWN range [RowLo, RowHi)
+	Val          []float64 // fallback: per-entry values
+	Ref          []bool    // len Windows: window holds ≥1 of this block's entries
+}
+
+// ExtractBlock copies shard i of a ShardBounds cut into a standalone
+// TileBlock. The copies are deliberate: a coordinator extracts blocks to
+// ship them and then drops its own references, and a harness worker must
+// not alias the full layout's arrays or the memory accounting lies.
+func (t *TiledStochastic) ExtractBlock(bounds []int32, i int) *TileBlock {
+	rowLo, rowHi := t.RowRange(bounds, i)
+	rows := int(rowHi - rowLo)
+	eLo, eHi := t.rowPtr[rowLo], t.rowPtr[rowHi]
+	b := &TileBlock{
+		N:           t.rows,
+		RowLo:       rowLo,
+		RowHi:       rowHi,
+		Windows:     t.windows,
+		WBase:       append([]int32(nil), t.wbase...),
+		Uniform:     t.uniform,
+		HasDangling: len(t.dangling) > 0,
+		RowPtr:      make([]int32, rows+1),
+		Cols:        append([]uint16(nil), t.cols[eLo:eHi]...),
+		Ref:         make([]bool, t.windows),
+	}
+	for r := 0; r <= rows; r++ {
+		b.RowPtr[r] = t.rowPtr[int(rowLo)+r] - eLo
+	}
+	if t.windows > 1 {
+		b.Splits = make([][]int32, t.windows-1)
+		for j := range b.Splits {
+			sp := make([]int32, rows)
+			for r := 0; r < rows; r++ {
+				sp[r] = t.splits[j][int(rowLo)+r] - eLo
+			}
+			b.Splits[j] = sp
+		}
+	}
+	if t.uniform {
+		b.ColVal = append([]float64(nil), t.colVal[rowLo:rowHi]...)
+	} else {
+		b.Val = append([]float64(nil), t.val[eLo:eHi]...)
+	}
+	b.ComputeRef()
+	return b
+}
+
+// ComputeRef (re)derives which windows this block gathers from — wire
+// decoders call it after Validate, since it indexes arrays Validate
+// bounds.
+func (b *TileBlock) ComputeRef() {
+	if b.Ref == nil {
+		b.Ref = make([]bool, b.Windows)
+	}
+	rows := b.Rows()
+	for r := 0; r < rows; r++ {
+		k := b.RowPtr[r]
+		end := b.RowPtr[r+1]
+		for j := 0; j < b.Windows; j++ {
+			segEnd := end
+			if j < len(b.Splits) {
+				segEnd = b.Splits[j][r]
+			}
+			if segEnd > k {
+				b.Ref[j] = true
+				k = segEnd
+			}
+		}
+	}
+}
+
+// Rows returns the number of rows this block owns.
+func (b *TileBlock) Rows() int { return int(b.RowHi - b.RowLo) }
+
+// NNZ returns the number of entries this block holds.
+func (b *TileBlock) NNZ() int { return len(b.Cols) }
+
+// WindowLen returns the length of every window view of the iterate:
+// windowSize for full-size matrices, N for the single sub-64Ki window.
+// (wbase[j] = min(j·64Ki, N−64Ki) guarantees all windows are full-length
+// whenever N ≥ 64Ki.)
+func (b *TileBlock) WindowLen() int {
+	if b.N < windowSize {
+		return b.N
+	}
+	return windowSize
+}
+
+// ResidentBytes is the block's matrix footprint: the bytes a shard must
+// keep resident to iterate (index arrays, split planes, values, window
+// bases). Iterate/window buffers are excluded — they are O(windows·64Ki)
+// working state, not matrix storage.
+func (b *TileBlock) ResidentBytes() int64 {
+	n := int64(len(b.RowPtr))*4 + int64(len(b.Cols))*2 + int64(len(b.WBase))*4 +
+		(int64(len(b.ColVal))+int64(len(b.Val)))*8 + int64(len(b.Ref))
+	for _, sp := range b.Splits {
+		n += int64(len(sp)) * 4
+	}
+	return n
+}
+
+// Validate checks the structural invariants a block received over the
+// wire must satisfy before Step may index through it. It bounds every
+// array the hot loop trusts: row pointers monotone and entry-exhaustive,
+// split planes within each row's range, window bases consistent with N,
+// value arrays matching the layout kind.
+func (b *TileBlock) Validate() error {
+	rows := int(b.RowHi) - int(b.RowLo)
+	switch {
+	case b.N <= 0 || b.RowLo < 0 || b.RowHi > int32(b.N) || rows <= 0:
+		return errBlock("row range")
+	case b.Windows < 1 || len(b.WBase) != b.Windows || (b.Ref != nil && len(b.Ref) != b.Windows):
+		// Ref is derived, not shipped: wire decoders validate first and
+		// compute it after (computeRef indexes arrays Validate bounds).
+		return errBlock("window count")
+	case len(b.RowPtr) != rows+1 || b.RowPtr[0] != 0 || int(b.RowPtr[rows]) != len(b.Cols):
+		return errBlock("row pointers")
+	case len(b.Splits) != b.Windows-1:
+		return errBlock("split planes")
+	case b.Uniform && (len(b.ColVal) != rows || b.Val != nil):
+		return errBlock("uniform values")
+	case !b.Uniform && (len(b.Val) != len(b.Cols) || b.ColVal != nil):
+		return errBlock("fallback values")
+	}
+	wl := b.WindowLen()
+	for j, base := range b.WBase {
+		want := int32(j) << WindowBits
+		if max := int32(b.N - windowSize); want > max && max >= 0 {
+			want = max
+		}
+		if b.N < windowSize {
+			want = 0
+		}
+		if base != want {
+			return errBlock("window base")
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if b.RowPtr[r] > b.RowPtr[r+1] {
+			return errBlock("row pointers")
+		}
+		k := b.RowPtr[r]
+		for j := range b.Splits {
+			s := b.Splits[j][r]
+			if s < k || s > b.RowPtr[r+1] {
+				return errBlock("split planes")
+			}
+			k = s
+		}
+	}
+	if wl < windowSize {
+		// Sub-64Ki windows: the uint16 words must stay inside the short
+		// view (full windows admit any uint16 by construction).
+		for _, c := range b.Cols {
+			if int(c) >= wl {
+				return errBlock("column word")
+			}
+		}
+	}
+	for j, sp := range b.Splits {
+		if len(sp) != rows {
+			return errBlock("split planes")
+		}
+		_ = j
+	}
+	return nil
+}
+
+type errBlock string
+
+func (e errBlock) Error() string { return "sparse: invalid tile block: " + string(e) }
+
+// ScatterOwn writes the block's own-range contribution into the window
+// buffers: the premultiplied colVal·xOwn products on uniform layouts
+// (each the identical multiplication PremultiplyY performs), raw xOwn on
+// the fallback. Windows the block does not reference are skipped.
+func (b *TileBlock) ScatterOwn(win [][]float64, xOwn []float64) {
+	wl := int32(b.WindowLen())
+	for j := 0; j < b.Windows; j++ {
+		if !b.Ref[j] || win[j] == nil {
+			continue
+		}
+		base := b.WBase[j]
+		lo, hi := b.RowLo, b.RowHi
+		if lo < base {
+			lo = base
+		}
+		if hi > base+wl {
+			hi = base + wl
+		}
+		if b.Uniform {
+			for c := lo; c < hi; c++ {
+				win[j][c-base] = b.ColVal[c-b.RowLo] * xOwn[c-b.RowLo]
+			}
+		} else {
+			copy(win[j][lo-base:hi-base], xOwn[lo-b.RowLo:hi-b.RowLo])
+		}
+	}
+}
+
+// ScatterSpan writes a received boundary span (absolute permuted offset)
+// into every referenced window buffer it intersects. Span values are
+// premultiplied y on uniform layouts and raw x on the fallback — exactly
+// what ScatterOwn writes for the own range.
+func (b *TileBlock) ScatterSpan(win [][]float64, offset int, vals []float64) {
+	wl := b.WindowLen()
+	for j := 0; j < b.Windows; j++ {
+		if !b.Ref[j] || win[j] == nil {
+			continue
+		}
+		base := int(b.WBase[j])
+		lo, hi := offset, offset+len(vals)
+		if lo < base {
+			lo = base
+		}
+		if hi > base+wl {
+			hi = base + wl
+		}
+		if lo < hi {
+			copy(win[j][lo-base:hi-base], vals[lo-offset:hi-offset])
+		}
+	}
+}
+
+// Step computes this block's rows of one fused power-method step:
+// next[r−RowLo] = α·s_r + β·att[r−RowLo] + γ·rec[r−RowLo] with the
+// dangling share folded into s_r, returning the block's partial L1
+// residual Σ|next−xOwn|. win holds the window views of the iterate
+// (premultiplied on uniform layouts — see ScatterOwn/ScatterSpan); xOwn
+// is the previous iterate's own segment, att and rec the own-range
+// attention and recency segments. The row loop, window-run walk and
+// accumulation order mirror stepTiles expression for expression, so the
+// outputs are bit-identical to the in-process kernel's partition.
+func (b *TileBlock) Step(next, xOwn []float64, win [][]float64, att, rec []float64, alpha, beta, gamma, share float64) float64 {
+	if b.Uniform {
+		return b.stepY(next, xOwn, win, att, rec, alpha, beta, gamma, share)
+	}
+	return b.stepVal(next, xOwn, win, att, rec, alpha, beta, gamma, share)
+}
+
+func (b *TileBlock) stepY(next, xOwn []float64, win [][]float64, att, rec []float64, alpha, beta, gamma, share float64) float64 {
+	resid := 0.0
+	rows := b.Rows()
+	rowPtr, colw := b.RowPtr, b.Cols
+	hasDangling := b.HasDangling
+	full := b.WindowLen() == windowSize
+	for r := 0; r < rows; r++ {
+		k := int(rowPtr[r])
+		end := int(rowPtr[r+1])
+		s := 0.0
+		for j := 0; j < b.Windows; j++ {
+			segEnd := end
+			if j < len(b.Splits) {
+				segEnd = int(b.Splits[j][r])
+			}
+			if segEnd > k {
+				yw := win[j]
+				if full {
+					// Fixed-length view: a uint16 word cannot escape a
+					// 65536-long slice, so the gather's bounds check
+					// compiles away exactly as in stepTiles.
+					yw = yw[:windowSize:windowSize]
+				}
+				for _, c := range colw[k:segEnd] {
+					s += yw[c]
+				}
+				k = segEnd
+			}
+		}
+		if hasDangling {
+			s += share
+		}
+		v := alpha*s + beta*att[r] + gamma*rec[r]
+		next[r] = v
+		d := v - xOwn[r]
+		if d < 0 {
+			d = -d
+		}
+		resid += d
+	}
+	return resid
+}
+
+func (b *TileBlock) stepVal(next, xOwn []float64, win [][]float64, att, rec []float64, alpha, beta, gamma, share float64) float64 {
+	resid := 0.0
+	rows := b.Rows()
+	rowPtr, vals, colw := b.RowPtr, b.Val, b.Cols
+	hasDangling := b.HasDangling
+	full := b.WindowLen() == windowSize
+	for r := 0; r < rows; r++ {
+		k := int(rowPtr[r])
+		end := int(rowPtr[r+1])
+		s := 0.0
+		for j := 0; j < b.Windows; j++ {
+			segEnd := end
+			if j < len(b.Splits) {
+				segEnd = int(b.Splits[j][r])
+			}
+			if segEnd > k {
+				xw := win[j]
+				if full {
+					xw = xw[:windowSize:windowSize]
+				}
+				vs := vals[k:segEnd]
+				cs := colw[k:segEnd]
+				for e := range vs {
+					s += vs[e] * xw[cs[e]]
+				}
+				k = segEnd
+			}
+		}
+		if hasDangling {
+			s += share
+		}
+		v := alpha*s + beta*att[r] + gamma*rec[r]
+		next[r] = v
+		d := v - xOwn[r]
+		if d < 0 {
+			d = -d
+		}
+		resid += d
+	}
+	return resid
+}
+
+// BoundarySpans returns the absolute [lo, hi) ranges of the iterate this
+// block must receive per iteration: the union of its referenced windows'
+// ranges minus the own range [RowLo, RowHi) it computes itself. The
+// spans are fixed for the life of a deployment, which is what makes the
+// per-iteration boundary bytes a constant, reportable number.
+func (b *TileBlock) BoundarySpans() [][2]int {
+	wl := b.WindowLen()
+	var merged [][2]int
+	for j := 0; j < b.Windows; j++ {
+		if !b.Ref[j] {
+			continue
+		}
+		lo, hi := int(b.WBase[j]), int(b.WBase[j])+wl
+		if len(merged) > 0 && lo <= merged[len(merged)-1][1] {
+			if hi > merged[len(merged)-1][1] {
+				merged[len(merged)-1][1] = hi
+			}
+			continue
+		}
+		merged = append(merged, [2]int{lo, hi})
+	}
+	own := [2]int{int(b.RowLo), int(b.RowHi)}
+	var out [][2]int
+	for _, m := range merged {
+		lo, hi := m[0], m[1]
+		if own[1] <= lo || own[0] >= hi { // no overlap
+			out = append(out, m)
+			continue
+		}
+		if own[0] > lo {
+			out = append(out, [2]int{lo, own[0]})
+		}
+		if own[1] < hi {
+			out = append(out, [2]int{own[1], hi})
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// weightedStochastic builds a column-stochastic-shaped matrix whose
+// per-entry values differ within columns, forcing the per-entry value
+// fallback layout (uniform == false).
+func weightedStochastic(t testing.TB, seed int64, n, nnz int) *Stochastic {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Coord, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		entries = append(entries, Coord{
+			Row: int32(rng.Intn(n)),
+			Col: int32(rng.Intn(n)),
+			Val: 0.25 + rng.Float64(),
+		})
+	}
+	m, err := NewMatrix(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewColumnStochastic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// uniformStochastic builds a citation-shaped matrix with distinct
+// coordinates and unit values, so normalization yields one value per
+// column and the layout compresses to the uniform kind — the production
+// shape the y-exchange serves.
+func uniformStochastic(t testing.TB, seed int64, n, deg int) *Stochastic {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var entries []Coord
+	for c := 0; c < 2*n/3; c++ {
+		seen := make(map[int32]bool, deg)
+		for d := 0; d < deg; d++ {
+			u := rng.Float64()
+			r := int32(float64(n) * u * u)
+			if int(r) >= n {
+				r = int32(n - 1)
+			}
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			entries = append(entries, Coord{Row: r, Col: int32(c), Val: 1})
+		}
+	}
+	m, err := NewMatrix(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewColumnStochastic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// shardedStep runs one fused step the way the distributed deployment
+// does — coordinator-side dangling share and premultiplication, per-block
+// own-range scatter plus boundary-span scatter, block kernels, rank-order
+// tree reduction — writing next in place and returning the residual. It
+// must be bit-identical to ti.Step at parts = len(blocks).
+func shardedStep(ti *TiledStochastic, blocks []*TileBlock, wins [][][]float64, next, x, att, rec []float64, alpha, beta, gamma float64) float64 {
+	share, _ := ti.DanglingShare(x)
+	// The exchanged span values: premultiplied y on uniform layouts, the
+	// raw iterate on the fallback.
+	spanSrc := x
+	if ti.Uniform() {
+		y := make([]float64, ti.N())
+		ti.PremultiplyY(y, x)
+		spanSrc = y
+	}
+	partials := make([]float64, len(blocks))
+	for i, b := range blocks {
+		lo, hi := b.RowLo, b.RowHi
+		b.ScatterOwn(wins[i], x[lo:hi])
+		for _, sp := range b.BoundarySpans() {
+			b.ScatterSpan(wins[i], sp[0], spanSrc[sp[0]:sp[1]])
+		}
+		partials[i] = b.Step(next[lo:hi], x[lo:hi], wins[i],
+			att[lo:hi], rec[lo:hi], alpha, beta, gamma, share)
+	}
+	return treeSum(partials)
+}
+
+func blockWindows(b *TileBlock) [][]float64 {
+	win := make([][]float64, b.Windows)
+	for j := range win {
+		if b.Ref[j] {
+			win[j] = make([]float64, b.WindowLen())
+		}
+	}
+	return win
+}
+
+// TestTileBlockStepBitIdentical is the heart of the sharding contract:
+// extracting row blocks at the kernel's own partition boundaries and
+// stepping them against exchanged window segments must reproduce the
+// in-process parallel Step bit for bit — scores AND residual — across
+// layout shapes (single window, overlapping multi-window, weighted
+// fallback, all-dangling) and across a warm-start iteration chain.
+func TestTileBlockStepBitIdentical(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	bigPerm := WindowAlign(randomPerm(rng, 70_000))
+	for _, tc := range []struct {
+		name     string
+		s        *Stochastic
+		perm     []int32
+		tileRows int
+	}{
+		{"uniform-small", uniformStochastic(t, 21, 900, 8), nil, 64},
+		{"uniform-small-permuted", uniformStochastic(t, 22, 700, 7), WindowAlign(randomPerm(rng, 700)), 48},
+		{"duplicate-edge-fallback", powerLawStochastic(t, 23, 800, 4800), nil, 64},
+		{"weighted-fallback", weightedStochastic(t, 26, 800, 4800), nil, 64},
+		{"all-dangling", mustStochastic(t, emptySquare(t, 300)), nil, 32},
+		{"uniform-two-windows", uniformStochastic(t, 24, 70_000, 4), bigPerm, 2048},
+		{"weighted-two-windows", weightedStochastic(t, 25, 70_000, 120_000), nil, 2048},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ti := tc.s.TiledRows(pool, tc.perm, tc.tileRows)
+			n := ti.N()
+			vrng := rand.New(rand.NewSource(31))
+			x0, att, rec := randomVectors(vrng, n)
+			const alpha, beta, gamma = 0.5, 0.3, 0.2
+
+			for _, parts := range []int{1, 2, 3, 4} {
+				bounds := ti.ShardBounds(parts)
+				nb := len(bounds) - 1
+				blocks := make([]*TileBlock, nb)
+				wins := make([][][]float64, nb)
+				rowCov := int32(0)
+				var resident int64
+				for i := range blocks {
+					b := ti.ExtractBlock(bounds, i)
+					if err := b.Validate(); err != nil {
+						t.Fatalf("parts=%d block %d: %v", parts, i, err)
+					}
+					if b.RowLo != rowCov {
+						t.Fatalf("parts=%d block %d: row range starts at %d, want %d", parts, i, b.RowLo, rowCov)
+					}
+					rowCov = b.RowHi
+					resident += b.ResidentBytes()
+					blocks[i] = b
+					wins[i] = blockWindows(b)
+				}
+				if rowCov != int32(n) {
+					t.Fatalf("parts=%d: blocks cover rows [0,%d), want [0,%d)", parts, rowCov, n)
+				}
+				if nb > 1 {
+					// Index payload must actually shard: no block may hold
+					// everything. (Values/wbase are partly replicated, so
+					// compare against the full layout's footprint.)
+					full := ti.Stats().TotalBytes
+					for i, b := range blocks {
+						if rb := b.ResidentBytes(); rb >= full {
+							t.Fatalf("parts=%d block %d: resident %d ≥ full layout %d", parts, i, rb, full)
+						}
+					}
+					_ = resident
+				}
+
+				// Warm chain: five iterations, each fed the previous sharded
+				// next, compared against the local kernel fed the previous
+				// local next. Any single-bit divergence compounds, so exact
+				// equality at every step proves the chain property.
+				x := append([]float64(nil), x0...)
+				xRef := append([]float64(nil), x0...)
+				for iter := 0; iter < 5; iter++ {
+					next := make([]float64, n)
+					nextRef := make([]float64, n)
+					resid := shardedStep(ti, blocks, wins, next, x, att, rec, alpha, beta, gamma)
+					residRef := ti.Step(nextRef, xRef, att, rec, alpha, beta, gamma, parts)
+					if resid != residRef {
+						t.Fatalf("parts=%d iter=%d: residual %v != local %v", parts, iter, resid, residRef)
+					}
+					for r := range next {
+						if next[r] != nextRef[r] {
+							t.Fatalf("parts=%d iter=%d: next[%d] = %v, local %v (not bit-identical)",
+								parts, iter, r, next[r], nextRef[r])
+						}
+					}
+					x, next = next, x
+					xRef, nextRef = nextRef, xRef
+				}
+			}
+		})
+	}
+}
+
+// TestTileBlockBoundarySpans pins the span plan: spans never include the
+// block's own rows, stay inside [0, N), cover exactly the referenced
+// windows' ranges, and are fixed data (two calls agree), which is what
+// makes boundary bytes/iteration a constant.
+func TestTileBlockBoundarySpans(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	s := powerLawStochastic(t, 41, 70_000, 90_000)
+	ti := s.Tiled(pool, nil)
+	bounds := ti.ShardBounds(4)
+	for i := 0; i < len(bounds)-1; i++ {
+		b := ti.ExtractBlock(bounds, i)
+		spans := b.BoundarySpans()
+		covered := make(map[int]bool)
+		prevHi := -1
+		for _, sp := range spans {
+			lo, hi := sp[0], sp[1]
+			if lo >= hi || lo < 0 || hi > b.N {
+				t.Fatalf("block %d: span [%d,%d) out of range", i, lo, hi)
+			}
+			if lo < prevHi {
+				t.Fatalf("block %d: spans not sorted/disjoint at [%d,%d)", i, lo, hi)
+			}
+			prevHi = hi
+			if lo < int(b.RowHi) && hi > int(b.RowLo) {
+				t.Fatalf("block %d: span [%d,%d) overlaps own rows [%d,%d)", i, lo, hi, b.RowLo, b.RowHi)
+			}
+			for c := lo; c < hi; c++ {
+				covered[c] = true
+			}
+		}
+		// Every referenced window position outside the own range must be
+		// covered — the kernel may gather from any of them.
+		wl := b.WindowLen()
+		for j, ref := range b.Ref {
+			if !ref {
+				continue
+			}
+			for c := int(b.WBase[j]); c < int(b.WBase[j])+wl; c++ {
+				if c >= int(b.RowLo) && c < int(b.RowHi) {
+					continue
+				}
+				if !covered[c] {
+					t.Fatalf("block %d: referenced position %d (window %d) not covered by any span", i, c, j)
+				}
+			}
+		}
+		again := b.BoundarySpans()
+		if len(again) != len(spans) {
+			t.Fatalf("block %d: span plan not stable", i)
+		}
+		for k := range spans {
+			if spans[k] != again[k] {
+				t.Fatalf("block %d: span %d changed between calls", i, k)
+			}
+		}
+	}
+}
+
+// TestTileBlockValidate drives the structural checks a wire-received
+// block must pass, mutating one field at a time.
+func TestTileBlockValidate(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	s := uniformStochastic(t, 51, 500, 9)
+	ti := s.TiledRows(pool, nil, 64)
+	if !ti.Uniform() {
+		t.Fatal("expected a uniform layout")
+	}
+	bounds := ti.ShardBounds(2)
+	fresh := func() *TileBlock { return ti.ExtractBlock(bounds, 0) }
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("pristine block invalid: %v", err)
+	}
+	for _, mut := range []struct {
+		name string
+		f    func(*TileBlock)
+	}{
+		{"negative-rowlo", func(b *TileBlock) { b.RowLo = -1 }},
+		{"rowhi-overflow", func(b *TileBlock) { b.RowHi = int32(b.N + 1) }},
+		{"empty-range", func(b *TileBlock) { b.RowHi = b.RowLo }},
+		{"window-count", func(b *TileBlock) { b.Windows = 3 }},
+		{"wbase-len", func(b *TileBlock) { b.WBase = append(b.WBase, 0) }},
+		{"wbase-value", func(b *TileBlock) { b.WBase[0] = 7 }},
+		{"rowptr-start", func(b *TileBlock) { b.RowPtr[0] = 1 }},
+		{"rowptr-end", func(b *TileBlock) { b.RowPtr[len(b.RowPtr)-1]++ }},
+		{"rowptr-order", func(b *TileBlock) { b.RowPtr[1] = b.RowPtr[2] + 1; b.RowPtr[2] = 0 }},
+		{"uniform-val-len", func(b *TileBlock) { b.ColVal = b.ColVal[:1] }},
+		{"both-value-kinds", func(b *TileBlock) { b.Val = make([]float64, b.NNZ()) }},
+		{"col-word-escape", func(b *TileBlock) { b.Cols[0] = uint16(b.WindowLen()) }},
+		// nil Ref is legal (derived; wire decoders ComputeRef after
+		// Validate) but a wrong-length one is not.
+		{"ref-len", func(b *TileBlock) { b.Ref = b.Ref[:len(b.Ref)-1] }},
+	} {
+		b := fresh()
+		mut.f(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt block", mut.name)
+		}
+	}
+
+	// Fallback layout: swapped value kinds must fail too.
+	ws := weightedStochastic(t, 52, 400, 2100)
+	wt := ws.TiledRows(pool, nil, 64)
+	wb := wt.ExtractBlock(wt.ShardBounds(2), 0)
+	if wb.Uniform {
+		t.Fatal("weighted layout unexpectedly uniform")
+	}
+	if err := wb.Validate(); err != nil {
+		t.Fatalf("pristine fallback block invalid: %v", err)
+	}
+	wb.Val = wb.Val[:len(wb.Val)-1]
+	if err := wb.Validate(); err == nil {
+		t.Error("fallback: short Val accepted")
+	}
+}
+
+// TestShardBoundsMatchStepPartition pins that ShardBounds is the same
+// cached cut Step uses — the premise of the bit-identity argument.
+func TestShardBoundsMatchStepPartition(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	s := powerLawStochastic(t, 61, 1200, 7000)
+	ti := s.TiledRows(pool, nil, 32)
+	for _, parts := range []int{1, 2, 4, 9} {
+		got := ti.ShardBounds(parts)
+		want := ti.partition(parts)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: ShardBounds len %d, partition len %d", parts, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parts=%d: bounds[%d] = %d, partition %d", parts, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -107,7 +107,7 @@ type TiledStochastic struct {
 	mu    sync.Mutex
 	parts map[int][]int32 // partition count → tile-range boundaries
 
-	scratch sync.Pool // *[]float64 of len rows, the per-step y buffer
+	scratch *VecPool // len-rows vectors, the per-step y buffer
 
 	occupiedRow int // rows with ≥1 entry (for occupancy telemetry)
 }
@@ -158,6 +158,7 @@ func (s *Stochastic) TiledRows(pool *Pool, perm []int32, tileRows int) *TiledSto
 		perm:    perm,
 		pool:    pool,
 		parts:   make(map[int][]int32),
+		scratch: NewVecPool(n),
 	}
 	// Probe for the uniform-column property (every entry of a column
 	// bitwise equal — true by construction for 1/out-degree
@@ -495,17 +496,12 @@ func (t *TiledStochastic) Step(next, x, att, rec []float64, alpha, beta, gamma f
 	return treeSum(partial)
 }
 
-// getY leases the per-step y buffer (len rows); putY returns it. A
-// sync.Pool keeps concurrent Steps on one layout race-free without
+// getY leases the per-step y buffer (len rows); putY returns it. The
+// VecPool keeps concurrent Steps on one layout race-free without
 // allocating a fresh vector per iteration.
-func (t *TiledStochastic) getY() []float64 {
-	if p, _ := t.scratch.Get().(*[]float64); p != nil {
-		return *p
-	}
-	return make([]float64, t.rows)
-}
+func (t *TiledStochastic) getY() []float64 { return t.scratch.Get() }
 
-func (t *TiledStochastic) putY(y []float64) { t.scratch.Put(&y) }
+func (t *TiledStochastic) putY(y []float64) { t.scratch.Put(y) }
 
 // stepTiles is the per-worker kernel over tiles [tLo, tHi): the fused
 // update plus a partial L1 residual, arithmetic mirrored expression for

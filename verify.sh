@@ -12,10 +12,13 @@
 #                       core operator/parallel/RankBatch tests, scratch
 #                       metrics), the ingest WAL tests, the
 #                       admission-control tests, the replication
-#                       follower tests and the impact-indicator suites —
+#                       follower tests, the impact-indicator suites and
+#                       the sharded-ranking suites (partition, exchange
+#                       wire, loopback bit-equality, zero-alloc rounds) —
 #                       seconds instead of minutes, for tight iteration
 #   ./verify.sh fuzz    short coverage-guided fuzz sessions for the
-#                       dataio readers and HTTP query parsing
+#                       dataio readers, HTTP query parsing and the shard
+#                       exchange wire decoders
 #
 # Benchmarks are separate: see bench.sh, which regenerates
 # BENCH_core.json and BENCH_service.json.
@@ -53,6 +56,9 @@ if [ "${1:-}" = "quick" ]; then
 	echo "==> go test -race (impact indicators: classes, PageRank bit-equality, endpoints, replication)"
 	go test -race -run 'Impact|Class|Indicator|PageRank|Threshold|Impulse|NormalizeID|Golden' \
 		./internal/impact/ ./internal/core/ ./internal/ingest/ ./internal/service/ ./internal/replication/
+	echo "==> go test -race (sharded ranking: partition, block extraction, exchange, bit-equality, zero-alloc)"
+	go test -race -run 'Shard|Exchange|Boundary|TileBlock|SessionGuards' \
+		./internal/sparse/ ./internal/shard/
 	echo "verify.sh: quick checks passed"
 	exit 0
 fi
@@ -66,6 +72,8 @@ if [ "${1:-}" = "fuzz" ]; then
 		echo "==> go test -fuzz $target (service)"
 		go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 5s ./internal/service/
 	done
+	echo "==> go test -fuzz FuzzShardFrame (shard exchange wire)"
+	go test -run '^FuzzShardFrame$' -fuzz '^FuzzShardFrame$' -fuzztime 5s ./internal/shard/
 	echo "verify.sh: fuzz sessions passed"
 	exit 0
 fi
@@ -91,5 +99,13 @@ echo "==> attrank-bench -impact smoke (served indicator classes vs in-process re
 # Exits non-zero if any score or C1–C5 class served by /v1/impact differs
 # from an independent recompute through internal/impact.
 go run ./cmd/attrank-bench -impact -impact-papers 2000
+
+echo "==> attrank-bench -shard smoke (2-shard loopback rank vs single-process kernel, 20k graph)"
+# Exits non-zero on the first score or residual bit that differs between
+# the sharded rank (cold and warm-started) and the local tiled kernel at
+# the same partition count, or if the rank silently fell back to the
+# local kernel instead of taking the distributed path.
+go run ./cmd/attrank-bench -shard -shard-papers 20000 -shard-counts 2 -shard-reps 1 \
+	-shard-out /tmp/BENCH_shard_smoke.json
 
 echo "verify.sh: all checks passed"
